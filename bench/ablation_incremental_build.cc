@@ -1,0 +1,72 @@
+// Ablation (iPARAS, the paper's incremental-construction predecessor):
+// when batch k+1 arrives, TARA appends one window to the existing
+// knowledge base, while a static parameter-space index (PARAS) must be
+// rebuilt from scratch over the data it serves. This harness measures the
+// cost of keeping the knowledge base current as batches stream in.
+//
+// Expected shape: TARA's per-arrival cost is flat (one window's mining);
+// the rebuild-everything strategy grows linearly with history, so the
+// cumulative gap widens with every batch.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "common/stopwatch.h"
+#include "core/tara_engine.h"
+
+namespace tara::bench {
+namespace {
+
+void Run() {
+  std::printf("=== Ablation: incremental append vs full rebuild ===\n");
+  for (BenchDataset& d : MakeAllDatasets()) {
+    std::printf("\n--- dataset %s ---\n", d.name.c_str());
+    std::printf("%-8s %18s %18s %10s\n", "batch", "incremental(s)",
+                "full-rebuild(s)", "speedup");
+
+    TaraEngine::Options options;
+    options.min_support_floor = d.support_floor;
+    options.min_confidence_floor = d.confidence_floor;
+    options.max_itemset_size = d.max_itemset_size;
+
+    TaraEngine incremental(options);
+    double incremental_total = 0, rebuild_total = 0;
+    for (WindowId w = 0; w < d.data.window_count(); ++w) {
+      const WindowInfo& info = d.data.window(w);
+
+      Stopwatch append_timer;
+      incremental.AppendWindow(d.data.database(), info.begin, info.end);
+      const double append_seconds = append_timer.ElapsedSeconds();
+
+      // The rebuild strategy reconstructs the index over every batch seen
+      // so far.
+      Stopwatch rebuild_timer;
+      TaraEngine rebuilt(options);
+      for (WindowId past = 0; past <= w; ++past) {
+        const WindowInfo& past_info = d.data.window(past);
+        rebuilt.AppendWindow(d.data.database(), past_info.begin,
+                             past_info.end);
+      }
+      const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+
+      incremental_total += append_seconds;
+      rebuild_total += rebuild_seconds;
+      std::printf("%-8u %18.3f %18.3f %9.1fx\n", w, append_seconds,
+                  rebuild_seconds,
+                  append_seconds > 0 ? rebuild_seconds / append_seconds
+                                     : 0.0);
+    }
+    std::printf("%-8s %18.3f %18.3f %9.1fx\n", "total", incremental_total,
+                rebuild_total,
+                incremental_total > 0 ? rebuild_total / incremental_total
+                                      : 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tara::bench
+
+int main() {
+  tara::bench::Run();
+  return 0;
+}

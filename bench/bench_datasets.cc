@@ -1,0 +1,125 @@
+#include "bench/bench_datasets.h"
+
+#include <cstdlib>
+
+#include "datagen/basket_generators.h"
+#include "datagen/quest_generator.h"
+
+namespace tara::bench {
+namespace {
+
+constexpr uint32_t kWindows = 5;
+
+/// Per-window transaction count, scaled up in full mode.
+uint32_t Scale(uint32_t n) { return FullMode() ? n * 4 : n; }
+
+EvolvingDatabase FromBaskets(BasketGenerator::Params params,
+                             uint32_t per_window) {
+  params.num_transactions = per_window;
+  const BasketGenerator gen(params);
+  EvolvingDatabase data;
+  Timestamp offset = 0;
+  for (uint32_t w = 0; w < kWindows; ++w) {
+    const TransactionDatabase batch = gen.GenerateBatch(w, offset);
+    data.AppendBatch(batch.transactions());
+    offset += per_window;
+  }
+  return data;
+}
+
+EvolvingDatabase FromQuest(QuestGenerator::Params params) {
+  const TransactionDatabase db = QuestGenerator(params).Generate();
+  return EvolvingDatabase::PartitionIntoBatches(db, kWindows);
+}
+
+}  // namespace
+
+bool FullMode() {
+  const char* env = std::getenv("TARA_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+BenchDataset MakeRetail() {
+  BenchDataset d;
+  d.name = "retail";
+  BasketGenerator::Params params = BasketGenerator::RetailPreset();
+  d.data = FromBaskets(params, Scale(3000));
+  d.support_floor = 0.002;
+  d.confidence_floor = 0.1;
+  d.max_itemset_size = 5;
+  d.support_sweep = {0.002, 0.004, 0.008, 0.016, 0.032};
+  d.confidence_sweep = {0.1, 0.2, 0.4, 0.6, 0.8};
+  d.fixed_support = 0.004;
+  // The power-law generator yields lower pair confidences than real retail
+  // data; 0.2 keeps a mid-support band alive so Q2 diffs are non-trivial.
+  d.fixed_confidence = 0.2;
+  return d;
+}
+
+BenchDataset MakeT5k() {
+  BenchDataset d;
+  d.name = "T5k";
+  QuestGenerator::Params params;
+  params.num_transactions = Scale(2000) * kWindows;
+  params.avg_transaction_len = 12;
+  params.num_items = 2000;
+  params.num_patterns = 600;
+  params.avg_pattern_len = 4;
+  params.seed = 51;
+  d.data = FromQuest(params);
+  d.support_floor = 0.002;
+  d.confidence_floor = 0.2;
+  d.max_itemset_size = 5;
+  d.support_sweep = {0.002, 0.004, 0.008, 0.016, 0.032};
+  d.confidence_sweep = {0.2, 0.3, 0.45, 0.6, 0.8};
+  d.fixed_support = 0.004;
+  d.fixed_confidence = 0.2;
+  return d;
+}
+
+BenchDataset MakeT2k() {
+  BenchDataset d;
+  d.name = "T2k";
+  QuestGenerator::Params params;
+  params.num_transactions = Scale(1500) * kWindows;
+  params.avg_transaction_len = 16;
+  params.num_items = 4000;
+  params.num_patterns = 1000;
+  params.avg_pattern_len = 5;
+  params.seed = 52;
+  d.data = FromQuest(params);
+  d.support_floor = 0.002;
+  d.confidence_floor = 0.2;
+  d.max_itemset_size = 5;
+  d.support_sweep = {0.002, 0.004, 0.008, 0.016, 0.032};
+  d.confidence_sweep = {0.2, 0.3, 0.45, 0.6, 0.8};
+  d.fixed_support = 0.004;
+  d.fixed_confidence = 0.2;
+  return d;
+}
+
+BenchDataset MakeWebdocs() {
+  BenchDataset d;
+  d.name = "webdocs";
+  BasketGenerator::Params params = BasketGenerator::WebdocsPreset();
+  d.data = FromBaskets(params, Scale(750));
+  d.support_floor = 0.08;
+  d.confidence_floor = 0.2;
+  d.max_itemset_size = 4;
+  d.support_sweep = {0.08, 0.1, 0.14, 0.2, 0.28};
+  d.confidence_sweep = {0.2, 0.3, 0.45, 0.6, 0.8};
+  d.fixed_support = 0.1;
+  d.fixed_confidence = 0.4;
+  return d;
+}
+
+std::vector<BenchDataset> MakeAllDatasets() {
+  std::vector<BenchDataset> all;
+  all.push_back(MakeRetail());
+  all.push_back(MakeT5k());
+  all.push_back(MakeT2k());
+  all.push_back(MakeWebdocs());
+  return all;
+}
+
+}  // namespace tara::bench

@@ -1,0 +1,24 @@
+// Reproduces Figure 7: online processing time of the Q1 rule-trajectory +
+// parameter-recommendation query as minimum support varies, with minimum
+// confidence fixed per dataset.
+//
+// Expected shape (paper): TARA and TARA-R answer in micro/milliseconds;
+// H-Mine is orders of magnitude slower (query-time rule derivation; the
+// gap scales with the per-window itemset store, so it compresses at this
+// dataset scale — see EXPERIMENTS.md); PARAS and DCTAR are slower still
+// (raw-data scans for the horizon windows). TARA-S pays a merge overhead
+// over TARA, and can approach H-Mine when the result set is small.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/q1_runner.h"
+
+int main() {
+  using namespace tara::bench;
+  std::printf("=== Figure 7: Q1 online time, varying support ===\n");
+  for (BenchDataset& d : MakeAllDatasets()) {
+    RunQ1Experiment(d, Vary::kSupport);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces Figure 8: online processing time of the Q1 rule-trajectory +
+// parameter-recommendation query as minimum confidence varies, with
+// minimum support fixed per dataset.
+//
+// Expected shape (paper): same ordering as Figure 7 — TARA variants
+// orders of magnitude below H-Mine, which sits orders below PARAS/DCTAR.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/q1_runner.h"
+
+int main() {
+  using namespace tara::bench;
+  std::printf("=== Figure 8: Q1 online time, varying confidence ===\n");
+  for (BenchDataset& d : MakeAllDatasets()) {
+    RunQ1Experiment(d, Vary::kConfidence);
+  }
+  return 0;
+}

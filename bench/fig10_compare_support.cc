@@ -1,0 +1,20 @@
+// Reproduces Figure 10: online time of the Q2 ruleset comparison (exact
+// match across 4 windows) as the second setting's support varies.
+//
+// Expected shape (paper): comparison time grows with the deviation between
+// the settings (more differing rules), and TARA outperforms H-Mine by ~4-5
+// orders and DCTAR by ~6-7 orders.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/q1_runner.h"
+
+int main() {
+  using namespace tara::bench;
+  std::printf("=== Figure 10: Q2 comparison time, varying 2nd support ===\n");
+  for (BenchDataset& d : MakeAllDatasets()) {
+    RunQ2Experiment(d, Vary::kSupport);
+  }
+  return 0;
+}

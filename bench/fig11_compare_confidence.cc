@@ -1,0 +1,20 @@
+// Reproduces Figure 11: online time of the Q2 ruleset comparison (exact
+// match across 4 windows) as the second setting's confidence varies.
+//
+// Expected shape (paper): same ordering as Figure 10; TARA several orders
+// of magnitude faster than H-Mine and DCTAR at every point.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/q1_runner.h"
+
+int main() {
+  using namespace tara::bench;
+  std::printf(
+      "=== Figure 11: Q2 comparison time, varying 2nd confidence ===\n");
+  for (BenchDataset& d : MakeAllDatasets()) {
+    RunQ2Experiment(d, Vary::kConfidence);
+  }
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Micro-benchmarks (google-benchmark) for the core data structures —
+// ablation-level measurements behind the figure harnesses: archive
+// encode/decode throughput, stable-region query cost versus result size,
+// tidset counting, and contrast scoring.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/stable_region_index.h"
+#include "core/tar_archive.h"
+#include "datagen/faers_generator.h"
+#include "maras/contrast.h"
+#include "maras/tidset_index.h"
+#include "mining/frequent_itemset.h"
+
+namespace tara {
+namespace {
+
+void BM_ArchiveAppend(benchmark::State& state) {
+  const int windows = 20;
+  for (auto _ : state) {
+    state.PauseTiming();
+    TarArchive archive;
+    for (WindowId w = 0; w < windows; ++w) {
+      archive.RegisterWindow(w, 10000, 10);
+    }
+    Rng rng(1);
+    state.ResumeTiming();
+    for (WindowId w = 0; w < windows; ++w) {
+      for (RuleId r = 0; r < 1000; ++r) {
+        const uint64_t count = 10 + rng.NextBounded(100);
+        archive.Add(r, w, count, count + rng.NextBounded(100));
+      }
+    }
+    benchmark::DoNotOptimize(archive.payload_bytes());
+  }
+  state.SetItemsProcessed(state.iterations() * windows * 1000);
+}
+BENCHMARK(BM_ArchiveAppend);
+
+void BM_ArchiveDecode(benchmark::State& state) {
+  TarArchive archive;
+  const int windows = static_cast<int>(state.range(0));
+  for (int w = 0; w < windows; ++w) archive.RegisterWindow(w, 10000, 10);
+  Rng rng(2);
+  for (int w = 0; w < windows; ++w) {
+    const uint64_t count = 50 + rng.NextBounded(20);
+    archive.Add(0, w, count, count * 2);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(archive.Decode(0));
+  }
+  state.SetItemsProcessed(state.iterations() * windows);
+}
+BENCHMARK(BM_ArchiveDecode)->Arg(5)->Arg(50)->Arg(500);
+
+WindowIndex BuildIndex(size_t rules, RuleCatalog* catalog) {
+  Rng rng(3);
+  std::vector<WindowIndex::Entry> entries;
+  for (size_t i = 0; i < rules; ++i) {
+    const RuleId id = catalog->Intern(
+        Rule{{static_cast<ItemId>(i)}, {static_cast<ItemId>(100000 + i)}});
+    const uint64_t count = 10 + rng.NextBounded(1000);
+    entries.push_back(
+        WindowIndex::Entry{id, count, count + rng.NextBounded(1000)});
+  }
+  WindowIndex index;
+  index.Build(entries, 100000, false, *catalog);
+  return index;
+}
+
+void BM_StableRegionCollect(benchmark::State& state) {
+  RuleCatalog catalog;
+  const WindowIndex index = BuildIndex(state.range(0), &catalog);
+  std::vector<RuleId> out;
+  for (auto _ : state) {
+    out.clear();
+    index.CollectRules(0.001, 0.3, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel("result=" + std::to_string(out.size()));
+}
+BENCHMARK(BM_StableRegionCollect)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_StableRegionLocate(benchmark::State& state) {
+  RuleCatalog catalog;
+  const WindowIndex index = BuildIndex(10000, &catalog);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Locate(0.003, 0.42));
+  }
+}
+BENCHMARK(BM_StableRegionLocate);
+
+void BM_TidsetCount(benchmark::State& state) {
+  FaersGenerator::Params params;
+  params.reports_per_quarter = static_cast<uint32_t>(state.range(0));
+  const FaersGenerator gen(params);
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  const TidsetIndex index(db, 0, db.size());
+  const Itemset query = {gen.ground_truth()[0].drugs[0],
+                         gen.ground_truth()[0].drugs[1],
+                         gen.ground_truth()[0].adr};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Count(query));
+  }
+}
+BENCHMARK(BM_TidsetCount)->Arg(2000)->Arg(16000);
+
+void BM_ContrastScore(benchmark::State& state) {
+  FaersGenerator gen(FaersGenerator::Params{});
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  const TidsetIndex index(db, 0, db.size());
+  const PlantedDdi& ddi = gen.ground_truth()[0];
+  const DrugAdrAssociation target{ddi.drugs, {ddi.adr}};
+  for (auto _ : state) {
+    const Cac cac = BuildCac(target, index);
+    benchmark::DoNotOptimize(ContrastScore(cac, 0.75));
+  }
+}
+BENCHMARK(BM_ContrastScore);
+
+}  // namespace
+}  // namespace tara
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Micro-benchmarks comparing the three frequent-itemset miners on the same
+// workload — the ablation behind choosing FP-Growth for TARA's offline
+// phase while the H-Mine baseline pregenerates with H-Mine, plus the rule
+// derivation stage on its own.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/quest_generator.h"
+#include "mining/apriori.h"
+#include "mining/fp_growth.h"
+#include "mining/h_mine.h"
+#include "mining/rule_generation.h"
+
+namespace tara {
+namespace {
+
+const TransactionDatabase& Workload() {
+  static const TransactionDatabase* db = [] {
+    QuestGenerator::Params params;
+    params.num_transactions = 5000;
+    params.num_items = 500;
+    params.num_patterns = 200;
+    params.avg_transaction_len = 10;
+    params.seed = 7;
+    return new TransactionDatabase(QuestGenerator(params).Generate());
+  }();
+  return *db;
+}
+
+FrequentItemsetMiner::Options MineOptions(double support) {
+  FrequentItemsetMiner::Options options;
+  options.min_count = MinCountForSupport(support, Workload().size());
+  options.max_size = 5;
+  return options;
+}
+
+template <typename Miner>
+void BM_Miner(benchmark::State& state) {
+  const Miner miner;
+  const double support = static_cast<double>(state.range(0)) / 10000.0;
+  const auto options = MineOptions(support);
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    const auto result =
+        miner.Mine(Workload(), 0, Workload().size(), options);
+    itemsets = result.size();
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetLabel("itemsets=" + std::to_string(itemsets));
+}
+
+BENCHMARK_TEMPLATE(BM_Miner, AprioriMiner)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Miner, FpGrowthMiner)->Arg(20)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Miner, HMineMiner)->Arg(20)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RuleGeneration(benchmark::State& state) {
+  const FpGrowthMiner miner;
+  const auto options = MineOptions(static_cast<double>(state.range(0)) /
+                                   10000.0);
+  const auto frequent = miner.Mine(Workload(), 0, Workload().size(), options);
+  size_t rules = 0;
+  for (auto _ : state) {
+    const auto result = GenerateRules(frequent, 0.1);
+    rules = result.size();
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetLabel("rules=" + std::to_string(rules));
+}
+BENCHMARK(BM_RuleGeneration)->Arg(20)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tara
+
+BENCHMARK_MAIN();

@@ -1,0 +1,165 @@
+#include "bench/q1_runner.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/dctar.h"
+#include "baselines/hmine_baseline.h"
+#include "baselines/paras_baseline.h"
+#include "common/stopwatch.h"
+#include "core/tara_engine.h"
+
+namespace tara::bench {
+namespace {
+
+/// Times `fn` by running it `reps` times and returning mean microseconds.
+template <typename Fn>
+double TimeMicros(int reps, Fn&& fn) {
+  Stopwatch timer;
+  for (int i = 0; i < reps; ++i) fn();
+  return timer.ElapsedMicros() / reps;
+}
+
+/// Index-based systems answer in micro/milliseconds; average over several
+/// runs. Scan-based systems take seconds; run once.
+constexpr int kFastReps = 20;
+constexpr int kSlowReps = 1;
+
+struct Systems {
+  TaraEngine tara;
+  TaraEngine tara_s;
+  HMineBaseline hmine;
+  ParasBaseline paras;
+  DctarBaseline dctar;
+
+  explicit Systems(const BenchDataset& d)
+      : tara(MakeOptions(d, false)),
+        tara_s(MakeOptions(d, true)),
+        hmine(d.support_floor, d.max_itemset_size),
+        paras(d.support_floor, d.confidence_floor, d.max_itemset_size),
+        dctar(&d.data, d.max_itemset_size) {}
+
+  static TaraEngine::Options MakeOptions(const BenchDataset& d,
+                                         bool content) {
+    TaraEngine::Options options;
+    options.min_support_floor = d.support_floor;
+    options.min_confidence_floor = d.confidence_floor;
+    options.max_itemset_size = d.max_itemset_size;
+    options.build_content_index = content;
+    return options;
+  }
+
+  void Build(const BenchDataset& d) {
+    tara.BuildAll(d.data);
+    tara_s.BuildAll(d.data);
+    hmine.Build(d.data);
+    paras.Build(&d.data);
+  }
+};
+
+std::vector<WindowId> Horizon(const BenchDataset& d) {
+  std::vector<WindowId> horizon;
+  const uint32_t n = d.data.window_count();
+  const uint32_t first = n >= 4 ? n - 4 : 0;
+  for (WindowId w = first; w < n; ++w) horizon.push_back(w);
+  return horizon;
+}
+
+}  // namespace
+
+void RunQ1Experiment(BenchDataset& d, Vary vary) {
+  std::printf("\n--- dataset %s (Q1: trajectory + recommendation; anchor = "
+              "newest window, horizon = %s4 windows) ---\n",
+              d.name.c_str(), d.data.window_count() >= 4 ? "last " : "");
+  Systems systems(d);
+  systems.Build(d);
+
+  const WindowId anchor = d.data.window_count() - 1;
+  const std::vector<WindowId> horizon = Horizon(d);
+  const std::vector<double>& sweep =
+      vary == Vary::kSupport ? d.support_sweep : d.confidence_sweep;
+
+  std::printf("%-10s %8s | %12s %12s %12s %12s %14s %14s\n",
+              vary == Vary::kSupport ? "minsupp" : "minconf", "rules",
+              "TARA(us)", "TARA-S(us)", "TARA-R(us)", "HMine(us)",
+              "PARAS(us)", "DCTAR(us)");
+
+  for (double value : sweep) {
+    ParameterSetting setting;
+    setting.min_support = vary == Vary::kSupport ? value : d.fixed_support;
+    setting.min_confidence =
+        vary == Vary::kConfidence ? value : d.fixed_confidence;
+
+    const size_t rules = systems.tara.MineWindow(anchor, setting).size();
+
+    const double tara_us = TimeMicros(kFastReps, [&] {
+      systems.tara.TrajectoryQuery(anchor, setting, horizon);
+    });
+    const double tara_s_us = TimeMicros(kFastReps, [&] {
+      systems.tara_s.TrajectoryQuery(anchor, setting, horizon);
+      systems.tara_s.ContentView(anchor, setting);
+    });
+    const double tara_r_us = TimeMicros(kFastReps, [&] {
+      systems.tara.RecommendRegion(anchor, setting);
+    });
+    const double hmine_us = TimeMicros(kSlowReps, [&] {
+      systems.hmine.TrajectoryQuery(anchor, setting, horizon);
+    });
+    const double paras_us = TimeMicros(kSlowReps, [&] {
+      systems.paras.TrajectoryQuery(anchor, setting, horizon);
+    });
+    const double dctar_us = TimeMicros(kSlowReps, [&] {
+      systems.dctar.TrajectoryQuery(anchor, setting, horizon);
+    });
+
+    std::printf("%-10.4f %8zu | %12.1f %12.1f %12.1f %12.1f %14.1f %14.1f\n",
+                value, rules, tara_us, tara_s_us, tara_r_us, hmine_us,
+                paras_us, dctar_us);
+  }
+}
+
+void RunQ2Experiment(BenchDataset& d, Vary vary) {
+  std::printf("\n--- dataset %s (Q2: ruleset comparison, exact match over 4 "
+              "windows) ---\n",
+              d.name.c_str());
+  Systems systems(d);
+  systems.Build(d);
+
+  const std::vector<WindowId> windows = Horizon(d);
+  const std::vector<double>& sweep =
+      vary == Vary::kSupport ? d.support_sweep : d.confidence_sweep;
+
+  ParameterSetting first;
+  first.min_support = d.fixed_support;
+  first.min_confidence = d.fixed_confidence;
+
+  std::printf("%-10s %8s | %12s %12s %14s\n",
+              vary == Vary::kSupport ? "minsupp2" : "minconf2", "diff",
+              "TARA(us)", "HMine(us)", "DCTAR(us)");
+
+  for (double value : sweep) {
+    ParameterSetting second;
+    second.min_support = vary == Vary::kSupport ? value : d.fixed_support;
+    second.min_confidence =
+        vary == Vary::kConfidence ? value : d.fixed_confidence;
+
+    size_t diff_size = 0;
+    const double tara_us = TimeMicros(kFastReps, [&] {
+      const auto diff =
+          systems.tara.CompareSettings(first, second, windows,
+                                       MatchMode::kExact);
+      diff_size = diff.only_first.size() + diff.only_second.size();
+    });
+    const double hmine_us = TimeMicros(kSlowReps, [&] {
+      systems.hmine.CompareSettings(first, second, windows);
+    });
+    const double dctar_us = TimeMicros(kSlowReps, [&] {
+      systems.dctar.CompareSettings(first, second, windows);
+    });
+
+    std::printf("%-10.4f %8zu | %12.1f %12.1f %14.1f\n", value, diff_size,
+                tara_us, hmine_us, dctar_us);
+  }
+}
+
+}  // namespace tara::bench

@@ -1,0 +1,25 @@
+#ifndef TARA_BENCH_Q1_RUNNER_H_
+#define TARA_BENCH_Q1_RUNNER_H_
+
+#include "bench/bench_datasets.h"
+
+namespace tara::bench {
+
+/// Which query parameter an experiment sweeps.
+enum class Vary { kSupport, kConfidence };
+
+/// Runs the Q1 (rule trajectory + parameter recommendation) experiment of
+/// Figures 7/8 on one dataset: builds TARA, TARA-S, H-Mine, and PARAS
+/// offline, then times the online query for every swept parameter value on
+/// all six systems (TARA, TARA-S, TARA-R, H-Mine, PARAS, DCTAR) and prints
+/// one row per value with microsecond timings.
+void RunQ1Experiment(BenchDataset& dataset, Vary vary);
+
+/// Runs the Q2 (ruleset comparison, exact match across 4 windows)
+/// experiment of Figures 10/11: the second setting's support (or
+/// confidence) sweeps while everything else is fixed.
+void RunQ2Experiment(BenchDataset& dataset, Vary vary);
+
+}  // namespace tara::bench
+
+#endif  // TARA_BENCH_Q1_RUNNER_H_

@@ -1,0 +1,104 @@
+// Pharmacovigilance: the MARAS pipeline on a synthetic FAERS quarter.
+// Detects multi-drug adverse reaction (MDAR) signals with the contrast
+// measure, prints a drug-safety-reviewer-style report with named drugs and
+// ADRs, and contrasts the ranking against the confidence and reporting-
+// ratio baselines.
+//
+//   $ ./examples/pharmacovigilance
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/faers_generator.h"
+#include "maras/evaluation.h"
+#include "maras/maras_engine.h"
+#include "txdb/dictionary.h"
+
+using namespace tara;
+
+namespace {
+
+/// Human-readable names so the report reads like the paper's case study.
+std::string ItemName(const FaersGenerator& gen, ItemId item) {
+  if (gen.IsAdr(item)) {
+    return "ADR-" + std::to_string(item - gen.adr_base());
+  }
+  return "Drug-" + std::to_string(item);
+}
+
+std::string FormatAssoc(const FaersGenerator& gen,
+                        const DrugAdrAssociation& assoc) {
+  std::string out;
+  for (ItemId d : assoc.drugs) out += ItemName(gen, d) + " + ";
+  if (!out.empty()) out.resize(out.size() - 3);
+  out += "  =>  ";
+  for (size_t i = 0; i < assoc.adrs.size(); ++i) {
+    if (i) out += ", ";
+    out += ItemName(gen, assoc.adrs[i]);
+  }
+  return out;
+}
+
+const char* SupportTypeName(SupportType type) {
+  switch (type) {
+    case SupportType::kExplicit: return "explicit";
+    case SupportType::kImplicit: return "implicit";
+    case SupportType::kSpurious: return "spurious";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  FaersGenerator::Params params;
+  params.reports_per_quarter = 6000;
+  params.num_drugs = 150;
+  params.num_adrs = 80;
+  params.num_ddis = 10;
+  params.seed = 20143;  // "2014 Q3"
+  const FaersGenerator gen(params);
+  const TransactionDatabase reports = gen.GenerateQuarter(0, 0);
+  std::printf("analyzing %zu adverse-event reports (%u drugs, %u ADRs on "
+              "record)...\n",
+              reports.size(), params.num_drugs, params.num_adrs);
+
+  MarasEngine::Options options;
+  options.adr_base = gen.adr_base();
+  options.min_count = 10;
+  options.max_itemset_size = 7;
+  const MarasEngine engine(reports, 0, reports.size(), options);
+
+  std::printf("\n=== top 8 MDAR signals (contrast ranking) ===\n");
+  for (size_t i = 0; i < 8 && i < engine.signals().size(); ++i) {
+    const MdarSignal& s = engine.signals()[i];
+    std::printf("%zu. %s\n", i + 1, FormatAssoc(gen, s.assoc).c_str());
+    std::printf("   contrast=%.3f confidence=%.2f reports=%lu support=%s "
+                "%s\n",
+                s.contrast, s.confidence, static_cast<unsigned long>(s.count),
+                SupportTypeName(s.support_type),
+                IsHit(s, gen.ground_truth())
+                    ? "[confirmed interaction in reference DB]"
+                    : "");
+  }
+
+  // How would a reviewer fare with the classic measures?
+  const auto by_confidence = engine.RankByConfidence();
+  const auto by_lift = engine.RankByLift();
+  std::printf("\n=== where the same interactions rank under classic "
+              "measures ===\n");
+  for (const PlantedDdi& ddi : gen.ground_truth()) {
+    const size_t maras_rank = RankOfDdi(engine.signals(), ddi);
+    if (maras_rank == 0 || maras_rank > 8) continue;
+    DrugAdrAssociation assoc{ddi.drugs, {ddi.adr}};
+    std::printf("%-44s MARAS #%-4zu confidence #%-6zu RR #%zu\n",
+                FormatAssoc(gen, assoc).c_str(), maras_rank,
+                RankOfDdi(by_confidence, ddi), RankOfDdi(by_lift, ddi));
+  }
+
+  std::printf("\nprecision@10: MARAS=%.2f confidence=%.2f RR=%.2f\n",
+              PrecisionAtK(engine.signals(), gen.ground_truth(), 10),
+              PrecisionAtK(by_confidence, gen.ground_truth(), 10),
+              PrecisionAtK(by_lift, gen.ground_truth(), 10));
+  return 0;
+}

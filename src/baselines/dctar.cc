@@ -1,0 +1,109 @@
+#include "baselines/dctar.h"
+
+#include <algorithm>
+
+#include "mining/fp_growth.h"
+
+namespace tara {
+
+std::vector<MinedRule> DctarBaseline::MineWindow(
+    WindowId w, const ParameterSetting& setting) const {
+  const WindowInfo& info = data_->window(w);
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options options;
+  options.min_count = MinCountForSupport(setting.min_support, info.size());
+  options.max_size = max_itemset_size_;
+  const std::vector<FrequentItemset> frequent =
+      miner.Mine(data_->database(), info.begin, info.end, options);
+  return GenerateRules(frequent, setting.min_confidence);
+}
+
+std::vector<Rule> DctarBaseline::MineWindowRules(
+    WindowId w, const ParameterSetting& setting) const {
+  std::vector<Rule> rules;
+  for (const MinedRule& r : MineWindow(w, setting)) {
+    rules.push_back(Rule{r.antecedent, r.consequent});
+  }
+  return rules;
+}
+
+TrajectoryPoint DctarBaseline::EvaluateRule(const Rule& rule,
+                                            WindowId w) const {
+  const WindowInfo& info = data_->window(w);
+  const Itemset whole = Union(rule.antecedent, rule.consequent);
+  const size_t rule_count =
+      data_->database().CountContaining(whole, info.begin, info.end);
+  const size_t antecedent_count = data_->database().CountContaining(
+      rule.antecedent, info.begin, info.end);
+  TrajectoryPoint point;
+  point.window = w;
+  point.present = rule_count > 0;
+  point.support = info.size() == 0 ? 0.0
+                                   : static_cast<double>(rule_count) /
+                                         static_cast<double>(info.size());
+  point.confidence = antecedent_count == 0
+                         ? 0.0
+                         : static_cast<double>(rule_count) /
+                               static_cast<double>(antecedent_count);
+  return point;
+}
+
+std::vector<std::vector<TrajectoryPoint>> DctarBaseline::TrajectoryQuery(
+    WindowId anchor, const ParameterSetting& setting,
+    const std::vector<WindowId>& horizon) const {
+  const std::vector<Rule> rules = MineWindowRules(anchor, setting);
+  std::vector<std::vector<TrajectoryPoint>> trajectories;
+  trajectories.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    std::vector<TrajectoryPoint> trajectory;
+    trajectory.reserve(horizon.size());
+    for (WindowId w : horizon) trajectory.push_back(EvaluateRule(rule, w));
+    trajectories.push_back(std::move(trajectory));
+  }
+  return trajectories;
+}
+
+std::pair<size_t, size_t> DctarBaseline::CompareSettings(
+    const ParameterSetting& first, const ParameterSetting& second,
+    const std::vector<WindowId>& windows) const {
+  // Exact-match combination: rule must satisfy the setting in all windows.
+  auto mine_all = [&](const ParameterSetting& setting) {
+    bool first_window = true;
+    std::vector<Rule> current;
+    for (WindowId w : windows) {
+      std::vector<Rule> rules = MineWindowRules(w, setting);
+      auto rule_less = [](const Rule& a, const Rule& b) {
+        if (a.antecedent != b.antecedent) return a.antecedent < b.antecedent;
+        return a.consequent < b.consequent;
+      };
+      std::sort(rules.begin(), rules.end(), rule_less);
+      if (first_window) {
+        current = std::move(rules);
+        first_window = false;
+      } else {
+        std::vector<Rule> merged;
+        std::set_intersection(current.begin(), current.end(), rules.begin(),
+                              rules.end(), std::back_inserter(merged),
+                              rule_less);
+        current = std::move(merged);
+      }
+    }
+    return current;
+  };
+
+  const std::vector<Rule> a = mine_all(first);
+  const std::vector<Rule> b = mine_all(second);
+  auto rule_less = [](const Rule& x, const Rule& y) {
+    if (x.antecedent != y.antecedent) return x.antecedent < y.antecedent;
+    return x.consequent < y.consequent;
+  };
+  std::vector<Rule> only_a;
+  std::vector<Rule> only_b;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(only_a), rule_less);
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(only_b), rule_less);
+  return {only_a.size(), only_b.size()};
+}
+
+}  // namespace tara

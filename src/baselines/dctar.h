@@ -1,0 +1,55 @@
+#ifndef TARA_BASELINES_DCTAR_H_
+#define TARA_BASELINES_DCTAR_H_
+
+#include <vector>
+
+#include "core/tara_engine.h"
+#include "mining/rule_generation.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+
+/// DCTAR baseline (Section 2.5.2): derives the ruleset directly from the
+/// raw data for every request — no preprocessing, no index. Each mining
+/// request runs FP-Growth at the query thresholds over the requested
+/// window; trajectory examination re-scans the raw transactions of every
+/// other window. This is the "one-at-a-time request" model whose latency
+/// motivates TARA.
+class DctarBaseline {
+ public:
+  /// `data` must outlive the baseline.
+  DctarBaseline(const EvolvingDatabase* data, uint32_t max_itemset_size)
+      : data_(data), max_itemset_size_(max_itemset_size) {}
+
+  /// Mines window `w` from scratch under `setting`.
+  std::vector<MinedRule> MineWindow(WindowId w,
+                                    const ParameterSetting& setting) const;
+
+  /// Q1 equivalent: mine the anchor window, then evaluate every produced
+  /// rule's (support, confidence) in each horizon window by scanning raw
+  /// transactions. Returns the trajectories (anchoring rules included).
+  std::vector<std::vector<TrajectoryPoint>> TrajectoryQuery(
+      WindowId anchor, const ParameterSetting& setting,
+      const std::vector<WindowId>& horizon) const;
+
+  /// Q2 equivalent: mine both settings over `windows` from scratch
+  /// (exact-match combination) and return the sizes of the two set
+  /// differences.
+  std::pair<size_t, size_t> CompareSettings(
+      const ParameterSetting& first, const ParameterSetting& second,
+      const std::vector<WindowId>& windows) const;
+
+  /// Evaluates a single rule's measures in a window by raw scans.
+  TrajectoryPoint EvaluateRule(const Rule& rule, WindowId w) const;
+
+ private:
+  std::vector<Rule> MineWindowRules(WindowId w,
+                                    const ParameterSetting& setting) const;
+
+  const EvolvingDatabase* data_;
+  uint32_t max_itemset_size_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_BASELINES_DCTAR_H_

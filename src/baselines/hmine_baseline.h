@@ -1,0 +1,79 @@
+#ifndef TARA_BASELINES_HMINE_BASELINE_H_
+#define TARA_BASELINES_HMINE_BASELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/tara_engine.h"
+#include "mining/rule_generation.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+
+/// H-Mine baseline (Section 2.5.2, after [111]): pregenerates the frequent
+/// itemsets of every window offline with the H-Mine algorithm and stores
+/// them; rule derivation remains a *query-time* task. Faster than DCTAR by
+/// skipping itemset mining online, but still orders of magnitude slower
+/// than TARA because every request re-enumerates rules from the itemsets.
+class HMineBaseline {
+ public:
+  struct BuildStats {
+    double itemset_seconds = 0;
+    size_t itemset_count = 0;  ///< total stored itemset instances
+  };
+
+  HMineBaseline(double min_support_floor, uint32_t max_itemset_size)
+      : min_support_floor_(min_support_floor),
+        max_itemset_size_(max_itemset_size) {}
+
+  /// Offline phase: mines and stores each window's frequent itemsets.
+  BuildStats Build(const EvolvingDatabase& data);
+
+  /// Appends one more window (evolving arrival).
+  void AppendWindow(const TransactionDatabase& db, size_t begin, size_t end);
+
+  /// Online: derives the ruleset of window `w` under `setting` from the
+  /// stored itemsets.
+  std::vector<MinedRule> MineWindow(WindowId w,
+                                    const ParameterSetting& setting) const;
+
+  /// Q1 equivalent: mine the anchor, then look each rule's counts up in the
+  /// other windows' stored itemsets (no raw scan — the itemset store serves
+  /// as H-Mine's "index").
+  std::vector<std::vector<TrajectoryPoint>> TrajectoryQuery(
+      WindowId anchor, const ParameterSetting& setting,
+      const std::vector<WindowId>& horizon) const;
+
+  /// Q2 equivalent over exact-match windows; returns diff sizes.
+  std::pair<size_t, size_t> CompareSettings(
+      const ParameterSetting& first, const ParameterSetting& second,
+      const std::vector<WindowId>& windows) const;
+
+  /// Evaluates one rule in one window from the stored itemsets.
+  TrajectoryPoint EvaluateRule(const Rule& rule, WindowId w) const;
+
+  uint32_t window_count() const {
+    return static_cast<uint32_t>(windows_.size());
+  }
+
+  /// Total stored itemset instances (Figure 12's H-Mine index size).
+  size_t StoredItemsetCount() const;
+
+  /// Approximate bytes of the itemset store.
+  size_t ApproximateBytes() const;
+
+ private:
+  struct WindowStore {
+    std::vector<FrequentItemset> itemsets;
+    std::unique_ptr<ItemsetCountIndex> index;
+    uint64_t total_transactions = 0;
+  };
+
+  double min_support_floor_;
+  uint32_t max_itemset_size_;
+  std::vector<WindowStore> windows_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_BASELINES_HMINE_BASELINE_H_

@@ -1,0 +1,83 @@
+#include "baselines/paras_baseline.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "mining/fp_growth.h"
+#include "mining/rule_generation.h"
+
+namespace tara {
+
+ParasBaseline::BuildStats ParasBaseline::Build(const EvolvingDatabase* data) {
+  TARA_CHECK(data != nullptr && data->window_count() > 0);
+  data_ = data;
+  indexed_window_ = data->window_count() - 1;
+
+  BuildStats stats;
+  Stopwatch timer;
+  const WindowInfo& info = data->window(indexed_window_);
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options options;
+  options.min_count = MinCountForSupport(min_support_floor_, info.size());
+  options.max_size = max_itemset_size_;
+  const std::vector<FrequentItemset> frequent =
+      miner.Mine(data->database(), info.begin, info.end, options);
+  const std::vector<MinedRule> rules =
+      GenerateRules(frequent, min_confidence_floor_);
+
+  std::vector<WindowIndex::Entry> entries;
+  entries.reserve(rules.size());
+  for (const MinedRule& r : rules) {
+    const RuleId id = catalog_.Intern(Rule{r.antecedent, r.consequent});
+    entries.push_back(
+        WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
+  }
+  index_.Build(entries, info.size(), /*build_content_index=*/false, catalog_);
+  stats.seconds = timer.ElapsedSeconds();
+  stats.rule_count = rules.size();
+  return stats;
+}
+
+std::vector<Rule> ParasBaseline::MineWindow(
+    WindowId w, const ParameterSetting& setting) const {
+  TARA_CHECK(data_ != nullptr) << "Build first";
+  std::vector<Rule> rules;
+  if (w == indexed_window_) {
+    std::vector<RuleId> ids;
+    index_.CollectRules(setting.min_support, setting.min_confidence, &ids);
+    rules.reserve(ids.size());
+    for (RuleId id : ids) rules.push_back(catalog_.rule(id));
+    return rules;
+  }
+  // Static index cannot serve other windows: mine from scratch.
+  DctarBaseline scratch(data_, max_itemset_size_);
+  for (const MinedRule& r : scratch.MineWindow(w, setting)) {
+    rules.push_back(Rule{r.antecedent, r.consequent});
+  }
+  return rules;
+}
+
+std::vector<std::vector<TrajectoryPoint>> ParasBaseline::TrajectoryQuery(
+    WindowId anchor, const ParameterSetting& setting,
+    const std::vector<WindowId>& horizon) const {
+  TARA_CHECK(data_ != nullptr) << "Build first";
+  const std::vector<Rule> rules = MineWindow(anchor, setting);
+  DctarBaseline scratch(data_, max_itemset_size_);
+  std::vector<std::vector<TrajectoryPoint>> trajectories;
+  trajectories.reserve(rules.size());
+  for (const Rule& rule : rules) {
+    std::vector<TrajectoryPoint> trajectory;
+    trajectory.reserve(horizon.size());
+    for (WindowId w : horizon) {
+      trajectory.push_back(scratch.EvaluateRule(rule, w));
+    }
+    trajectories.push_back(std::move(trajectory));
+  }
+  return trajectories;
+}
+
+RegionInfo ParasBaseline::RecommendRegion(
+    const ParameterSetting& setting) const {
+  return index_.Locate(setting.min_support, setting.min_confidence);
+}
+
+}  // namespace tara

@@ -1,0 +1,67 @@
+#ifndef TARA_BASELINES_PARAS_BASELINE_H_
+#define TARA_BASELINES_PARAS_BASELINE_H_
+
+#include <vector>
+
+#include "baselines/dctar.h"
+#include "core/rule_catalog.h"
+#include "core/stable_region_index.h"
+#include "core/tara_engine.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+
+/// PARAS baseline (Section 2.5.2, after [66]): a parameter-space index over
+/// *static* data. It pregenerates itemsets and rules for the newest window
+/// only and indexes them in a stable-region structure; requests against
+/// that window are as fast as TARA's, but time is not a dimension — any
+/// request touching other windows falls back to mining from scratch
+/// (delegated to a DCTAR-style path), and each new arriving batch forces a
+/// full index rebuild.
+class ParasBaseline {
+ public:
+  struct BuildStats {
+    double seconds = 0;
+    size_t rule_count = 0;
+  };
+
+  ParasBaseline(double min_support_floor, double min_confidence_floor,
+                uint32_t max_itemset_size)
+      : min_support_floor_(min_support_floor),
+        min_confidence_floor_(min_confidence_floor),
+        max_itemset_size_(max_itemset_size) {}
+
+  /// Builds the index over the newest window of `data`. `data` must outlive
+  /// the baseline (scratch fallbacks scan it).
+  BuildStats Build(const EvolvingDatabase* data);
+
+  WindowId indexed_window() const { return indexed_window_; }
+
+  /// Rules of window `w` under `setting`: index lookup if `w` is the
+  /// newest window, scratch mining otherwise.
+  std::vector<Rule> MineWindow(WindowId w,
+                               const ParameterSetting& setting) const;
+
+  /// Q1 equivalent: index lookup on the anchor if possible, raw-scan
+  /// evaluation over the horizon (PARAS has no temporal archive).
+  std::vector<std::vector<TrajectoryPoint>> TrajectoryQuery(
+      WindowId anchor, const ParameterSetting& setting,
+      const std::vector<WindowId>& horizon) const;
+
+  /// Q3 on the indexed window only — PARAS supports region queries there.
+  RegionInfo RecommendRegion(const ParameterSetting& setting) const;
+
+ private:
+  double min_support_floor_;
+  double min_confidence_floor_;
+  uint32_t max_itemset_size_;
+
+  const EvolvingDatabase* data_ = nullptr;
+  WindowId indexed_window_ = 0;
+  RuleCatalog catalog_;
+  WindowIndex index_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_BASELINES_PARAS_BASELINE_H_

@@ -1,0 +1,16 @@
+#include "common/logging.h"
+
+namespace tara::internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::fprintf(stderr, "TARA_CHECK failed at %s:%d: %s", file, line, expr);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tara::internal

@@ -1,0 +1,69 @@
+#ifndef TARA_COMMON_LOGGING_H_
+#define TARA_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Minimal CHECK-style invariant macros. The library does not throw
+/// exceptions; violated invariants abort with a message identifying the
+/// failing expression and source location. DCHECK compiles away in NDEBUG
+/// builds so hot paths stay cheap in release mode.
+
+namespace tara::internal {
+
+/// Aborts the process after printing a CHECK failure message.
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+/// Stream-capable message builder used by the CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFail(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace tara::internal
+
+/// Aborts with a diagnostic if `condition` is false. Usable as a stream:
+/// `TARA_CHECK(n > 0) << "bad n: " << n;`
+#define TARA_CHECK(condition)                                              \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::tara::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define TARA_CHECK_EQ(a, b) TARA_CHECK((a) == (b))
+#define TARA_CHECK_NE(a, b) TARA_CHECK((a) != (b))
+#define TARA_CHECK_LT(a, b) TARA_CHECK((a) < (b))
+#define TARA_CHECK_LE(a, b) TARA_CHECK((a) <= (b))
+#define TARA_CHECK_GT(a, b) TARA_CHECK((a) > (b))
+#define TARA_CHECK_GE(a, b) TARA_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define TARA_DCHECK(condition) TARA_CHECK(true)
+#else
+#define TARA_DCHECK(condition) TARA_CHECK(condition)
+#endif
+
+#endif  // TARA_COMMON_LOGGING_H_

@@ -1,0 +1,54 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace tara {
+
+uint32_t Rng::NextPoisson(double mean) {
+  TARA_DCHECK(mean >= 0.0);
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-mean);
+    double product = NextDouble();
+    uint32_t count = 0;
+    while (product > limit) {
+      product *= NextDouble();
+      ++count;
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  const double u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1 + 1e-18)) * std::cos(6.283185307179586 * u2);
+  const double value = mean + std::sqrt(mean) * z;
+  return value <= 0.0 ? 0u : static_cast<uint32_t>(value + 0.5);
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double alpha) {
+  TARA_DCHECK(n > 0);
+  if (n == 1) return 0;
+  // Rejection sampling against the continuous bounding density
+  // f(x) = C / x^alpha on [1, n+1); accepted integer rank is floor(x) - 1.
+  // This is exact for the discrete Zipf distribution and needs no tables.
+  const double exponent = 1.0 - alpha;
+  for (;;) {
+    double x;
+    if (std::fabs(exponent) < 1e-12) {
+      // alpha == 1: inverse CDF of 1/x is exponential of a uniform.
+      x = std::exp(NextDouble() * std::log(static_cast<double>(n) + 1.0));
+    } else {
+      const double top = std::pow(static_cast<double>(n) + 1.0, exponent);
+      x = std::pow(1.0 + NextDouble() * (top - 1.0), 1.0 / exponent);
+    }
+    const uint64_t k = static_cast<uint64_t>(x);  // in [1, n]
+    // Accept with probability (k / x)^alpha: ratio of the discrete mass at k
+    // to the bounding continuous density integrated over [k, k+1).
+    const double accept = std::pow(static_cast<double>(k) / x, alpha);
+    if (NextDouble() < accept) return k - 1;
+  }
+}
+
+}  // namespace tara

@@ -1,0 +1,60 @@
+#ifndef TARA_COMMON_RNG_H_
+#define TARA_COMMON_RNG_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace tara {
+
+/// Deterministic, fast pseudo-random generator (SplitMix64).
+///
+/// All synthetic-data generators and sampling code in this repository draw
+/// from Rng rather than std::mt19937 so that datasets, tests, and benchmark
+/// workloads are bit-reproducible across platforms and standard-library
+/// versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    TARA_DCHECK(bound > 0);
+    // Multiply-shift rejection-free mapping; bias is negligible for the
+    // bounds used here (< 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Poisson draw via inversion (suitable for small means used by the
+  /// Quest generator).
+  uint32_t NextPoisson(double mean);
+
+  /// Geometric-like power-law rank draw in [0, n): item `r` has probability
+  /// proportional to 1/(r+1)^alpha. Uses inverse-CDF over a precomputable
+  /// approximation; exact sampling is done by rejection for small n.
+  uint64_t NextZipf(uint64_t n, double alpha);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_COMMON_RNG_H_

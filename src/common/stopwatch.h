@@ -1,0 +1,40 @@
+#ifndef TARA_COMMON_STOPWATCH_H_
+#define TARA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tara {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+  /// Elapsed time in seconds.
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_COMMON_STOPWATCH_H_

@@ -1,0 +1,29 @@
+#include "common/varint.h"
+
+#include "common/logging.h"
+
+namespace tara::varint {
+
+void EncodeU64(uint64_t value, std::vector<uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(value));
+}
+
+uint64_t DecodeU64(const uint8_t* data, size_t size, size_t* pos) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    TARA_CHECK(*pos < size) << "truncated varint stream";
+    const uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    TARA_CHECK(shift < 64) << "overlong varint";
+  }
+  return result;
+}
+
+}  // namespace tara::varint

@@ -1,0 +1,49 @@
+#ifndef TARA_COMMON_VARINT_H_
+#define TARA_COMMON_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tara {
+
+/// LEB128-style variable-length integer codec.
+///
+/// The TAR Archive stores per-window rule counts as zigzagged deltas encoded
+/// with this codec; small deltas (the common case for stable rules) take one
+/// byte instead of eight.
+namespace varint {
+
+/// Appends the unsigned LEB128 encoding of `value` to `out`.
+void EncodeU64(uint64_t value, std::vector<uint8_t>* out);
+
+/// Decodes an unsigned LEB128 value starting at `data[*pos]`, advancing
+/// `*pos` past it. Behavior is checked: a truncated stream aborts.
+uint64_t DecodeU64(const uint8_t* data, size_t size, size_t* pos);
+
+/// Zigzag maps signed values to unsigned so small-magnitude negatives stay
+/// short: 0→0, -1→1, 1→2, -2→3, ...
+inline uint64_t ZigzagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         static_cast<uint64_t>(value >> 63);
+}
+
+/// Inverse of ZigzagEncode.
+inline int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^ -static_cast<int64_t>(value & 1);
+}
+
+/// Appends the zigzag + LEB128 encoding of a signed value.
+inline void EncodeS64(int64_t value, std::vector<uint8_t>* out) {
+  EncodeU64(ZigzagEncode(value), out);
+}
+
+/// Decodes a signed value written by EncodeS64.
+inline int64_t DecodeS64(const uint8_t* data, size_t size, size_t* pos) {
+  return ZigzagDecode(DecodeU64(data, size, pos));
+}
+
+}  // namespace varint
+}  // namespace tara
+
+#endif  // TARA_COMMON_VARINT_H_

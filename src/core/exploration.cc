@@ -1,0 +1,126 @@
+#include "core/exploration.h"
+
+#include <algorithm>
+
+namespace tara {
+namespace {
+
+double Emergence(const Trajectory& trajectory) {
+  if (trajectory.size() < 2) return 0.0;
+  const size_t half = trajectory.size() / 2;
+  double early = 0, late = 0;
+  for (size_t i = 0; i < trajectory.size(); ++i) {
+    const double support =
+        trajectory[i].present ? trajectory[i].support : 0.0;
+    if (i < half) {
+      early += support;
+    } else {
+      late += support;
+    }
+  }
+  early /= half;
+  late /= trajectory.size() - half;
+  return late - early;
+}
+
+std::vector<RuleInsight> TakeTop(std::vector<RuleInsight> insights,
+                                 size_t k) {
+  if (insights.size() > k) insights.resize(k);
+  return insights;
+}
+
+}  // namespace
+
+std::vector<RuleInsight> ExplorationService::ProfileRules(
+    const std::vector<WindowId>& horizon,
+    const ParameterSetting& setting) const {
+  const std::vector<RuleId> rules =
+      engine_->MineWindows(horizon, setting, MatchMode::kSingle);
+  std::vector<RuleInsight> insights;
+  insights.reserve(rules.size());
+  const uint32_t max_period =
+      std::max<uint32_t>(2, static_cast<uint32_t>(horizon.size() / 2));
+  for (RuleId rule : rules) {
+    RuleInsight insight;
+    insight.rule = rule;
+    const Trajectory trajectory =
+        BuildTrajectory(engine_->archive(), rule, horizon);
+    insight.measures = ComputeMeasures(trajectory);
+    insight.periodicity = DetectPeriodicity(trajectory, max_period);
+    insight.emergence = Emergence(trajectory);
+    insights.push_back(std::move(insight));
+  }
+  return insights;
+}
+
+std::vector<RuleInsight> ExplorationService::TopStable(
+    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    size_t k) const {
+  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+  std::sort(insights.begin(), insights.end(),
+            [](const RuleInsight& a, const RuleInsight& b) {
+              if (a.measures.coverage != b.measures.coverage) {
+                return a.measures.coverage > b.measures.coverage;
+              }
+              if (a.measures.stability != b.measures.stability) {
+                return a.measures.stability > b.measures.stability;
+              }
+              return a.rule < b.rule;
+            });
+  return TakeTop(std::move(insights), k);
+}
+
+std::vector<RuleInsight> ExplorationService::TopEmerging(
+    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    size_t k) const {
+  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+  std::sort(insights.begin(), insights.end(),
+            [](const RuleInsight& a, const RuleInsight& b) {
+              if (a.emergence != b.emergence) {
+                return a.emergence > b.emergence;
+              }
+              return a.rule < b.rule;
+            });
+  return TakeTop(std::move(insights), k);
+}
+
+std::vector<RuleInsight> ExplorationService::TopFading(
+    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    size_t k) const {
+  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+  std::sort(insights.begin(), insights.end(),
+            [](const RuleInsight& a, const RuleInsight& b) {
+              if (a.emergence != b.emergence) {
+                return a.emergence < b.emergence;
+              }
+              return a.rule < b.rule;
+            });
+  return TakeTop(std::move(insights), k);
+}
+
+std::vector<RuleInsight> ExplorationService::TopPeriodic(
+    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    size_t k, uint32_t max_period) const {
+  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+  for (RuleInsight& insight : insights) {
+    const Trajectory trajectory =
+        BuildTrajectory(engine_->archive(), insight.rule, horizon);
+    insight.periodicity = DetectPeriodicity(trajectory, max_period);
+  }
+  std::sort(insights.begin(), insights.end(),
+            [](const RuleInsight& a, const RuleInsight& b) {
+              if (a.periodicity.strength != b.periodicity.strength) {
+                return a.periodicity.strength > b.periodicity.strength;
+              }
+              if (a.periodicity.period != b.periodicity.period) {
+                return a.periodicity.period < b.periodicity.period;
+              }
+              return a.rule < b.rule;
+            });
+  while (!insights.empty() && insights.back().periodicity.period == 0) {
+    insights.pop_back();
+  }
+  return TakeTop(std::move(insights), k);
+}
+
+}  // namespace tara

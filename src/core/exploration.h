@@ -1,0 +1,67 @@
+#ifndef TARA_CORE_EXPLORATION_H_
+#define TARA_CORE_EXPLORATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/periodicity.h"
+#include "core/tara_engine.h"
+#include "core/trajectory.h"
+
+namespace tara {
+
+/// One rule with its full evolving-behavior profile.
+struct RuleInsight {
+  RuleId rule = 0;
+  TrajectoryMeasures measures;
+  PeriodicityResult periodicity;
+  /// Support gained from the first half of the horizon to the second
+  /// (absence counts as zero support): positive = emerging, negative =
+  /// fading.
+  double emergence = 0.0;
+};
+
+/// High-level "rule-centric panorama" operations over a built engine — the
+/// analyst-facing queries of Section 2.1.2's fourth limitation: the most
+/// stable rules, the most significant periodic rules, the emerging and
+/// fading ones. All operations take a parameter setting and the window
+/// horizon, collect the qualifying rules (valid in at least one horizon
+/// window), profile their trajectories, and rank.
+class ExplorationService {
+ public:
+  /// `engine` must outlive the service.
+  explicit ExplorationService(const TaraEngine* engine) : engine_(engine) {}
+
+  /// Profiles every rule valid (under `setting`) in at least one window of
+  /// `horizon`.
+  std::vector<RuleInsight> ProfileRules(
+      const std::vector<WindowId>& horizon,
+      const ParameterSetting& setting) const;
+
+  /// Top-k rules by full coverage then stability.
+  std::vector<RuleInsight> TopStable(const std::vector<WindowId>& horizon,
+                                     const ParameterSetting& setting,
+                                     size_t k) const;
+
+  /// Top-k rules by emergence (most positive support trend).
+  std::vector<RuleInsight> TopEmerging(const std::vector<WindowId>& horizon,
+                                       const ParameterSetting& setting,
+                                       size_t k) const;
+
+  /// Top-k rules by negative emergence (fading).
+  std::vector<RuleInsight> TopFading(const std::vector<WindowId>& horizon,
+                                     const ParameterSetting& setting,
+                                     size_t k) const;
+
+  /// Top-k periodic rules (strongest cycle, then shorter period).
+  std::vector<RuleInsight> TopPeriodic(const std::vector<WindowId>& horizon,
+                                       const ParameterSetting& setting,
+                                       size_t k, uint32_t max_period) const;
+
+ private:
+  const TaraEngine* engine_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_CORE_EXPLORATION_H_

@@ -1,0 +1,51 @@
+#include "core/periodicity.h"
+
+#include <algorithm>
+
+namespace tara {
+
+PeriodicityResult DetectPeriodicity(const Trajectory& trajectory,
+                                    uint32_t max_period) {
+  PeriodicityResult best;
+  const size_t n = trajectory.size();
+  if (n < 4) return best;
+
+  size_t present_total = 0;
+  for (const TrajectoryPoint& p : trajectory) present_total += p.present;
+  // Always-on or always-off rules carry no cycle.
+  if (present_total == n || present_total == 0) return best;
+
+  const uint32_t limit =
+      std::min<uint32_t>(max_period, static_cast<uint32_t>(n / 2));
+  for (uint32_t period = 2; period <= limit; ++period) {
+    for (uint32_t phase = 0; phase < period; ++phase) {
+      size_t on_slots = 0, on_hits = 0, off_slots = 0, off_hits = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (i % period == phase) {
+          ++on_slots;
+          on_hits += trajectory[i].present;
+        } else {
+          ++off_slots;
+          off_hits += trajectory[i].present;
+        }
+      }
+      if (on_hits < 2 || on_slots == 0) continue;
+      const double on_rate = static_cast<double>(on_hits) / on_slots;
+      const double off_absence =
+          off_slots == 0 ? 0.0
+                         : 1.0 - static_cast<double>(off_hits) / off_slots;
+      const double strength = on_rate * off_absence;
+      // Prefer stronger patterns; among ties, shorter periods (a period-2
+      // pattern also matches period 4 with half the evidence).
+      if (strength > best.strength + 1e-12) {
+        best.period = period;
+        best.phase = phase;
+        best.strength = strength;
+      }
+    }
+  }
+  if (best.strength <= 0.0) best = PeriodicityResult{};
+  return best;
+}
+
+}  // namespace tara

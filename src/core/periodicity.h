@@ -1,0 +1,33 @@
+#ifndef TARA_CORE_PERIODICITY_H_
+#define TARA_CORE_PERIODICITY_H_
+
+#include <cstdint>
+
+#include "core/trajectory.h"
+
+namespace tara {
+
+/// A detected cyclic presence pattern in a rule's trajectory — the
+/// "association that reappears every weekend" insight of Section 2.2.1
+/// (cyclic association mining of Özden et al., surfaced here as a
+/// trajectory measure).
+struct PeriodicityResult {
+  /// Detected period in windows (0 = no periodic pattern).
+  uint32_t period = 0;
+  /// Offset of the first on-phase window in [0, period).
+  uint32_t phase = 0;
+  /// In [0, 1]: on-phase presence rate times off-phase absence rate. 1
+  /// means the rule appears in exactly the windows ≡ phase (mod period).
+  double strength = 0.0;
+};
+
+/// Scans periods 2..max_period over the presence pattern of `trajectory`
+/// and returns the strongest (period, phase). Patterns need at least two
+/// on-phase occurrences to count; a rule present in every window is not
+/// periodic (strength 0).
+PeriodicityResult DetectPeriodicity(const Trajectory& trajectory,
+                                    uint32_t max_period);
+
+}  // namespace tara
+
+#endif  // TARA_CORE_PERIODICITY_H_

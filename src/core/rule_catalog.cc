@@ -1,0 +1,45 @@
+#include "core/rule_catalog.h"
+
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tara {
+
+size_t RuleCatalog::RuleHash::operator()(const Rule& r) const {
+  return HashCombine(HashSpan(r.antecedent), HashSpan(r.consequent));
+}
+
+RuleId RuleCatalog::Intern(const Rule& rule) {
+  auto [it, inserted] = ids_.try_emplace(rule, rules_.size());
+  if (inserted) rules_.push_back(rule);
+  return it->second;
+}
+
+RuleId RuleCatalog::Find(const Rule& rule) const {
+  auto it = ids_.find(rule);
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const Rule& RuleCatalog::rule(RuleId id) const {
+  TARA_CHECK_LT(id, rules_.size()) << "unknown rule id";
+  return rules_[id];
+}
+
+std::string RuleCatalog::FormatRule(RuleId id) const {
+  const Rule& r = rule(id);
+  std::ostringstream out;
+  for (size_t i = 0; i < r.antecedent.size(); ++i) {
+    if (i) out << ' ';
+    out << r.antecedent[i];
+  }
+  out << " -> ";
+  for (size_t i = 0; i < r.consequent.size(); ++i) {
+    if (i) out << ' ';
+    out << r.consequent[i];
+  }
+  return out.str();
+}
+
+}  // namespace tara

@@ -1,0 +1,58 @@
+#ifndef TARA_CORE_RULE_CATALOG_H_
+#define TARA_CORE_RULE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "txdb/types.h"
+
+namespace tara {
+
+/// Dense identifier of an interned association rule, stable across windows.
+using RuleId = uint32_t;
+
+/// An association rule X ⇒ Y (antecedent ⇒ consequent), canonical itemsets.
+struct Rule {
+  Itemset antecedent;
+  Itemset consequent;
+
+  bool operator==(const Rule& other) const {
+    return antecedent == other.antecedent && consequent == other.consequent;
+  }
+};
+
+/// Interns rules into dense RuleIds shared by the archive and all window
+/// indexes. A rule that reappears in a later window keeps its id, which is
+/// what makes cross-window trajectories cheap to assemble.
+class RuleCatalog {
+ public:
+  RuleCatalog() = default;
+
+  /// Returns the id for `rule`, interning it if new.
+  RuleId Intern(const Rule& rule);
+
+  /// Returns the id for `rule` or kNotFound if never interned.
+  RuleId Find(const Rule& rule) const;
+
+  const Rule& rule(RuleId id) const;
+
+  size_t size() const { return rules_.size(); }
+
+  /// Human-readable "a b -> c" form (ids; see FormatRuleNamed for names).
+  std::string FormatRule(RuleId id) const;
+
+  static constexpr RuleId kNotFound = static_cast<RuleId>(-1);
+
+ private:
+  struct RuleHash {
+    size_t operator()(const Rule& r) const;
+  };
+  std::unordered_map<Rule, RuleId, RuleHash> ids_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_CORE_RULE_CATALOG_H_

@@ -1,0 +1,34 @@
+#ifndef TARA_CORE_SERIALIZATION_H_
+#define TARA_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/tara_engine.h"
+
+namespace tara {
+
+/// Binary serialization of a TARA knowledge base (options, catalog, and
+/// per-window rule counts). The offline phase can thus run once — on a
+/// beefier machine or a schedule — and the interactive explorer reloads
+/// the index in milliseconds, which is how a deployment of the paper's
+/// Figure 2 architecture would separate its two halves.
+///
+/// Format: magic + version, options, window metadata, interned rules, and
+/// per-window (rule, counts) entries; integers are LEB128 varints, doubles
+/// are 8-byte little-endian IEEE 754.
+
+/// Writes the knowledge base of `engine` to `out`.
+void SaveKnowledgeBase(const TaraEngine& engine, std::ostream* out);
+
+/// Reads a knowledge base written by SaveKnowledgeBase. Aborts on a
+/// malformed stream (wrong magic/version or truncation).
+TaraEngine LoadKnowledgeBase(std::istream* in);
+
+/// Convenience string round-trip helpers.
+std::string KnowledgeBaseToString(const TaraEngine& engine);
+TaraEngine KnowledgeBaseFromString(const std::string& bytes);
+
+}  // namespace tara
+
+#endif  // TARA_CORE_SERIALIZATION_H_

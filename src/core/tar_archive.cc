@@ -1,0 +1,156 @@
+#include "core/tar_archive.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/varint.h"
+
+namespace tara {
+
+void TarArchive::RegisterWindow(WindowId window, uint64_t transaction_count,
+                                uint64_t floor_count,
+                                double confidence_floor) {
+  TARA_CHECK_EQ(window, window_sizes_.size())
+      << "windows must be registered consecutively";
+  TARA_CHECK(confidence_floor >= 0.0 && confidence_floor <= 1.0);
+  window_sizes_.push_back(transaction_count);
+  floor_counts_.push_back(floor_count);
+  confidence_floors_.push_back(confidence_floor);
+}
+
+void TarArchive::Add(RuleId rule, WindowId window, uint64_t rule_count,
+                     uint64_t antecedent_count) {
+  TARA_CHECK_LT(window, window_sizes_.size()) << "unregistered window";
+  TARA_CHECK(rule_count > 0 && antecedent_count >= rule_count);
+  if (rule >= streams_.size()) streams_.resize(rule + 1);
+  RuleStream& s = streams_[rule];
+  const size_t before = s.bytes.size();
+  if (s.empty) {
+    varint::EncodeU64(window, &s.bytes);
+    varint::EncodeU64(rule_count, &s.bytes);
+    varint::EncodeU64(antecedent_count, &s.bytes);
+    s.empty = false;
+  } else {
+    TARA_CHECK_GT(window, s.last_window) << "entries must advance in time";
+    varint::EncodeU64(window - s.last_window, &s.bytes);
+    varint::EncodeS64(static_cast<int64_t>(rule_count) -
+                          static_cast<int64_t>(s.last_rule_count),
+                      &s.bytes);
+    varint::EncodeS64(static_cast<int64_t>(antecedent_count) -
+                          static_cast<int64_t>(s.last_antecedent_count),
+                      &s.bytes);
+  }
+  s.last_window = window;
+  s.last_rule_count = rule_count;
+  s.last_antecedent_count = antecedent_count;
+  payload_bytes_ += s.bytes.size() - before;
+  ++entry_count_;
+}
+
+std::vector<ArchiveEntry> TarArchive::Decode(RuleId rule) const {
+  std::vector<ArchiveEntry> out;
+  if (rule >= streams_.size() || streams_[rule].empty) return out;
+  const RuleStream& s = streams_[rule];
+  const uint8_t* data = s.bytes.data();
+  const size_t size = s.bytes.size();
+  size_t pos = 0;
+  // First entry is absolute.
+  ArchiveEntry entry;
+  entry.window = static_cast<WindowId>(varint::DecodeU64(data, size, &pos));
+  entry.rule_count = varint::DecodeU64(data, size, &pos);
+  entry.antecedent_count = varint::DecodeU64(data, size, &pos);
+  out.push_back(entry);
+  while (pos < size) {
+    entry.window += static_cast<WindowId>(varint::DecodeU64(data, size, &pos));
+    entry.rule_count = static_cast<uint64_t>(
+        static_cast<int64_t>(entry.rule_count) +
+        varint::DecodeS64(data, size, &pos));
+    entry.antecedent_count = static_cast<uint64_t>(
+        static_cast<int64_t>(entry.antecedent_count) +
+        varint::DecodeS64(data, size, &pos));
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::optional<ArchiveEntry> TarArchive::EntryFor(RuleId rule,
+                                                 WindowId window) const {
+  for (const ArchiveEntry& e : Decode(rule)) {
+    if (e.window == window) return e;
+    if (e.window > window) break;
+  }
+  return std::nullopt;
+}
+
+RollUpBound TarArchive::RollUp(RuleId rule,
+                               const std::vector<WindowId>& windows) const {
+  RollUpBound bound;
+  const std::vector<ArchiveEntry> series = Decode(rule);
+
+  uint64_t known_rule = 0;
+  uint64_t known_ant = 0;
+  uint64_t missing_rule_slack = 0;  // max undetected count in missing windows
+  uint64_t missing_size = 0;        // transactions in missing windows
+  uint64_t total = 0;
+
+  for (WindowId w : windows) {
+    TARA_CHECK_LT(w, window_sizes_.size());
+    total += window_sizes_[w];
+    const auto it = std::find_if(
+        series.begin(), series.end(),
+        [w](const ArchiveEntry& e) { return e.window == w; });
+    if (it != series.end()) {
+      known_rule += it->rule_count;
+      known_ant += it->antecedent_count;
+    } else {
+      ++bound.missing_windows;
+      // Absence means support below the count floor OR confidence below
+      // the confidence floor; the undetected count is bounded by the
+      // larger escape hatch (a confident-but-rare rule by floor_count - 1,
+      // a frequent-but-unconfident one by conf_floor * |D_w|).
+      const uint64_t floor = floor_counts_[w];
+      const uint64_t support_slack = floor > 0 ? floor - 1 : 0;
+      const uint64_t confidence_slack = static_cast<uint64_t>(
+          confidence_floors_[w] * static_cast<double>(window_sizes_[w]));
+      missing_rule_slack += std::max(support_slack, confidence_slack);
+      missing_size += window_sizes_[w];
+    }
+  }
+
+  if (total > 0) {
+    bound.support_lo = static_cast<double>(known_rule) / total;
+    bound.support_hi =
+        static_cast<double>(known_rule + missing_rule_slack) / total;
+  }
+  // Confidence lower bound: rule absent in missing windows while the
+  // antecedent could fill them entirely. Upper bound: rule count at the
+  // floor slack with antecedent no larger than that.
+  const uint64_t lo_den = known_ant + missing_size;
+  if (lo_den > 0) {
+    bound.confidence_lo = static_cast<double>(known_rule) / lo_den;
+  }
+  const uint64_t hi_num = known_rule + missing_rule_slack;
+  const uint64_t hi_den = known_ant + missing_rule_slack;
+  if (hi_den > 0) {
+    bound.confidence_hi = static_cast<double>(hi_num) / hi_den;
+  }
+  return bound;
+}
+
+uint64_t TarArchive::window_size(WindowId w) const {
+  TARA_CHECK_LT(w, window_sizes_.size());
+  return window_sizes_[w];
+}
+
+uint64_t TarArchive::floor_count(WindowId w) const {
+  TARA_CHECK_LT(w, floor_counts_.size());
+  return floor_counts_[w];
+}
+
+size_t TarArchive::rule_count() const {
+  size_t n = 0;
+  for (const RuleStream& s : streams_) n += s.empty ? 0 : 1;
+  return n;
+}
+
+}  // namespace tara

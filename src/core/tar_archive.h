@@ -1,0 +1,111 @@
+#ifndef TARA_CORE_TAR_ARCHIVE_H_
+#define TARA_CORE_TAR_ARCHIVE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/rule_catalog.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+
+/// One decoded archive entry: the raw counts of a rule in one window.
+/// Support = rule_count / window size; confidence = rule_count /
+/// antecedent_count.
+struct ArchiveEntry {
+  WindowId window = 0;
+  uint64_t rule_count = 0;
+  uint64_t antecedent_count = 0;
+};
+
+/// Interval bounds for measures over a union of windows (the roll-up
+/// operation, Section 2.4.1). For windows where the rule was archived the
+/// contribution is exact; for windows where it fell below the generation
+/// floor its count is only known to lie in [0, floor_count - 1], which
+/// widens the interval — this is the paper's roll-up approximation bound
+/// made explicit.
+struct RollUpBound {
+  double support_lo = 0;
+  double support_hi = 0;
+  double confidence_lo = 0;
+  double confidence_hi = 0;
+  uint32_t missing_windows = 0;  ///< windows with no archived entry
+};
+
+/// The Temporal Association Rule Archive (TAR Archive).
+///
+/// Per rule, the per-window (rule_count, antecedent_count) series is stored
+/// as a delta-encoded varint byte stream: window gaps are varint-encoded
+/// and counts are zigzag-delta encoded against the previous entry, so a
+/// rule that stays stable across windows costs ~3 bytes per window instead
+/// of 20. Entries must be appended in increasing window order (the
+/// evolving build provides exactly that); decoding is a linear scan of the
+/// rule's private stream.
+class TarArchive {
+ public:
+  TarArchive() = default;
+
+  /// Registers a window's transaction count and generation floors: the
+  /// absolute minimum count used when mining it and the minimum confidence
+  /// used when deriving rules. Both floors bound how large an *unarchived*
+  /// rule's count could be in that window (a rule is absent iff its support
+  /// was below floor_count OR its confidence below confidence_floor).
+  /// Windows must be registered in order, before entries referencing them
+  /// are added.
+  void RegisterWindow(WindowId window, uint64_t transaction_count,
+                      uint64_t floor_count, double confidence_floor = 0.0);
+
+  /// Appends one (rule, window) observation. `window` must be the most
+  /// recently registered window or later than the rule's last entry.
+  void Add(RuleId rule, WindowId window, uint64_t rule_count,
+           uint64_t antecedent_count);
+
+  /// Decodes the full series of a rule. Rules never added decode to empty.
+  std::vector<ArchiveEntry> Decode(RuleId rule) const;
+
+  /// Returns the entry of `rule` in `window`, if archived.
+  std::optional<ArchiveEntry> EntryFor(RuleId rule, WindowId window) const;
+
+  /// Exact/interval measures of `rule` over the union of `windows`.
+  RollUpBound RollUp(RuleId rule, const std::vector<WindowId>& windows) const;
+
+  /// Number of registered windows.
+  uint32_t window_count() const {
+    return static_cast<uint32_t>(window_sizes_.size());
+  }
+  uint64_t window_size(WindowId w) const;
+  uint64_t floor_count(WindowId w) const;
+
+  /// Total payload bytes across all rule streams (the paper's Figure 12
+  /// "TAR Archive" series).
+  size_t payload_bytes() const { return payload_bytes_; }
+
+  /// Total archived (rule, window) entries — multiplied by the raw record
+  /// width this gives Figure 12's "uncompressed" series.
+  size_t entry_count() const { return entry_count_; }
+
+  /// Number of rules with at least one entry.
+  size_t rule_count() const;
+
+ private:
+  struct RuleStream {
+    std::vector<uint8_t> bytes;
+    // Delta bases for appending.
+    uint32_t last_window = 0;
+    uint64_t last_rule_count = 0;
+    uint64_t last_antecedent_count = 0;
+    bool empty = true;
+  };
+
+  std::vector<RuleStream> streams_;
+  std::vector<uint64_t> window_sizes_;
+  std::vector<uint64_t> floor_counts_;
+  std::vector<double> confidence_floors_;
+  size_t payload_bytes_ = 0;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace tara
+
+#endif  // TARA_CORE_TAR_ARCHIVE_H_

@@ -1,0 +1,262 @@
+#include "core/tara_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "mining/fp_growth.h"
+#include "mining/rule_generation.h"
+
+namespace tara {
+
+TaraEngine::TaraEngine(const Options& options) : options_(options) {
+  TARA_CHECK(options.min_support_floor > 0 &&
+             options.min_support_floor <= 1.0);
+  TARA_CHECK(options.min_confidence_floor >= 0 &&
+             options.min_confidence_floor <= 1.0);
+}
+
+WindowId TaraEngine::AppendWindow(const TransactionDatabase& db, size_t begin,
+                                  size_t end) {
+  const WindowId window = static_cast<WindowId>(windows_.size());
+  const uint64_t total = end - begin;
+  WindowBuildStats stats;
+  stats.window = window;
+
+  // (1) Frequent itemset generation at the floor support.
+  Stopwatch timer;
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options mine_options;
+  mine_options.min_count = MinCountForSupport(options_.min_support_floor,
+                                              total);
+  mine_options.max_size = options_.max_itemset_size;
+  const std::vector<FrequentItemset> frequent =
+      miner.Mine(db, begin, end, mine_options);
+  stats.itemset_seconds = timer.ElapsedSeconds();
+  stats.itemset_count = frequent.size();
+
+  // (2) Rule derivation at the floor confidence.
+  timer.Restart();
+  const std::vector<MinedRule> rules =
+      GenerateRules(frequent, options_.min_confidence_floor);
+  stats.rule_seconds = timer.ElapsedSeconds();
+  stats.rule_count = rules.size();
+
+  // (3) Archive append.
+  timer.Restart();
+  archive_.RegisterWindow(window, total, mine_options.min_count,
+                          options_.min_confidence_floor);
+  std::vector<WindowIndex::Entry> entries;
+  entries.reserve(rules.size());
+  for (const MinedRule& r : rules) {
+    const RuleId id = catalog_.Intern(Rule{r.antecedent, r.consequent});
+    archive_.Add(id, window, r.rule_count, r.antecedent_count);
+    entries.push_back(
+        WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
+  }
+  stats.archive_seconds = timer.ElapsedSeconds();
+
+  // (4) EPS slice (stable region index) build.
+  timer.Restart();
+  windows_.emplace_back();
+  windows_.back().Build(entries, total, options_.build_content_index,
+                        catalog_);
+  stats.index_seconds = timer.ElapsedSeconds();
+  stats.location_count = windows_.back().location_count();
+  stats.region_count = windows_.back().region_count();
+
+  window_entries_.push_back(std::move(entries));
+  stats_.push_back(stats);
+  return window;
+}
+
+WindowId TaraEngine::AppendPrecomputedWindow(
+    uint64_t total_transactions,
+    const std::vector<PrecomputedRule>& rules) {
+  const WindowId window = static_cast<WindowId>(windows_.size());
+  const uint64_t floor =
+      MinCountForSupport(options_.min_support_floor, total_transactions);
+  archive_.RegisterWindow(window, total_transactions, floor,
+                          options_.min_confidence_floor);
+  std::vector<WindowIndex::Entry> entries;
+  entries.reserve(rules.size());
+  for (const PrecomputedRule& r : rules) {
+    const RuleId id = catalog_.Intern(r.rule);
+    archive_.Add(id, window, r.rule_count, r.antecedent_count);
+    entries.push_back(
+        WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
+  }
+  windows_.emplace_back();
+  windows_.back().Build(entries, total_transactions,
+                        options_.build_content_index, catalog_);
+  WindowBuildStats stats;
+  stats.window = window;
+  stats.rule_count = rules.size();
+  stats.location_count = windows_.back().location_count();
+  stats.region_count = windows_.back().region_count();
+  window_entries_.push_back(std::move(entries));
+  stats_.push_back(stats);
+  return window;
+}
+
+void TaraEngine::BuildAll(const EvolvingDatabase& data) {
+  for (WindowId w = 0; w < data.window_count(); ++w) {
+    const WindowInfo& info = data.window(w);
+    AppendWindow(data.database(), info.begin, info.end);
+  }
+}
+
+void TaraEngine::CheckSetting(const ParameterSetting& setting) const {
+  TARA_CHECK(setting.min_support + 1e-12 >= options_.min_support_floor)
+      << "query support below the generation floor";
+  TARA_CHECK(setting.min_confidence + 1e-12 >= options_.min_confidence_floor)
+      << "query confidence below the generation floor";
+}
+
+std::vector<RuleId> TaraEngine::MineWindow(
+    WindowId w, const ParameterSetting& setting) const {
+  CheckSetting(setting);
+  std::vector<RuleId> out;
+  window_index(w).CollectRules(setting.min_support, setting.min_confidence,
+                               &out);
+  return out;
+}
+
+std::vector<RuleId> TaraEngine::MineWindows(
+    const std::vector<WindowId>& windows, const ParameterSetting& setting,
+    MatchMode mode) const {
+  std::vector<RuleId> combined;
+  bool first = true;
+  for (WindowId w : windows) {
+    std::vector<RuleId> rules = MineWindow(w, setting);
+    std::sort(rules.begin(), rules.end());
+    if (first) {
+      combined = std::move(rules);
+      first = false;
+      continue;
+    }
+    std::vector<RuleId> merged;
+    if (mode == MatchMode::kSingle) {
+      std::set_union(combined.begin(), combined.end(), rules.begin(),
+                     rules.end(), std::back_inserter(merged));
+    } else {
+      std::set_intersection(combined.begin(), combined.end(), rules.begin(),
+                            rules.end(), std::back_inserter(merged));
+    }
+    combined = std::move(merged);
+  }
+  return combined;
+}
+
+TaraEngine::TrajectoryQueryResult TaraEngine::TrajectoryQuery(
+    WindowId anchor, const ParameterSetting& setting,
+    const std::vector<WindowId>& horizon) const {
+  TrajectoryQueryResult result;
+  result.rules = MineWindow(anchor, setting);
+  result.trajectories.reserve(result.rules.size());
+  for (RuleId rule : result.rules) {
+    result.trajectories.push_back(BuildTrajectory(archive_, rule, horizon));
+  }
+  return result;
+}
+
+TaraEngine::RulesetDiff TaraEngine::CompareSettings(
+    const ParameterSetting& first, const ParameterSetting& second,
+    const std::vector<WindowId>& windows, MatchMode mode) const {
+  std::vector<RuleId> a = MineWindows(windows, first, mode);
+  std::vector<RuleId> b = MineWindows(windows, second, mode);
+  RulesetDiff diff;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff.only_first));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(diff.only_second));
+  return diff;
+}
+
+RegionInfo TaraEngine::RecommendRegion(WindowId w,
+                                       const ParameterSetting& setting) const {
+  CheckSetting(setting);
+  return window_index(w).Locate(setting.min_support, setting.min_confidence);
+}
+
+TrajectoryMeasures TaraEngine::RuleMeasures(
+    RuleId rule, const std::vector<WindowId>& windows) const {
+  return ComputeMeasures(BuildTrajectory(archive_, rule, windows));
+}
+
+std::vector<RuleId> TaraEngine::ContentQuery(
+    WindowId w, const Itemset& items, const ParameterSetting& setting) const {
+  CheckSetting(setting);
+  std::vector<RuleId> out;
+  window_index(w).ContentQuery(items, setting.min_support,
+                               setting.min_confidence, &out);
+  return out;
+}
+
+std::unordered_map<ItemId, std::vector<RuleId>> TaraEngine::ContentView(
+    WindowId w, const ParameterSetting& setting) const {
+  std::unordered_map<ItemId, std::vector<RuleId>> view;
+  for (RuleId rule : MineWindow(w, setting)) {
+    const Rule& r = catalog_.rule(rule);
+    for (ItemId item : r.antecedent) view[item].push_back(rule);
+    for (ItemId item : r.consequent) view[item].push_back(rule);
+  }
+  for (auto& [item, rules] : view) std::sort(rules.begin(), rules.end());
+  return view;
+}
+
+RollUpBound TaraEngine::RollUpRule(RuleId rule,
+                                   const std::vector<WindowId>& windows) const {
+  return archive_.RollUp(rule, windows);
+}
+
+TaraEngine::RolledUpRules TaraEngine::MineRolledUp(
+    const std::vector<WindowId>& windows,
+    const ParameterSetting& setting) const {
+  CheckSetting(setting);
+  // Candidates: every rule present in at least one of the windows.
+  std::vector<RuleId> candidates;
+  for (WindowId w : windows) {
+    TARA_CHECK_LT(w, window_entries_.size());
+    for (const WindowIndex::Entry& e : window_entries_[w]) {
+      candidates.push_back(e.rule);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  RolledUpRules result;
+  for (RuleId rule : candidates) {
+    const RollUpBound bound = archive_.RollUp(rule, windows);
+    const bool certain = bound.support_lo + 1e-12 >= setting.min_support &&
+                         bound.confidence_lo + 1e-12 >= setting.min_confidence;
+    const bool possible = bound.support_hi + 1e-12 >= setting.min_support &&
+                          bound.confidence_hi + 1e-12 >= setting.min_confidence;
+    if (certain) {
+      result.certain.push_back(rule);
+    } else if (possible) {
+      result.possible.push_back(rule);
+    }
+  }
+  return result;
+}
+
+const WindowIndex& TaraEngine::window_index(WindowId w) const {
+  TARA_CHECK_LT(w, windows_.size()) << "bad window id";
+  return windows_[w];
+}
+
+const std::vector<WindowIndex::Entry>& TaraEngine::window_entries(
+    WindowId w) const {
+  TARA_CHECK_LT(w, window_entries_.size()) << "bad window id";
+  return window_entries_[w];
+}
+
+size_t TaraEngine::IndexBytes() const {
+  size_t bytes = 0;
+  for (const WindowIndex& w : windows_) bytes += w.ApproximateBytes();
+  return bytes;
+}
+
+}  // namespace tara

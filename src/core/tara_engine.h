@@ -1,0 +1,204 @@
+#ifndef TARA_CORE_TARA_ENGINE_H_
+#define TARA_CORE_TARA_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rule_catalog.h"
+#include "core/stable_region_index.h"
+#include "core/tar_archive.h"
+#include "core/trajectory.h"
+#include "mining/frequent_itemset.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+
+/// A (minimum support, minimum confidence) query setting.
+struct ParameterSetting {
+  double min_support = 0.0;
+  double min_confidence = 0.0;
+};
+
+/// How a multi-window predicate combines per-window validity.
+enum class MatchMode {
+  kSingle,  ///< valid in at least one of the windows (union)
+  kExact,   ///< valid in every window (intersection)
+};
+
+/// The TARA framework: offline knowledge-base construction (Association
+/// Generator + Knowledge Base Constructor of Figure 2) plus the online
+/// explorer operations (Q1-Q5, roll-up/drill-down).
+///
+/// Offline, each arriving window is mined once with the floor thresholds;
+/// the produced rules are interned in the RuleCatalog, their counts
+/// archived in the TarArchive, and the window's EPS slice built as a
+/// WindowIndex. Online queries touch only these structures — never the raw
+/// data — with thresholds at or above the floors.
+class TaraEngine {
+ public:
+  struct Options {
+    /// Generation floors (Table 4): the per-window mining thresholds. All
+    /// online queries must use minsupp/minconf >= these floors.
+    double min_support_floor = 0.001;
+    double min_confidence_floor = 0.1;
+    /// Cap on frequent-itemset cardinality (0 = unlimited).
+    uint32_t max_itemset_size = 0;
+    /// Build per-window item→rule inverted indexes (the TARA-S variant)
+    /// enabling Q5 content queries at extra build cost.
+    bool build_content_index = false;
+  };
+
+  /// Per-window offline timing/size breakdown (Figure 9's stacked tasks).
+  struct WindowBuildStats {
+    WindowId window = 0;
+    double itemset_seconds = 0;  ///< frequent itemset generation
+    double rule_seconds = 0;     ///< rule derivation
+    double archive_seconds = 0;  ///< TAR Archive append
+    double index_seconds = 0;    ///< EPS (stable region) index build
+    size_t itemset_count = 0;
+    size_t rule_count = 0;
+    size_t location_count = 0;
+    size_t region_count = 0;
+
+    double total_seconds() const {
+      return itemset_seconds + rule_seconds + archive_seconds + index_seconds;
+    }
+  };
+
+  /// Result of the Q1 trajectory query: the rules matching the anchor
+  /// setting plus each rule's trajectory over the horizon windows.
+  struct TrajectoryQueryResult {
+    std::vector<RuleId> rules;
+    std::vector<Trajectory> trajectories;
+  };
+
+  /// Result of the Q2 ruleset comparison.
+  struct RulesetDiff {
+    std::vector<RuleId> only_first;
+    std::vector<RuleId> only_second;
+  };
+
+  /// Result of mining over a rolled-up window union: rules certainly valid
+  /// (interval lower bounds pass) and rules whose validity depends on the
+  /// sub-floor windows (only upper bounds pass).
+  struct RolledUpRules {
+    std::vector<RuleId> certain;
+    std::vector<RuleId> possible;
+  };
+
+  explicit TaraEngine(const Options& options);
+
+  /// Mines and indexes transactions [begin, end) of `db` as the next
+  /// window. Returns the new window id. This is the incremental (iPARAS)
+  /// build step: prior windows are never revisited.
+  WindowId AppendWindow(const TransactionDatabase& db, size_t begin,
+                        size_t end);
+
+  /// A rule with counts produced outside the engine (an external miner, or
+  /// the serialization loader).
+  struct PrecomputedRule {
+    Rule rule;
+    uint64_t rule_count = 0;
+    uint64_t antecedent_count = 0;
+  };
+
+  /// Installs a window whose rules were mined elsewhere. The caller
+  /// guarantees the rules are exactly those passing this engine's floors
+  /// over a window of `total_transactions` transactions. Used by the
+  /// knowledge-base loader and by callers plugging in their own miner.
+  WindowId AppendPrecomputedWindow(uint64_t total_transactions,
+                                   const std::vector<PrecomputedRule>& rules);
+
+  /// Convenience: appends every window of an evolving database.
+  void BuildAll(const EvolvingDatabase& data);
+
+  uint32_t window_count() const {
+    return static_cast<uint32_t>(windows_.size());
+  }
+
+  /// --- Online operations -------------------------------------------------
+
+  /// Rules valid in window `w` under `setting`.
+  std::vector<RuleId> MineWindow(WindowId w,
+                                 const ParameterSetting& setting) const;
+
+  /// Rules valid across `windows` under `setting`, combined per `mode`.
+  /// Output is sorted by RuleId.
+  std::vector<RuleId> MineWindows(const std::vector<WindowId>& windows,
+                                  const ParameterSetting& setting,
+                                  MatchMode mode) const;
+
+  /// Q1: rules matching `setting` in `anchor`, each with its trajectory
+  /// over `horizon`.
+  TrajectoryQueryResult TrajectoryQuery(
+      WindowId anchor, const ParameterSetting& setting,
+      const std::vector<WindowId>& horizon) const;
+
+  /// Q2: symmetric difference of the rulesets of two settings over the same
+  /// windows. Outputs sorted by RuleId.
+  RulesetDiff CompareSettings(const ParameterSetting& first,
+                              const ParameterSetting& second,
+                              const std::vector<WindowId>& windows,
+                              MatchMode mode) const;
+
+  /// Q3: the time-aware stable region of `setting` in window `w` — the
+  /// parameter recommendation primitive (any setting inside the region is
+  /// equivalent; the region's upper corner is the tightest setting with the
+  /// same result).
+  RegionInfo RecommendRegion(WindowId w,
+                             const ParameterSetting& setting) const;
+
+  /// Q4: evolving-behavior measures of a rule over `windows`.
+  TrajectoryMeasures RuleMeasures(RuleId rule,
+                                  const std::vector<WindowId>& windows) const;
+
+  /// Q5: rules valid under `setting` in window `w` containing all of
+  /// `items`. Requires Options::build_content_index.
+  std::vector<RuleId> ContentQuery(WindowId w, const Itemset& items,
+                                   const ParameterSetting& setting) const;
+
+  /// Builds the merged item→rules view of a window's result set — the
+  /// region-index merge the TARA-S variant performs during Q1 (its extra
+  /// online cost in Figures 7-8).
+  std::unordered_map<ItemId, std::vector<RuleId>> ContentView(
+      WindowId w, const ParameterSetting& setting) const;
+
+  /// Roll-up: interval measures of `rule` over the union of `windows`.
+  RollUpBound RollUpRule(RuleId rule,
+                         const std::vector<WindowId>& windows) const;
+
+  /// Roll-up mining: rules valid over the union of `windows` under
+  /// `setting`, split into certain and possible per the interval bounds.
+  RolledUpRules MineRolledUp(const std::vector<WindowId>& windows,
+                             const ParameterSetting& setting) const;
+
+  /// --- Accessors ----------------------------------------------------------
+
+  const RuleCatalog& catalog() const { return catalog_; }
+  const TarArchive& archive() const { return archive_; }
+  const WindowIndex& window_index(WindowId w) const;
+  /// The build inputs of a window (used by roll-up and serialization).
+  const std::vector<WindowIndex::Entry>& window_entries(WindowId w) const;
+  const std::vector<WindowBuildStats>& build_stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Approximate bytes of all EPS window indexes (Figure 12 bookkeeping).
+  size_t IndexBytes() const;
+
+ private:
+  void CheckSetting(const ParameterSetting& setting) const;
+
+  Options options_;
+  RuleCatalog catalog_;
+  TarArchive archive_;
+  std::vector<WindowIndex> windows_;
+  /// Per-window build inputs kept for roll-up candidate enumeration.
+  std::vector<std::vector<WindowIndex::Entry>> window_entries_;
+  std::vector<WindowBuildStats> stats_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_CORE_TARA_ENGINE_H_

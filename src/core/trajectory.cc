@@ -1,0 +1,84 @@
+#include "core/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tara {
+
+Trajectory BuildTrajectory(const TarArchive& archive, RuleId rule,
+                           const std::vector<WindowId>& windows) {
+  const std::vector<ArchiveEntry> series = archive.Decode(rule);
+  Trajectory trajectory;
+  trajectory.reserve(windows.size());
+  for (WindowId w : windows) {
+    TrajectoryPoint point;
+    point.window = w;
+    const auto it =
+        std::find_if(series.begin(), series.end(),
+                     [w](const ArchiveEntry& e) { return e.window == w; });
+    if (it != series.end()) {
+      point.present = true;
+      const uint64_t total = archive.window_size(w);
+      point.support = total == 0 ? 0.0
+                                 : static_cast<double>(it->rule_count) /
+                                       static_cast<double>(total);
+      point.confidence = it->antecedent_count == 0
+                             ? 0.0
+                             : static_cast<double>(it->rule_count) /
+                                   static_cast<double>(it->antecedent_count);
+    }
+    trajectory.push_back(point);
+  }
+  return trajectory;
+}
+
+TrajectoryMeasures ComputeMeasures(const Trajectory& trajectory) {
+  TrajectoryMeasures m;
+  if (trajectory.empty()) return m;
+
+  size_t present = 0;
+  double support_sum = 0, confidence_sum = 0;
+  for (const TrajectoryPoint& p : trajectory) {
+    if (!p.present) continue;
+    ++present;
+    support_sum += p.support;
+    confidence_sum += p.confidence;
+  }
+  m.coverage = static_cast<double>(present) /
+               static_cast<double>(trajectory.size());
+  if (present == 0) return m;
+
+  m.mean_support = support_sum / present;
+  m.mean_confidence = confidence_sum / present;
+
+  double support_var = 0, confidence_var = 0;
+  for (const TrajectoryPoint& p : trajectory) {
+    if (!p.present) continue;
+    support_var += (p.support - m.mean_support) * (p.support - m.mean_support);
+    confidence_var += (p.confidence - m.mean_confidence) *
+                      (p.confidence - m.mean_confidence);
+  }
+  m.support_stddev = std::sqrt(support_var / present);
+  m.confidence_stddev = std::sqrt(confidence_var / present);
+
+  // Stability: mean absolute consecutive change of support, normalized by
+  // the mean support (absence counts as zero support), inverted to [0, 1].
+  double change_sum = 0;
+  size_t steps = 0;
+  for (size_t i = 1; i < trajectory.size(); ++i) {
+    const double prev = trajectory[i - 1].present ? trajectory[i - 1].support
+                                                  : 0.0;
+    const double curr = trajectory[i].present ? trajectory[i].support : 0.0;
+    change_sum += std::fabs(curr - prev);
+    ++steps;
+  }
+  if (steps == 0 || m.mean_support <= 0) {
+    m.stability = 1.0;
+  } else {
+    const double normalized = (change_sum / steps) / m.mean_support;
+    m.stability = std::max(0.0, 1.0 - normalized);
+  }
+  return m;
+}
+
+}  // namespace tara

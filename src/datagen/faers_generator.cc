@@ -1,0 +1,124 @@
+#include "datagen/faers_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tara {
+
+FaersGenerator::FaersGenerator(const Params& params) : params_(params) {
+  const Params& p = params_;
+  TARA_CHECK(p.num_drugs >= 10 && p.num_adrs >= 10);
+  TARA_CHECK_LE(p.num_strong_confounders, p.num_drugs);
+  Rng rng(p.seed);
+
+  // Known single-drug ADR profiles.
+  known_adrs_.resize(p.num_drugs);
+  adr_prob_.resize(p.num_drugs, p.known_adr_prob);
+  for (uint32_t d = 0; d < p.num_drugs; ++d) {
+    Itemset adrs;
+    for (uint32_t k = 0; k < p.known_adrs_per_drug; ++k) {
+      adrs.push_back(adr_base() +
+                     static_cast<ItemId>(rng.NextBounded(p.num_adrs)));
+    }
+    Canonicalize(&adrs);
+    known_adrs_[d] = std::move(adrs);
+  }
+  // Strong confounders: the most popular drugs (low ids under Zipf) fire
+  // their known ADRs nearly always — exactly the signals a confidence
+  // ranking surfaces first.
+  for (uint32_t d = 0; d < p.num_strong_confounders; ++d) {
+    adr_prob_[d] = p.strong_adr_prob;
+  }
+
+  // Plant DDIs: pairs (and ~20% triples) of drugs with an interaction ADR
+  // no member drug causes alone. Combos take *adjacent popularity ranks*
+  // in disjoint blocks just past the strong confounders: adjacent ranks
+  // give each member a similar background report volume, so the combo's
+  // single-drug contextual confidences are both low and uniform — the
+  // signature the contrast measure keys on. Sharing a drug between two
+  // interactions would inflate its contextual confidence, hence the
+  // disjoint blocks.
+  ItemId next_rank = static_cast<ItemId>(p.num_strong_confounders);
+  while (ddis_.size() < p.num_ddis) {
+    const uint32_t size = rng.NextBool(0.2) ? 3 : 2;
+    TARA_CHECK_LT(next_rank + size, p.num_drugs)
+        << "not enough drugs for the requested number of DDIs";
+    Itemset drugs;
+    for (uint32_t k = 0; k < size; ++k) drugs.push_back(next_rank + k);
+    next_rank += size + 1;  // one-rank gap between combos
+
+    // Interaction ADR must be unexplained by every member drug.
+    ItemId adr = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      adr = adr_base() + static_cast<ItemId>(rng.NextBounded(p.num_adrs));
+      bool clean = true;
+      for (ItemId d : drugs) {
+        if (std::binary_search(known_adrs_[d].begin(), known_adrs_[d].end(),
+                               adr)) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) break;
+    }
+    ddis_.push_back(PlantedDdi{std::move(drugs), adr});
+  }
+}
+
+TransactionDatabase FaersGenerator::GenerateQuarter(
+    uint32_t quarter_index, Timestamp time_offset) const {
+  const Params& p = params_;
+  Rng rng(p.seed * 0x100000001b3ULL + 0x9e3779b9ULL * (quarter_index + 1));
+
+  TransactionDatabase db;
+  Itemset items;
+  for (uint32_t r = 0; r < p.reports_per_quarter; ++r) {
+    items.clear();
+    Itemset drugs;
+    bool is_ddi_report = rng.NextBool(p.ddi_report_rate) && !ddis_.empty();
+    const PlantedDdi* combo = nullptr;
+    if (is_ddi_report) {
+      combo = &ddis_[rng.NextBounded(ddis_.size())];
+      drugs = combo->drugs;
+      // Occasionally a bystander drug is co-reported.
+      if (rng.NextBool(0.25)) {
+        drugs.push_back(
+            static_cast<ItemId>(rng.NextBounded(p.num_drugs)));
+        Canonicalize(&drugs);
+      }
+    } else {
+      const uint32_t n =
+          1 + std::min<uint32_t>(4, rng.NextPoisson(p.background_drug_mean));
+      while (drugs.size() < n) {
+        drugs.push_back(static_cast<ItemId>(
+            rng.NextZipf(p.num_drugs, p.zipf_alpha)));
+        Canonicalize(&drugs);
+      }
+    }
+
+    Itemset adrs;
+    if (combo != nullptr && rng.NextBool(p.interaction_adr_prob)) {
+      adrs.push_back(combo->adr);
+    }
+    for (ItemId d : drugs) {
+      for (ItemId adr : known_adrs_[d]) {
+        if (rng.NextBool(adr_prob_[d])) adrs.push_back(adr);
+      }
+    }
+    if (rng.NextBool(p.noise_adr_prob) || adrs.empty()) {
+      adrs.push_back(adr_base() +
+                     static_cast<ItemId>(rng.NextBounded(p.num_adrs)));
+    }
+    Canonicalize(&adrs);
+
+    items = drugs;
+    items.insert(items.end(), adrs.begin(), adrs.end());
+    db.Append(time_offset + r, items);
+  }
+  return db;
+}
+
+}  // namespace tara

@@ -1,0 +1,91 @@
+#ifndef TARA_DATAGEN_FAERS_GENERATOR_H_
+#define TARA_DATAGEN_FAERS_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txdb/transaction_database.h"
+
+namespace tara {
+
+/// A planted drug-drug interaction: when all of `drugs` are taken together,
+/// the otherwise-unexplained `adr` occurs. This is the ground truth the
+/// precision@K evaluation of Figure 6 scores against, playing the role of
+/// the paper's Drugs.com / DrugBank known-DDI references.
+struct PlantedDdi {
+  Itemset drugs;  ///< drug item ids (>= 2 of them)
+  ItemId adr;     ///< ADR item id (offset by num_drugs)
+};
+
+/// Synthetic FAERS-like spontaneous-report generator.
+///
+/// Reports are transactions over a disjoint item space: drug ids occupy
+/// [0, num_drugs), ADR ids occupy [num_drugs, num_drugs + num_adrs). The
+/// generative process mirrors what makes real FAERS data hard:
+///
+///  - every drug has a few *known* single-drug ADRs it triggers whenever
+///    present (these create the redundant high-confidence signals that
+///    drown naive rankers);
+///  - a handful of *strong confounder* drugs trigger their known ADR almost
+///    always (top of any confidence ranking, yet not DDIs);
+///  - planted DDIs (pairs and triples) trigger an interaction ADR that no
+///    member drug causes alone — the exclusiveness the contrast measure is
+///    designed to detect;
+///  - drug popularity is Zipf-skewed and reports carry uniform ADR noise,
+///    which hands spurious high-lift signals to the reporting-ratio ranker.
+class FaersGenerator {
+ public:
+  struct Params {
+    uint32_t num_drugs = 300;
+    uint32_t num_adrs = 150;
+    uint32_t reports_per_quarter = 6000;
+    uint32_t num_ddis = 15;
+    uint32_t known_adrs_per_drug = 2;
+    uint32_t num_strong_confounders = 10;
+    double ddi_report_rate = 0.05;     ///< fraction of reports from a combo
+    double interaction_adr_prob = 0.92;
+    double known_adr_prob = 0.55;
+    /// Kept below interaction_adr_prob²: a pair of strong confounders
+    /// produces its joint known-ADR conjunction with probability
+    /// strong_adr_prob², which must not out-rank true interactions.
+    double strong_adr_prob = 0.7;
+    /// Mean of the Poisson governing extra drugs in background reports.
+    /// Higher values make popular drug pairs co-occur often enough that
+    /// their joint-ADR conjunction confidences converge to their true
+    /// (sub-DDI) level instead of producing small-count flukes.
+    double background_drug_mean = 1.4;
+    double noise_adr_prob = 0.08;
+    double zipf_alpha = 1.0;
+    uint64_t seed = 2016;
+  };
+
+  explicit FaersGenerator(const Params& params);
+
+  /// Generates one quarter of reports with timestamps starting at
+  /// `time_offset`. Quarters share the same ground truth but are
+  /// statistically independent.
+  TransactionDatabase GenerateQuarter(uint32_t quarter_index,
+                                      Timestamp time_offset) const;
+
+  const std::vector<PlantedDdi>& ground_truth() const { return ddis_; }
+  const Params& params() const { return params_; }
+
+  /// First ADR item id (= num_drugs); items below are drugs.
+  ItemId adr_base() const { return params_.num_drugs; }
+
+  /// True if `item` denotes an ADR rather than a drug.
+  bool IsAdr(ItemId item) const { return item >= params_.num_drugs; }
+
+ private:
+  Params params_;
+  /// known_adrs_[d] = ADR item ids drug d triggers on its own.
+  std::vector<Itemset> known_adrs_;
+  /// Per-drug probability of triggering each known ADR (strong confounders
+  /// get strong_adr_prob).
+  std::vector<double> adr_prob_;
+  std::vector<PlantedDdi> ddis_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_DATAGEN_FAERS_GENERATOR_H_

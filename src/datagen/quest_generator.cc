@@ -1,0 +1,103 @@
+#include "datagen/quest_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace tara {
+namespace {
+
+struct Pattern {
+  Itemset items;
+  double weight = 0;      // cumulative after normalization
+  double corruption = 0;  // probability an item is dropped at insertion
+};
+
+}  // namespace
+
+TransactionDatabase QuestGenerator::Generate(Timestamp time_offset) const {
+  const Params& p = params_;
+  TARA_CHECK(p.num_items > 0 && p.num_patterns > 0);
+  Rng rng(p.seed);
+
+  // Build the potentially-large pattern table.
+  std::vector<Pattern> patterns(p.num_patterns);
+  double weight_sum = 0;
+  for (uint32_t i = 0; i < p.num_patterns; ++i) {
+    Pattern& pat = patterns[i];
+    uint32_t len = std::max<uint32_t>(1, rng.NextPoisson(p.avg_pattern_len));
+    len = std::min<uint32_t>(len, p.num_items);
+    Itemset items;
+    // Correlated fraction reused from the previous pattern.
+    if (i > 0) {
+      const Itemset& prev = patterns[i - 1].items;
+      const uint32_t reuse = std::min<uint32_t>(
+          static_cast<uint32_t>(p.correlation * len + 0.5),
+          static_cast<uint32_t>(prev.size()));
+      for (uint32_t r = 0; r < reuse; ++r) {
+        items.push_back(prev[rng.NextBounded(prev.size())]);
+      }
+    }
+    while (items.size() < len) {
+      items.push_back(static_cast<ItemId>(rng.NextBounded(p.num_items)));
+    }
+    Canonicalize(&items);
+    pat.items = std::move(items);
+    // Exponential weight.
+    const double w = -std::log(rng.NextDouble() + 1e-18);
+    pat.weight = w;
+    weight_sum += w;
+    // Corruption level clamped to [0, 1] from N(mean, 0.1) drawn via CLT.
+    double noise = 0;
+    for (int k = 0; k < 12; ++k) noise += rng.NextDouble();
+    noise = (noise - 6.0) * 0.1;  // ~N(0, 0.1)
+    pat.corruption = std::clamp(p.corruption_mean + noise, 0.0, 1.0);
+  }
+  // Cumulative weights for roulette selection.
+  double acc = 0;
+  for (Pattern& pat : patterns) {
+    acc += pat.weight / weight_sum;
+    pat.weight = acc;
+  }
+  patterns.back().weight = 1.0;
+
+  auto pick_pattern = [&]() -> const Pattern& {
+    const double u = rng.NextDouble();
+    const auto it = std::lower_bound(
+        patterns.begin(), patterns.end(), u,
+        [](const Pattern& pat, double v) { return pat.weight < v; });
+    return it == patterns.end() ? patterns.back() : *it;
+  };
+
+  TransactionDatabase db;
+  Itemset tx;
+  for (uint32_t t = 0; t < p.num_transactions; ++t) {
+    const uint32_t target_len =
+        std::max<uint32_t>(1, rng.NextPoisson(p.avg_transaction_len));
+    tx.clear();
+    // Fill with corrupted patterns until the target length is met.
+    int guard = 0;
+    while (tx.size() < target_len && ++guard < 1000) {
+      const Pattern& pat = pick_pattern();
+      Itemset kept;
+      for (ItemId item : pat.items) {
+        if (!rng.NextBool(pat.corruption)) kept.push_back(item);
+      }
+      if (kept.empty()) continue;
+      if (tx.size() + kept.size() > target_len * 1.5 && !tx.empty()) {
+        // Oversized final pattern: keep anyway half the time (Quest rule).
+        if (rng.NextBool(0.5)) break;
+      }
+      tx.insert(tx.end(), kept.begin(), kept.end());
+    }
+    if (tx.empty()) tx.push_back(static_cast<ItemId>(rng.NextBounded(
+        p.num_items)));
+    db.Append(time_offset + t, tx);
+  }
+  return db;
+}
+
+}  // namespace tara

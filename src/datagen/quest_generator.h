@@ -1,0 +1,47 @@
+#ifndef TARA_DATAGEN_QUEST_GENERATOR_H_
+#define TARA_DATAGEN_QUEST_GENERATOR_H_
+
+#include <cstdint>
+
+#include "txdb/transaction_database.h"
+
+namespace tara {
+
+/// Reimplementation of the IBM Quest synthetic market-basket generator
+/// (Agrawal & Srikant, VLDB'94), the tool behind the paper's T5kL50N100 and
+/// T2kL100N1k benchmark datasets.
+///
+/// The generator first builds a table of `num_patterns` "potentially large"
+/// itemsets — pattern sizes are Poisson-distributed around
+/// `avg_pattern_len`, consecutive patterns share a correlated fraction of
+/// items, and each pattern carries an exponential weight and a corruption
+/// level. Each transaction then draws its length from
+/// Poisson(`avg_transaction_len`) and is filled by weighted pattern picks,
+/// with items independently dropped at the pattern's corruption level, and
+/// oversized final patterns kept with probability 1/2.
+class QuestGenerator {
+ public:
+  struct Params {
+    uint32_t num_transactions = 10000;  ///< |D|
+    double avg_transaction_len = 10;    ///< T
+    uint32_t num_items = 1000;          ///< N
+    uint32_t num_patterns = 500;        ///< L (pattern table size)
+    double avg_pattern_len = 4;         ///< I
+    double correlation = 0.5;           ///< shared fraction between patterns
+    double corruption_mean = 0.5;       ///< mean per-pattern corruption
+    uint64_t seed = 1;
+  };
+
+  explicit QuestGenerator(const Params& params) : params_(params) {}
+
+  /// Generates the database; timestamps are 0..num_transactions-1 offset by
+  /// `time_offset` (so consecutive batches form an evolving timeline).
+  TransactionDatabase Generate(Timestamp time_offset = 0) const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_DATAGEN_QUEST_GENERATOR_H_

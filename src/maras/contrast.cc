@@ -1,0 +1,119 @@
+#include "maras/contrast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+/// Sample coefficient of variation of confidences (the paper's worked
+/// example in Section 2.3.5 implies the n-1 denominator). Zero for fewer
+/// than two values or zero mean.
+double CoefficientOfVariation(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  const double mean = sum / values.size();
+  if (mean <= 0) return 0.0;
+  double ss = 0;
+  for (double v : values) ss += (v - mean) * (v - mean);
+  const double stddev = std::sqrt(ss / (values.size() - 1));
+  return stddev / mean;
+}
+
+double Penalty(const std::vector<double>& confidences, double theta) {
+  return 1.0 - theta * CoefficientOfVariation(confidences);
+}
+
+std::vector<double> AllContextualConfidences(const Cac& cac) {
+  std::vector<double> all;
+  for (const auto& level : cac.levels) {
+    for (const ContextualAssociation& c : level) all.push_back(c.confidence);
+  }
+  return all;
+}
+
+}  // namespace
+
+Cac BuildCac(const DrugAdrAssociation& target, const TidsetIndex& index) {
+  TARA_CHECK_GE(target.drugs.size(), 2u) << "CAC needs a multi-drug target";
+  TARA_CHECK_LE(target.drugs.size(), 16u);
+  Cac cac;
+  cac.target = target;
+
+  const uint64_t target_union = index.Count(target.AllItems());
+  const uint64_t target_drugs = index.Count(target.drugs);
+  cac.target_confidence =
+      target_drugs == 0 ? 0.0
+                        : static_cast<double>(target_union) /
+                              static_cast<double>(target_drugs);
+
+  const size_t n = target.drugs.size();
+  cac.levels.assign(n - 1, {});
+  const uint32_t full = (1u << n) - 1;
+  for (uint32_t mask = 1; mask < full; ++mask) {
+    Itemset subset;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1u << i)) subset.push_back(target.drugs[i]);
+    }
+    const uint64_t drugs_count = index.Count(subset);
+    const uint64_t union_count = index.Count(Union(subset, target.adrs));
+    ContextualAssociation ctx;
+    ctx.confidence = drugs_count == 0
+                         ? 0.0
+                         : static_cast<double>(union_count) /
+                               static_cast<double>(drugs_count);
+    const size_t level = subset.size() - 1;
+    ctx.drugs = std::move(subset);
+    cac.levels[level].push_back(std::move(ctx));
+  }
+  return cac;
+}
+
+double ContrastMax(const Cac& cac) {
+  double max_conf = 0.0;
+  for (const auto& level : cac.levels) {
+    for (const ContextualAssociation& c : level) {
+      max_conf = std::max(max_conf, c.confidence);
+    }
+  }
+  return cac.target_confidence - max_conf;
+}
+
+double ContrastAvg(const Cac& cac) {
+  const std::vector<double> all = AllContextualConfidences(cac);
+  if (all.empty()) return cac.target_confidence;
+  double sum = 0;
+  for (double v : all) sum += v;
+  return cac.target_confidence - sum / all.size();
+}
+
+double ContrastCv(const Cac& cac, double theta) {
+  return ContrastAvg(cac) * Penalty(AllContextualConfidences(cac), theta);
+}
+
+double ContrastScore(const Cac& cac, double theta) {
+  const size_t n = cac.levels.size() + 1;  // number of target drugs
+  double score = 0;
+  for (size_t level = 0; level < cac.levels.size(); ++level) {
+    const auto& group = cac.levels[level];
+    if (group.empty()) continue;
+    const size_t i = level + 1;  // drugs per contextual association
+    double gap_sum = 0;
+    std::vector<double> confidences;
+    confidences.reserve(group.size());
+    for (const ContextualAssociation& c : group) {
+      gap_sum += cac.target_confidence - c.confidence;
+      confidences.push_back(c.confidence);
+    }
+    const double mean_gap = gap_sum / group.size();
+    const double weight =
+        1.0 - (static_cast<double>(i) - 1.0) / static_cast<double>(n);
+    score += mean_gap * weight * Penalty(confidences, theta);
+  }
+  return score / static_cast<double>(n);
+}
+
+}  // namespace tara

@@ -1,0 +1,51 @@
+#ifndef TARA_MARAS_CONTRAST_H_
+#define TARA_MARAS_CONTRAST_H_
+
+#include <vector>
+
+#include "maras/drug_adr.h"
+#include "maras/tidset_index.h"
+
+namespace tara {
+
+/// One contextual association D' ⇒ A of a target D ⇒ A, with D' ⊂ D
+/// (Definition 6), carrying its confidence over the report collection.
+struct ContextualAssociation {
+  Itemset drugs;
+  double confidence = 0.0;
+};
+
+/// The Contextual Association Cluster of a target Drug-ADR association
+/// (Definition 7): the target plus every D' ⇒ A for non-empty proper
+/// subsets D' of the target drugs, grouped by |D'| (Table 1's layout).
+struct Cac {
+  DrugAdrAssociation target;
+  double target_confidence = 0.0;
+  /// levels[i] holds the contextual associations with i+1 drugs; there are
+  /// |target.drugs| - 1 levels.
+  std::vector<std::vector<ContextualAssociation>> levels;
+};
+
+/// Builds the CAC of `target` with exact confidences from the tidset index.
+Cac BuildCac(const DrugAdrAssociation& target, const TidsetIndex& index);
+
+/// contrast_max (Formula 5): target confidence minus the maximum contextual
+/// confidence. Negative means some drug subset explains the ADRs better.
+double ContrastMax(const Cac& cac);
+
+/// contrast_avg (Formula 6): target confidence minus the mean contextual
+/// confidence.
+double ContrastAvg(const Cac& cac);
+
+/// contrast_cv (Formula 7): contrast_avg damped by the coefficient of
+/// variation of all contextual confidences, with penalty weight `theta`.
+double ContrastCv(const Cac& cac, double theta);
+
+/// The final MARAS contrast score (Formula 9): per-level confidence gaps
+/// weighted by the linear-decay H(i, n) = 1 - (i-1)/n and the per-level
+/// variation penalty G, averaged over levels.
+double ContrastScore(const Cac& cac, double theta);
+
+}  // namespace tara
+
+#endif  // TARA_MARAS_CONTRAST_H_

@@ -1,0 +1,58 @@
+#include "maras/drug_adr.h"
+
+#include <algorithm>
+
+#include "mining/closed_itemsets.h"
+
+namespace tara {
+
+DrugAdrAssociation SplitReport(const Itemset& items, ItemId adr_base) {
+  DrugAdrAssociation assoc;
+  for (ItemId item : items) {
+    if (item < adr_base) {
+      assoc.drugs.push_back(item);
+    } else {
+      assoc.adrs.push_back(item);
+    }
+  }
+  return assoc;
+}
+
+SupportType ClassifySupport(const DrugAdrAssociation& assoc,
+                            const TransactionDatabase& db, size_t begin,
+                            size_t end) {
+  const Itemset all = assoc.AllItems();
+  size_t containing = 0;
+  bool exact = false;
+  for (size_t i = begin; i < end; ++i) {
+    const Itemset& tx = db[i].items;
+    if (!IsSubsetOf(all, tx)) continue;
+    ++containing;
+    if (tx.size() == all.size()) exact = true;
+  }
+  if (exact) return SupportType::kExplicit;
+  if (containing < 2) return SupportType::kSpurious;
+  const Itemset closure = ComputeClosure(all, db, begin, end);
+  return closure == all ? SupportType::kImplicit : SupportType::kSpurious;
+}
+
+bool IsPairwiseIntersection(const DrugAdrAssociation& assoc,
+                            const TransactionDatabase& db, size_t begin,
+                            size_t end) {
+  const Itemset all = assoc.AllItems();
+  // Collect the containing reports once; quadratic over that (usually
+  // small) subset.
+  std::vector<const Itemset*> containing;
+  for (size_t i = begin; i < end; ++i) {
+    if (IsSubsetOf(all, db[i].items)) containing.push_back(&db[i].items);
+  }
+  for (size_t i = 0; i < containing.size(); ++i) {
+    for (size_t j = i + 1; j < containing.size(); ++j) {
+      if (*containing[i] == *containing[j]) continue;
+      if (Intersection(*containing[i], *containing[j]) == all) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace tara

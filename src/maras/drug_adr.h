@@ -1,0 +1,55 @@
+#ifndef TARA_MARAS_DRUG_ADR_H_
+#define TARA_MARAS_DRUG_ADR_H_
+
+#include <cstdint>
+
+#include "txdb/transaction_database.h"
+#include "txdb/types.h"
+
+namespace tara {
+
+/// A Drug-ADR association D ⇒ A (Definition 2): drugs and ADRs come from
+/// disjoint item-id spaces — ids below `adr_base` are drugs, ids at or
+/// above it are ADRs.
+struct DrugAdrAssociation {
+  Itemset drugs;
+  Itemset adrs;
+
+  Itemset AllItems() const { return Union(drugs, adrs); }
+
+  bool operator==(const DrugAdrAssociation& other) const {
+    return drugs == other.drugs && adrs == other.adrs;
+  }
+};
+
+/// Splits a report's canonical item list into its drug and ADR parts.
+DrugAdrAssociation SplitReport(const Itemset& items, ItemId adr_base);
+
+/// How a Drug-ADR association is supported by the report collection
+/// (Definitions 3 and 4). Spurious associations are partial interpretations
+/// that no report or report intersection backs, and must be discarded.
+enum class SupportType {
+  kExplicit,  ///< some report contains exactly these drugs and ADRs
+  kImplicit,  ///< closed intersection of >= 2 reports, not explicit
+  kSpurious,  ///< neither — a misleading partial interpretation
+};
+
+/// Classifies the association against reports [begin, end) of `db`, by the
+/// closure characterization of Lemma 1: explicit if some report equals
+/// D ∪ A exactly; otherwise implicit iff D ∪ A is closed (equals the
+/// intersection of all reports containing it) and occurs at all; spurious
+/// otherwise.
+SupportType ClassifySupport(const DrugAdrAssociation& assoc,
+                            const TransactionDatabase& db, size_t begin,
+                            size_t end);
+
+/// True if some pair of distinct reports intersects exactly to D ∪ A —
+/// Definition 4's literal form, used by tests to validate Lemma 1
+/// empirically.
+bool IsPairwiseIntersection(const DrugAdrAssociation& assoc,
+                            const TransactionDatabase& db, size_t begin,
+                            size_t end);
+
+}  // namespace tara
+
+#endif  // TARA_MARAS_DRUG_ADR_H_

@@ -1,0 +1,42 @@
+#include "maras/evaluation.h"
+
+#include <algorithm>
+
+namespace tara {
+
+bool IsHit(const MdarSignal& signal, const std::vector<PlantedDdi>& truth) {
+  for (const PlantedDdi& ddi : truth) {
+    if (IsSubsetOf(ddi.drugs, signal.assoc.drugs) &&
+        std::binary_search(signal.assoc.adrs.begin(), signal.assoc.adrs.end(),
+                           ddi.adr)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double PrecisionAtK(const std::vector<MdarSignal>& ranked,
+                    const std::vector<PlantedDdi>& truth, size_t k) {
+  const size_t n = std::min(k, ranked.size());
+  if (n == 0) return 0.0;
+  size_t hits = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (IsHit(ranked[i], truth)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(n);
+}
+
+size_t RankOfDdi(const std::vector<MdarSignal>& ranked,
+                 const PlantedDdi& ddi) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const MdarSignal& signal = ranked[i];
+    if (IsSubsetOf(ddi.drugs, signal.assoc.drugs) &&
+        std::binary_search(signal.assoc.adrs.begin(), signal.assoc.adrs.end(),
+                           ddi.adr)) {
+      return i + 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace tara

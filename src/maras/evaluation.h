@@ -1,0 +1,29 @@
+#ifndef TARA_MARAS_EVALUATION_H_
+#define TARA_MARAS_EVALUATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "datagen/faers_generator.h"
+#include "maras/maras_engine.h"
+
+namespace tara {
+
+/// True if `signal` hits a planted DDI: some ground-truth entry whose drug
+/// combination is contained in the signal's drugs and whose interaction ADR
+/// is among the signal's ADRs. This mirrors the paper's "hit of a known
+/// MDAR" check against Drugs.com/DrugBank.
+bool IsHit(const MdarSignal& signal, const std::vector<PlantedDdi>& truth);
+
+/// Precision of the top-k signals against the ground truth (Figure 6's
+/// "Precision at K"). `ranked` must already be sorted best-first.
+double PrecisionAtK(const std::vector<MdarSignal>& ranked,
+                    const std::vector<PlantedDdi>& truth, size_t k);
+
+/// 1-based rank of the first signal hitting `ddi` in `ranked`, or 0 if none
+/// does — used for Table 2's "ranked 2,436th by confidence" comparisons.
+size_t RankOfDdi(const std::vector<MdarSignal>& ranked, const PlantedDdi& ddi);
+
+}  // namespace tara
+
+#endif  // TARA_MARAS_EVALUATION_H_

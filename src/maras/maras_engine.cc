@@ -1,0 +1,133 @@
+#include "maras/maras_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "mining/closed_itemsets.h"
+#include "mining/fp_growth.h"
+
+namespace tara {
+namespace {
+
+/// Shapes a frequent itemset into a Drug-ADR association if it has >= 2
+/// drugs and >= 1 ADR (the MDAR focus of Section 2.3); returns false
+/// otherwise.
+bool ShapeCandidate(const Itemset& items, ItemId adr_base,
+                    DrugAdrAssociation* out) {
+  *out = SplitReport(items, adr_base);
+  return out->drugs.size() >= 2 && !out->adrs.empty();
+}
+
+void SortByScore(std::vector<MdarSignal>* signals,
+                 double MdarSignal::* field) {
+  std::sort(signals->begin(), signals->end(),
+            [field](const MdarSignal& a, const MdarSignal& b) {
+              if (a.*field != b.*field) return a.*field > b.*field;
+              if (a.count != b.count) return a.count > b.count;
+              if (a.assoc.drugs != b.assoc.drugs) {
+                return a.assoc.drugs < b.assoc.drugs;
+              }
+              return a.assoc.adrs < b.assoc.adrs;
+            });
+}
+
+}  // namespace
+
+MarasEngine::MarasEngine(const TransactionDatabase& db, size_t begin,
+                         size_t end, const Options& options)
+    : options_(options),
+      db_(db),
+      begin_(begin),
+      end_(end),
+      tidset_(db, begin, end) {
+  TARA_CHECK(options.adr_base > 0) << "adr_base must separate the id spaces";
+
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options mine_options;
+  mine_options.min_count = options.min_count;
+  mine_options.max_size = options.max_itemset_size;
+  const std::vector<FrequentItemset> frequent =
+      miner.Mine(db, begin, end, mine_options);
+  const std::vector<FrequentItemset> closed = FilterClosed(frequent);
+
+  for (const FrequentItemset& f : closed) {
+    DrugAdrAssociation assoc;
+    if (!ShapeCandidate(f.items, options.adr_base, &assoc)) continue;
+    // FilterClosed is only exact on an uncapped miner output: with
+    // max_itemset_size set, an equal-count superset can be invisible to it.
+    // Verify true closure against the reports before accepting.
+    if (ComputeClosure(f.items, db, begin, end) != f.items) continue;
+
+    MdarSignal signal;
+    signal.count = f.count;
+    const uint64_t drugs_count = tidset_.Count(assoc.drugs);
+    const uint64_t adrs_count = tidset_.Count(assoc.adrs);
+    signal.confidence = drugs_count == 0
+                            ? 0.0
+                            : static_cast<double>(f.count) /
+                                  static_cast<double>(drugs_count);
+    if (signal.confidence < options.min_confidence) continue;
+    signal.lift =
+        (drugs_count == 0 || adrs_count == 0)
+            ? 0.0
+            : (static_cast<double>(f.count) *
+               static_cast<double>(tidset_.total())) /
+                  (static_cast<double>(drugs_count) *
+                   static_cast<double>(adrs_count));
+    const Cac cac = BuildCac(assoc, tidset_);
+    signal.contrast = ContrastScore(cac, options.theta);
+    if (options.classify_support) {
+      signal.support_type = ClassifySupport(assoc, db, begin, end);
+    }
+    signal.assoc = std::move(assoc);
+    signals_.push_back(std::move(signal));
+  }
+  SortByScore(&signals_, &MdarSignal::contrast);
+}
+
+std::vector<MdarSignal> MarasEngine::UnfilteredCandidates() const {
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options mine_options;
+  mine_options.min_count = options_.min_count;
+  mine_options.max_size = options_.max_itemset_size;
+  const std::vector<FrequentItemset> frequent =
+      miner.Mine(db_, begin_, end_, mine_options);
+
+  std::vector<MdarSignal> candidates;
+  for (const FrequentItemset& f : frequent) {
+    DrugAdrAssociation assoc;
+    if (!ShapeCandidate(f.items, options_.adr_base, &assoc)) continue;
+    MdarSignal signal;
+    signal.count = f.count;
+    const uint64_t drugs_count = tidset_.Count(assoc.drugs);
+    const uint64_t adrs_count = tidset_.Count(assoc.adrs);
+    signal.confidence = drugs_count == 0
+                            ? 0.0
+                            : static_cast<double>(f.count) /
+                                  static_cast<double>(drugs_count);
+    signal.lift =
+        (drugs_count == 0 || adrs_count == 0)
+            ? 0.0
+            : (static_cast<double>(f.count) *
+               static_cast<double>(tidset_.total())) /
+                  (static_cast<double>(drugs_count) *
+                   static_cast<double>(adrs_count));
+    signal.assoc = std::move(assoc);
+    candidates.push_back(std::move(signal));
+  }
+  return candidates;
+}
+
+std::vector<MdarSignal> MarasEngine::RankByConfidence() const {
+  std::vector<MdarSignal> candidates = UnfilteredCandidates();
+  SortByScore(&candidates, &MdarSignal::confidence);
+  return candidates;
+}
+
+std::vector<MdarSignal> MarasEngine::RankByLift() const {
+  std::vector<MdarSignal> candidates = UnfilteredCandidates();
+  SortByScore(&candidates, &MdarSignal::lift);
+  return candidates;
+}
+
+}  // namespace tara

@@ -1,0 +1,75 @@
+#ifndef TARA_MARAS_MARAS_ENGINE_H_
+#define TARA_MARAS_MARAS_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "maras/contrast.h"
+#include "maras/drug_adr.h"
+#include "maras/tidset_index.h"
+#include "txdb/transaction_database.h"
+
+namespace tara {
+
+/// A ranked multi-drug adverse reaction (MDAR) signal.
+struct MdarSignal {
+  DrugAdrAssociation assoc;
+  uint64_t count = 0;          ///< reports containing drugs ∪ ADRs
+  double confidence = 0.0;     ///< P(ADRs | drugs)
+  double lift = 0.0;           ///< reporting ratio
+  double contrast = 0.0;       ///< the MARAS score (Formula 9)
+  SupportType support_type = SupportType::kSpurious;
+};
+
+/// The MARAS signal detector (Section 2.3): learns non-spurious multi-drug
+/// Drug-ADR associations from a collection of ADR reports and ranks them by
+/// the contrast score.
+///
+/// Pipeline: mine frequent itemsets over the reports → keep the closed ones
+/// (Lemma 1: exactly the explicitly or implicitly supported associations) →
+/// keep those shaped like a Drug-ADR association with >= 2 drugs → build
+/// each target's Contextual Association Cluster via the vertical tidset
+/// index → score with the contrast measure → rank.
+class MarasEngine {
+ public:
+  struct Options {
+    ItemId adr_base = 0;          ///< ids >= adr_base are ADRs (required)
+    uint64_t min_count = 5;       ///< minimum reports backing a signal
+    double theta = 0.75;          ///< variation-penalty weight (Formula 8)
+    uint32_t max_itemset_size = 8;
+    /// Candidates whose target confidence is below this are not scored.
+    double min_confidence = 0.05;
+    /// Classify each signal's support type (one extra scan per signal).
+    bool classify_support = true;
+  };
+
+  /// Analyzes reports [begin, end) of `db`.
+  MarasEngine(const TransactionDatabase& db, size_t begin, size_t end,
+              const Options& options);
+
+  /// Signals sorted by contrast, descending.
+  const std::vector<MdarSignal>& signals() const { return signals_; }
+
+  /// The same candidate universe *without* the closedness (spuriousness)
+  /// filter, ranked by plain confidence or by lift (reporting ratio) —
+  /// the Table 2 baselines that flood the analyst with redundant partial
+  /// interpretations.
+  std::vector<MdarSignal> RankByConfidence() const;
+  std::vector<MdarSignal> RankByLift() const;
+
+  const TidsetIndex& tidset() const { return tidset_; }
+
+ private:
+  std::vector<MdarSignal> UnfilteredCandidates() const;
+
+  Options options_;
+  const TransactionDatabase& db_;
+  size_t begin_;
+  size_t end_;
+  TidsetIndex tidset_;
+  std::vector<MdarSignal> signals_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_MARAS_MARAS_ENGINE_H_

@@ -1,0 +1,74 @@
+#include "maras/mediar.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace tara {
+
+size_t MediarMonitor::AssocHash::operator()(
+    const DrugAdrAssociation& a) const {
+  return HashCombine(HashSpan(a.drugs), HashSpan(a.adrs));
+}
+
+uint32_t MediarMonitor::AddQuarter(const TransactionDatabase& reports) {
+  const uint32_t quarter = quarter_++;
+  const MarasEngine engine(reports, 0, reports.size(), options_);
+  for (const MdarSignal& signal : engine.signals()) {
+    SignalHistory& history = histories_[signal.assoc];
+    if (history.quarters.empty()) history.assoc = signal.assoc;
+    history.quarters.push_back(quarter);
+    history.contrasts.push_back(signal.contrast);
+    history.counts.push_back(signal.count);
+  }
+  return quarter;
+}
+
+std::vector<const MediarMonitor::SignalHistory*> MediarMonitor::histories()
+    const {
+  std::vector<const SignalHistory*> out;
+  out.reserve(histories_.size());
+  for (const auto& [assoc, history] : histories_) out.push_back(&history);
+  return out;
+}
+
+std::vector<const MediarMonitor::SignalHistory*> MediarMonitor::ReviewQueue()
+    const {
+  const uint32_t latest = quarter_ == 0 ? 0 : quarter_ - 1;
+  std::vector<const SignalHistory*> queue;
+  for (const auto& [assoc, history] : histories_) {
+    if (!history.quarters.empty() && history.quarters.back() == latest) {
+      queue.push_back(&history);
+    }
+  }
+  std::sort(queue.begin(), queue.end(),
+            [latest](const SignalHistory* a, const SignalHistory* b) {
+              const bool a_new = a->NewIn(latest);
+              const bool b_new = b->NewIn(latest);
+              if (a_new != b_new) return a_new;
+              if (a->latest_contrast() != b->latest_contrast()) {
+                return a->latest_contrast() > b->latest_contrast();
+              }
+              return a->assoc.drugs < b->assoc.drugs;
+            });
+  return queue;
+}
+
+std::vector<const MediarMonitor::SignalHistory*>
+MediarMonitor::StrengtheningSignals() const {
+  const uint32_t latest = quarter_ == 0 ? 0 : quarter_ - 1;
+  std::vector<const SignalHistory*> out;
+  for (const auto& [assoc, history] : histories_) {
+    if (!history.quarters.empty() && history.quarters.back() == latest &&
+        history.trend() > 0) {
+      out.push_back(&history);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SignalHistory* a, const SignalHistory* b) {
+              return a->trend() > b->trend();
+            });
+  return out;
+}
+
+}  // namespace tara

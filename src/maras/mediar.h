@@ -1,0 +1,74 @@
+#ifndef TARA_MARAS_MEDIAR_H_
+#define TARA_MARAS_MEDIAR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "maras/maras_engine.h"
+
+namespace tara {
+
+/// MeDIAR (the dissertation's multi-drug adverse reaction analytics demo):
+/// runs MARAS on each arriving quarter of reports and tracks every signal's
+/// contrast trajectory across quarters, so a drug-safety reviewer sees not
+/// just today's ranking but which interactions are newly appearing and
+/// which are strengthening — the temporal dimension the EDBT paper's TARA
+/// machinery brings to pharmacovigilance.
+class MediarMonitor {
+ public:
+  /// The cross-quarter history of one MDAR signal.
+  struct SignalHistory {
+    DrugAdrAssociation assoc;
+    std::vector<uint32_t> quarters;   ///< quarters where it was signaled
+    std::vector<double> contrasts;    ///< contrast per signaled quarter
+    std::vector<uint64_t> counts;     ///< backing reports per quarter
+
+    /// Contrast in the most recent signaled quarter.
+    double latest_contrast() const {
+      return contrasts.empty() ? 0.0 : contrasts.back();
+    }
+    /// True if the signal first appeared in quarter `q`.
+    bool NewIn(uint32_t q) const {
+      return !quarters.empty() && quarters.front() == q;
+    }
+    /// Contrast change from the previous signaled quarter to the latest.
+    double trend() const {
+      return contrasts.size() < 2
+                 ? 0.0
+                 : contrasts.back() - contrasts[contrasts.size() - 2];
+    }
+  };
+
+  explicit MediarMonitor(const MarasEngine::Options& options)
+      : options_(options) {}
+
+  /// Analyzes the next quarter of reports; returns its index.
+  uint32_t AddQuarter(const TransactionDatabase& reports);
+
+  uint32_t quarter_count() const { return quarter_; }
+
+  /// All tracked signal histories (unordered).
+  std::vector<const SignalHistory*> histories() const;
+
+  /// Signals from the latest quarter ranked for reviewer attention: new
+  /// signals first, then by latest contrast.
+  std::vector<const SignalHistory*> ReviewQueue() const;
+
+  /// Signals whose contrast rose in the latest quarter.
+  std::vector<const SignalHistory*> StrengtheningSignals() const;
+
+ private:
+  struct AssocHash {
+    size_t operator()(const DrugAdrAssociation& a) const;
+  };
+
+  MarasEngine::Options options_;
+  uint32_t quarter_ = 0;
+  std::unordered_map<DrugAdrAssociation, SignalHistory, AssocHash>
+      histories_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_MARAS_MEDIAR_H_

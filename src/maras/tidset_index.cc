@@ -1,0 +1,49 @@
+#include "maras/tidset_index.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace tara {
+
+TidsetIndex::TidsetIndex(const TransactionDatabase& db, size_t begin,
+                         size_t end) {
+  TARA_CHECK(begin <= end && end <= db.size());
+  total_ = end - begin;
+  words_ = (total_ + 63) / 64;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t tid = i - begin;
+    for (ItemId item : db[i].items) {
+      Bitmap& bitmap = bitmaps_[item];
+      if (bitmap.empty()) bitmap.resize(words_, 0);
+      bitmap[tid >> 6] |= uint64_t{1} << (tid & 63);
+    }
+  }
+}
+
+const TidsetIndex::Bitmap* TidsetIndex::Find(ItemId item) const {
+  const auto it = bitmaps_.find(item);
+  return it == bitmaps_.end() ? nullptr : &it->second;
+}
+
+uint64_t TidsetIndex::Count(const Itemset& items) const {
+  if (items.empty()) return total_;
+  const Bitmap* first = Find(items[0]);
+  if (first == nullptr) return 0;
+  if (items.size() == 1) {
+    uint64_t count = 0;
+    for (uint64_t word : *first) count += std::popcount(word);
+    return count;
+  }
+  Bitmap acc = *first;
+  for (size_t k = 1; k < items.size(); ++k) {
+    const Bitmap* next = Find(items[k]);
+    if (next == nullptr) return 0;
+    for (size_t w = 0; w < words_; ++w) acc[w] &= (*next)[w];
+  }
+  uint64_t count = 0;
+  for (uint64_t word : acc) count += std::popcount(word);
+  return count;
+}
+
+}  // namespace tara

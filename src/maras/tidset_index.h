@@ -1,0 +1,41 @@
+#ifndef TARA_MARAS_TIDSET_INDEX_H_
+#define TARA_MARAS_TIDSET_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "txdb/transaction_database.h"
+#include "txdb/types.h"
+
+namespace tara {
+
+/// Vertical bitmap index: one bitset of transaction ids per item. Exact
+/// counts of arbitrary itemsets come from AND-ing bitsets and popcounting —
+/// the workhorse behind MARAS's contextual-association confidences, where
+/// the needed subsets are usually below any frequent-mining threshold.
+class TidsetIndex {
+ public:
+  /// Builds the index over transactions [begin, end) of `db`.
+  TidsetIndex(const TransactionDatabase& db, size_t begin, size_t end);
+
+  /// Number of transactions containing every item of `items`. An empty
+  /// itemset counts all transactions.
+  uint64_t Count(const Itemset& items) const;
+
+  /// Number of indexed transactions.
+  uint64_t total() const { return total_; }
+
+ private:
+  using Bitmap = std::vector<uint64_t>;
+
+  const Bitmap* Find(ItemId item) const;
+
+  uint64_t total_ = 0;
+  size_t words_ = 0;
+  std::unordered_map<ItemId, Bitmap> bitmaps_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_MARAS_TIDSET_INDEX_H_

@@ -1,0 +1,114 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+struct ItemsetHash {
+  size_t operator()(const Itemset& s) const { return HashSpan(s); }
+};
+
+using CandidateCounts = std::unordered_map<Itemset, uint64_t, ItemsetHash>;
+
+/// Apriori-gen: joins two frequent (k-1)-itemsets sharing a (k-2)-prefix and
+/// prunes candidates with an infrequent (k-1)-subset.
+std::vector<Itemset> GenerateCandidates(
+    const std::vector<Itemset>& previous_level) {
+  std::vector<Itemset> candidates;
+  std::unordered_map<Itemset, bool, ItemsetHash> frequent;
+  frequent.reserve(previous_level.size() * 2);
+  for (const Itemset& s : previous_level) frequent[s] = true;
+
+  for (size_t i = 0; i < previous_level.size(); ++i) {
+    for (size_t j = i + 1; j < previous_level.size(); ++j) {
+      const Itemset& a = previous_level[i];
+      const Itemset& b = previous_level[j];
+      // Sorted lexicographic order means joinable pairs share all but the
+      // last element.
+      if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+        // previous_level is sorted, so once prefixes diverge no later j
+        // matches i either.
+        break;
+      }
+      Itemset candidate = a;
+      candidate.push_back(b.back());
+      // Prune: every (k-1)-subset must be frequent. Subsets obtained by
+      // dropping one of the first k-2 positions are the only ones not
+      // already known frequent (a and b are).
+      bool all_frequent = true;
+      for (size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+        Itemset subset;
+        subset.reserve(candidate.size() - 1);
+        for (size_t p = 0; p < candidate.size(); ++p) {
+          if (p != drop) subset.push_back(candidate[p]);
+        }
+        if (!frequent.count(subset)) {
+          all_frequent = false;
+          break;
+        }
+      }
+      if (all_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> AprioriMiner::Mine(const TransactionDatabase& db,
+                                                size_t begin, size_t end,
+                                                const Options& options) const {
+  TARA_CHECK(begin <= end && end <= db.size());
+  std::vector<FrequentItemset> result;
+
+  // Level 1: direct item counting.
+  std::unordered_map<ItemId, uint64_t> item_counts;
+  for (size_t i = begin; i < end; ++i) {
+    for (ItemId item : db[i].items) ++item_counts[item];
+  }
+  std::vector<Itemset> level;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= options.min_count) {
+      result.push_back(FrequentItemset{{item}, count});
+      level.push_back({item});
+    }
+  }
+  std::sort(level.begin(), level.end());
+
+  uint32_t k = 2;
+  while (!level.empty() && (options.max_size == 0 || k <= options.max_size)) {
+    std::vector<Itemset> candidates = GenerateCandidates(level);
+    if (candidates.empty()) break;
+    std::sort(candidates.begin(), candidates.end());
+
+    CandidateCounts counts;
+    counts.reserve(candidates.size() * 2);
+    for (const Itemset& c : candidates) counts[c] = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const Itemset& tx = db[i].items;
+      if (tx.size() < k) continue;
+      for (auto& [candidate, count] : counts) {
+        if (IsSubsetOf(candidate, tx)) ++count;
+      }
+    }
+
+    level.clear();
+    for (const Itemset& c : candidates) {
+      const uint64_t count = counts[c];
+      if (count >= options.min_count) {
+        result.push_back(FrequentItemset{c, count});
+        level.push_back(c);
+      }
+    }
+    std::sort(level.begin(), level.end());
+    ++k;
+  }
+  return result;
+}
+
+}  // namespace tara

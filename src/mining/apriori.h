@@ -1,0 +1,23 @@
+#ifndef TARA_MINING_APRIORI_H_
+#define TARA_MINING_APRIORI_H_
+
+#include "mining/frequent_itemset.h"
+
+namespace tara {
+
+/// Classic level-wise Apriori (Agrawal & Srikant). Kept primarily as the
+/// readable reference implementation that the faster miners are validated
+/// against; it is also the mining engine inside the DCTAR baseline, matching
+/// the paper's "derive the ruleset directly from the raw data" behavior.
+class AprioriMiner : public FrequentItemsetMiner {
+ public:
+  std::vector<FrequentItemset> Mine(const TransactionDatabase& db,
+                                    size_t begin, size_t end,
+                                    const Options& options) const override;
+
+  std::string name() const override { return "apriori"; }
+};
+
+}  // namespace tara
+
+#endif  // TARA_MINING_APRIORI_H_

@@ -1,0 +1,54 @@
+#include "mining/closed_itemsets.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace tara {
+
+Itemset ComputeClosure(const Itemset& items, const TransactionDatabase& db,
+                       size_t begin, size_t end) {
+  Itemset closure;
+  bool first = true;
+  for (size_t i = begin; i < end; ++i) {
+    const Itemset& tx = db[i].items;
+    if (!IsSubsetOf(items, tx)) continue;
+    if (first) {
+      closure = tx;
+      first = false;
+    } else {
+      closure = Intersection(closure, tx);
+    }
+    if (closure.size() == items.size()) break;  // cannot shrink below items
+  }
+  return closure;
+}
+
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& frequent) {
+  // Group itemsets by count; within a group, an itemset is non-closed iff
+  // some other group member is a strict superset (equal count + superset is
+  // exactly the Definition 5 condition, given downward completeness).
+  std::unordered_map<uint64_t, std::vector<const FrequentItemset*>> by_count;
+  for (const FrequentItemset& f : frequent) {
+    by_count[f.count].push_back(&f);
+  }
+  std::vector<FrequentItemset> closed;
+  closed.reserve(frequent.size());
+  for (const FrequentItemset& f : frequent) {
+    const auto& group = by_count[f.count];
+    bool is_closed = true;
+    for (const FrequentItemset* other : group) {
+      if (other->items.size() > f.items.size() &&
+          IsSubsetOf(f.items, other->items)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (is_closed) closed.push_back(f);
+  }
+  return closed;
+}
+
+}  // namespace tara

@@ -1,0 +1,28 @@
+#ifndef TARA_MINING_CLOSED_ITEMSETS_H_
+#define TARA_MINING_CLOSED_ITEMSETS_H_
+
+#include <vector>
+
+#include "mining/frequent_itemset.h"
+#include "txdb/transaction_database.h"
+
+namespace tara {
+
+/// Computes the closure of `items` over transactions [begin, end): the
+/// intersection of every transaction containing `items`. An itemset is
+/// closed iff it equals its own closure. Returns an empty set if no
+/// transaction contains `items`.
+Itemset ComputeClosure(const Itemset& items, const TransactionDatabase& db,
+                       size_t begin, size_t end);
+
+/// Filters `frequent` (a complete frequent-itemset collection, e.g. a miner
+/// output) down to the closed ones: those with no strict superset of equal
+/// count in the collection (Definition 5). The input must be
+/// downward-complete — every frequent subset present — which all miners in
+/// this library guarantee.
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& frequent);
+
+}  // namespace tara
+
+#endif  // TARA_MINING_CLOSED_ITEMSETS_H_

@@ -1,0 +1,102 @@
+#include "mining/eclat.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+using Bitmap = std::vector<uint64_t>;
+
+uint64_t Popcount(const Bitmap& bitmap) {
+  uint64_t count = 0;
+  for (uint64_t word : bitmap) count += std::popcount(word);
+  return count;
+}
+
+Bitmap Intersect(const Bitmap& a, const Bitmap& b) {
+  Bitmap out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+  return out;
+}
+
+struct EclatContext {
+  uint64_t min_count;
+  uint32_t max_size;
+  std::vector<FrequentItemset>* out;
+};
+
+/// Depth-first extension: `candidates` holds (item, tidset, count) triples
+/// sharing the prefix, in ascending item order; each is extended by the
+/// candidates after it.
+struct Candidate {
+  ItemId item;
+  Bitmap tids;
+  uint64_t count;
+};
+
+void MineBranch(const std::vector<Candidate>& candidates, Itemset* prefix,
+                const EclatContext& ctx) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const Candidate& c = candidates[i];
+    prefix->push_back(c.item);
+    ctx.out->push_back(FrequentItemset{*prefix, c.count});
+    if (ctx.max_size == 0 || prefix->size() < ctx.max_size) {
+      std::vector<Candidate> next;
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        Bitmap joint = Intersect(c.tids, candidates[j].tids);
+        const uint64_t count = Popcount(joint);
+        if (count >= ctx.min_count) {
+          next.push_back(Candidate{candidates[j].item, std::move(joint),
+                                   count});
+        }
+      }
+      if (!next.empty()) MineBranch(next, prefix, ctx);
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> EclatMiner::Mine(const TransactionDatabase& db,
+                                              size_t begin, size_t end,
+                                              const Options& options) const {
+  TARA_CHECK(begin <= end && end <= db.size());
+  const size_t n = end - begin;
+  const size_t words = (n + 63) / 64;
+
+  // Build vertical tidsets for all items.
+  std::unordered_map<ItemId, Bitmap> tidsets;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t tid = i - begin;
+    for (ItemId item : db[i].items) {
+      Bitmap& bitmap = tidsets[item];
+      if (bitmap.empty()) bitmap.resize(words, 0);
+      bitmap[tid >> 6] |= uint64_t{1} << (tid & 63);
+    }
+  }
+
+  std::vector<Candidate> roots;
+  for (auto& [item, bitmap] : tidsets) {
+    const uint64_t count = Popcount(bitmap);
+    if (count >= options.min_count) {
+      roots.push_back(Candidate{item, std::move(bitmap), count});
+    }
+  }
+  std::sort(roots.begin(), roots.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.item < b.item;
+            });
+
+  std::vector<FrequentItemset> result;
+  EclatContext ctx{options.min_count, options.max_size, &result};
+  Itemset prefix;
+  MineBranch(roots, &prefix, ctx);
+  return result;
+}
+
+}  // namespace tara

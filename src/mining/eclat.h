@@ -1,0 +1,28 @@
+#ifndef TARA_MINING_ECLAT_H_
+#define TARA_MINING_ECLAT_H_
+
+#include "mining/frequent_itemset.h"
+
+namespace tara {
+
+/// Eclat (Zaki): vertical mining over transaction-id bitsets. Each item
+/// carries the bitset of transactions containing it; an itemset's count is
+/// the popcount of the intersection, and the search proceeds depth-first
+/// over a prefix tree with tidset intersection at each extension.
+///
+/// Included as the fourth independently-implemented miner: it exercises a
+/// completely different data layout (vertical vs the horizontal Apriori /
+/// FP-tree / H-struct), which makes the four-way equivalence test a strong
+/// oracle for all of them.
+class EclatMiner : public FrequentItemsetMiner {
+ public:
+  std::vector<FrequentItemset> Mine(const TransactionDatabase& db,
+                                    size_t begin, size_t end,
+                                    const Options& options) const override;
+
+  std::string name() const override { return "eclat"; }
+};
+
+}  // namespace tara
+
+#endif  // TARA_MINING_ECLAT_H_

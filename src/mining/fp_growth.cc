@@ -1,0 +1,177 @@
+#include "mining/fp_growth.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+/// Node of an FP-tree. Children are kept in a small sorted vector: trees for
+/// the window sizes used here are wide at the root but shallow, and vector
+/// scan beats hashing for the typical fanout.
+struct FpNode {
+  ItemId item = 0;
+  uint64_t count = 0;
+  int32_t parent = -1;
+  std::vector<int32_t> children;
+};
+
+class FpTree {
+ public:
+  FpTree() { nodes_.push_back(FpNode{});  /* root */ }
+
+  /// Inserts a transaction (items already filtered to frequent ones and
+  /// sorted by descending global frequency) with multiplicity `count`.
+  void Insert(const std::vector<ItemId>& items, uint64_t count,
+              std::unordered_map<ItemId, std::vector<int32_t>>* header) {
+    int32_t current = 0;
+    for (ItemId item : items) {
+      int32_t child = -1;
+      for (int32_t c : nodes_[current].children) {
+        if (nodes_[c].item == item) {
+          child = c;
+          break;
+        }
+      }
+      if (child < 0) {
+        child = static_cast<int32_t>(nodes_.size());
+        nodes_.push_back(FpNode{item, 0, current, {}});
+        nodes_[current].children.push_back(child);
+        (*header)[item].push_back(child);
+      }
+      nodes_[child].count += count;
+      current = child;
+    }
+  }
+
+  const FpNode& node(int32_t i) const { return nodes_[i]; }
+
+ private:
+  std::vector<FpNode> nodes_;
+};
+
+/// A conditional pattern base entry: the prefix path items (frequency-order)
+/// and how many times the path was traversed.
+struct PatternBase {
+  std::vector<std::pair<std::vector<ItemId>, uint64_t>> paths;
+};
+
+struct MineContext {
+  uint64_t min_count;
+  uint32_t max_size;  // 0 = unlimited
+  std::vector<FrequentItemset>* out;
+};
+
+/// Recursive FP-Growth over a list of (path, count) rows. `suffix` is the
+/// itemset accumulated so far (canonical order restored at emission).
+void MinePatternBase(
+    const std::vector<std::pair<std::vector<ItemId>, uint64_t>>& rows,
+    Itemset* suffix, const MineContext& ctx) {
+  if (ctx.max_size != 0 && suffix->size() >= ctx.max_size) return;
+
+  // Count items in this conditional base.
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const auto& [path, count] : rows) {
+    for (ItemId item : path) counts[item] += count;
+  }
+  std::vector<std::pair<ItemId, uint64_t>> frequent;
+  for (const auto& [item, count] : counts) {
+    if (count >= ctx.min_count) frequent.emplace_back(item, count);
+  }
+  // Deterministic processing order.
+  std::sort(frequent.begin(), frequent.end());
+
+  for (const auto& [item, count] : frequent) {
+    suffix->push_back(item);
+    Itemset emitted = *suffix;
+    Canonicalize(&emitted);
+    ctx.out->push_back(FrequentItemset{std::move(emitted), count});
+
+    if (ctx.max_size == 0 || suffix->size() < ctx.max_size) {
+      // Build the conditional base of `item`: for every row containing it,
+      // keep the items before it (paths are in fixed global frequency
+      // order, so "before" = the other items that can still extend).
+      std::vector<std::pair<std::vector<ItemId>, uint64_t>> conditional;
+      for (const auto& [path, row_count] : rows) {
+        auto it = std::find(path.begin(), path.end(), item);
+        if (it == path.end()) continue;
+        std::vector<ItemId> prefix(path.begin(), it);
+        if (!prefix.empty()) conditional.emplace_back(std::move(prefix),
+                                                      row_count);
+      }
+      if (!conditional.empty()) MinePatternBase(conditional, suffix, ctx);
+    }
+    suffix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> FpGrowthMiner::Mine(const TransactionDatabase& db,
+                                                 size_t begin, size_t end,
+                                                 const Options& options) const {
+  TARA_CHECK(begin <= end && end <= db.size());
+  std::vector<FrequentItemset> result;
+
+  // Pass 1: global item frequencies.
+  std::unordered_map<ItemId, uint64_t> item_counts;
+  for (size_t i = begin; i < end; ++i) {
+    for (ItemId item : db[i].items) ++item_counts[item];
+  }
+  // Frequency-descending order (ties by item id) for tree compactness.
+  std::vector<std::pair<ItemId, uint64_t>> order;
+  for (const auto& [item, count] : item_counts) {
+    if (count >= options.min_count) order.emplace_back(item, count);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::unordered_map<ItemId, uint32_t> rank;
+  rank.reserve(order.size() * 2);
+  for (uint32_t r = 0; r < order.size(); ++r) rank[order[r].first] = r;
+
+  for (const auto& [item, count] : order) {
+    result.push_back(FrequentItemset{{item}, count});
+  }
+  if (order.empty() || (options.max_size == 1)) return result;
+
+  // Pass 2: build the FP-tree.
+  FpTree tree;
+  std::unordered_map<ItemId, std::vector<int32_t>> header;
+  std::vector<ItemId> filtered;
+  for (size_t i = begin; i < end; ++i) {
+    filtered.clear();
+    for (ItemId item : db[i].items) {
+      if (rank.count(item)) filtered.push_back(item);
+    }
+    std::sort(filtered.begin(), filtered.end(),
+              [&](ItemId a, ItemId b) { return rank[a] < rank[b]; });
+    if (!filtered.empty()) tree.Insert(filtered, 1, &header);
+  }
+
+  // Mine each item's conditional pattern base, in reverse frequency order.
+  MineContext ctx{options.min_count, options.max_size, &result};
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const ItemId item = it->first;
+    std::vector<std::pair<std::vector<ItemId>, uint64_t>> rows;
+    for (int32_t node_index : header[item]) {
+      const uint64_t count = tree.node(node_index).count;
+      std::vector<ItemId> path;
+      int32_t current = tree.node(node_index).parent;
+      while (current > 0) {
+        path.push_back(tree.node(current).item);
+        current = tree.node(current).parent;
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) rows.emplace_back(std::move(path), count);
+    }
+    if (rows.empty()) continue;
+    Itemset suffix{item};
+    MinePatternBase(rows, &suffix, ctx);
+  }
+  return result;
+}
+
+}  // namespace tara

@@ -1,0 +1,22 @@
+#ifndef TARA_MINING_FP_GROWTH_H_
+#define TARA_MINING_FP_GROWTH_H_
+
+#include "mining/frequent_itemset.h"
+
+namespace tara {
+
+/// FP-Growth (Han et al.): builds a frequency-ordered prefix tree of the
+/// transactions and mines it recursively via conditional pattern bases.
+/// This is the workhorse miner used by the TARA offline preprocessing phase.
+class FpGrowthMiner : public FrequentItemsetMiner {
+ public:
+  std::vector<FrequentItemset> Mine(const TransactionDatabase& db,
+                                    size_t begin, size_t end,
+                                    const Options& options) const override;
+
+  std::string name() const override { return "fp-growth"; }
+};
+
+}  // namespace tara
+
+#endif  // TARA_MINING_FP_GROWTH_H_

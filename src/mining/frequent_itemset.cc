@@ -1,0 +1,21 @@
+#include "mining/frequent_itemset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tara {
+
+void SortItemsets(std::vector<FrequentItemset>* itemsets) {
+  std::sort(itemsets->begin(), itemsets->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+}
+
+uint64_t MinCountForSupport(double min_support, size_t n) {
+  const double raw = min_support * static_cast<double>(n);
+  const uint64_t count = static_cast<uint64_t>(std::ceil(raw - 1e-9));
+  return count == 0 ? 1 : count;
+}
+
+}  // namespace tara

@@ -1,0 +1,100 @@
+#include "mining/h_mine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+/// Cursor into one stored transaction: items at positions >= offset are the
+/// candidate extensions for the current prefix.
+struct Cursor {
+  uint32_t row = 0;
+  uint32_t offset = 0;
+};
+
+struct HContext {
+  const std::vector<std::vector<ItemId>>* rows;
+  uint64_t min_count;
+  uint32_t max_size;
+  std::vector<FrequentItemset>* out;
+};
+
+void MineProjection(const std::vector<Cursor>& cursors, Itemset* prefix,
+                    const HContext& ctx) {
+  if (ctx.max_size != 0 && prefix->size() >= ctx.max_size) return;
+
+  // Count extension items reachable from the cursors, and remember where
+  // each item occurs so the child projection can be built in one pass.
+  std::unordered_map<ItemId, uint64_t> counts;
+  for (const Cursor& c : cursors) {
+    const std::vector<ItemId>& row = (*ctx.rows)[c.row];
+    for (uint32_t p = c.offset; p < row.size(); ++p) ++counts[row[p]];
+  }
+
+  std::vector<ItemId> frequent;
+  for (const auto& [item, count] : counts) {
+    if (count >= ctx.min_count) frequent.push_back(item);
+  }
+  std::sort(frequent.begin(), frequent.end());
+
+  for (ItemId item : frequent) {
+    prefix->push_back(item);
+    Itemset emitted = *prefix;
+    Canonicalize(&emitted);
+    ctx.out->push_back(FrequentItemset{std::move(emitted), counts[item]});
+
+    std::vector<Cursor> child;
+    for (const Cursor& c : cursors) {
+      const std::vector<ItemId>& row = (*ctx.rows)[c.row];
+      for (uint32_t p = c.offset; p < row.size(); ++p) {
+        if (row[p] == item) {
+          if (p + 1 < row.size()) child.push_back(Cursor{c.row, p + 1});
+          break;
+        }
+      }
+    }
+    if (!child.empty()) MineProjection(child, prefix, ctx);
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> HMineMiner::Mine(const TransactionDatabase& db,
+                                              size_t begin, size_t end,
+                                              const Options& options) const {
+  TARA_CHECK(begin <= end && end <= db.size());
+  std::vector<FrequentItemset> result;
+
+  std::unordered_map<ItemId, uint64_t> item_counts;
+  for (size_t i = begin; i < end; ++i) {
+    for (ItemId item : db[i].items) ++item_counts[item];
+  }
+
+  // Keep frequent items only; rows stay in canonical (ascending id) order,
+  // which is the fixed total order the projections use.
+  std::vector<std::vector<ItemId>> rows;
+  rows.reserve(end - begin);
+  std::vector<Cursor> cursors;
+  for (size_t i = begin; i < end; ++i) {
+    std::vector<ItemId> filtered;
+    for (ItemId item : db[i].items) {
+      if (item_counts[item] >= options.min_count) filtered.push_back(item);
+    }
+    if (!filtered.empty()) {
+      cursors.push_back(
+          Cursor{static_cast<uint32_t>(rows.size()), 0});
+      rows.push_back(std::move(filtered));
+    }
+  }
+
+  HContext ctx{&rows, options.min_count, options.max_size, &result};
+  Itemset prefix;
+  MineProjection(cursors, &prefix, ctx);
+  return result;
+}
+
+}  // namespace tara

@@ -1,0 +1,27 @@
+#ifndef TARA_MINING_H_MINE_H_
+#define TARA_MINING_H_MINE_H_
+
+#include "mining/frequent_itemset.h"
+
+namespace tara {
+
+/// H-Mine (Pei et al.): mines frequent itemsets by depth-first projection
+/// over a hyper-structure of the frequent-item-filtered transactions. Each
+/// projection is represented as (row, offset) cursors into a shared
+/// transaction store, the in-memory rendering of H-struct hyperlinks.
+///
+/// This is also the offline pregeneration engine of the paper's H-Mine
+/// baseline (Section 2.5.2), which stores the mined itemsets and derives
+/// rules at query time.
+class HMineMiner : public FrequentItemsetMiner {
+ public:
+  std::vector<FrequentItemset> Mine(const TransactionDatabase& db,
+                                    size_t begin, size_t end,
+                                    const Options& options) const override;
+
+  std::string name() const override { return "h-mine"; }
+};
+
+}  // namespace tara
+
+#endif  // TARA_MINING_H_MINE_H_

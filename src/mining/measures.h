@@ -1,0 +1,46 @@
+#ifndef TARA_MINING_MEASURES_H_
+#define TARA_MINING_MEASURES_H_
+
+#include <cstdint>
+
+namespace tara {
+
+/// Raw occurrence counts backing the interestingness measures of a rule
+/// X ⇒ Y over a transaction range (Formulas 1-3 of the paper). Counts are
+/// stored rather than ratios so measures over window unions stay exact.
+struct RuleCounts {
+  uint64_t rule_count = 0;        ///< |F(X ∪ Y, D, T)|
+  uint64_t antecedent_count = 0;  ///< |F(X, D, T)|
+  uint64_t consequent_count = 0;  ///< |F(Y, D, T)| (needed for lift only)
+  uint64_t total = 0;             ///< |F(∅, D, T)| = number of transactions
+};
+
+/// Support(X ⇒ Y) = |F(X∪Y)| / |D| (Formula 1). Zero when the range is
+/// empty.
+inline double Support(const RuleCounts& c) {
+  return c.total == 0 ? 0.0
+                      : static_cast<double>(c.rule_count) /
+                            static_cast<double>(c.total);
+}
+
+/// Confidence(X ⇒ Y) = |F(X∪Y)| / |F(X)| (Formula 2). Zero when the
+/// antecedent never occurs.
+inline double Confidence(const RuleCounts& c) {
+  return c.antecedent_count == 0
+             ? 0.0
+             : static_cast<double>(c.rule_count) /
+                   static_cast<double>(c.antecedent_count);
+}
+
+/// Lift (a.k.a. reporting ratio in pharmacovigilance, Formula 3). Zero when
+/// either side never occurs.
+inline double Lift(const RuleCounts& c) {
+  if (c.antecedent_count == 0 || c.consequent_count == 0) return 0.0;
+  return (static_cast<double>(c.rule_count) * static_cast<double>(c.total)) /
+         (static_cast<double>(c.antecedent_count) *
+          static_cast<double>(c.consequent_count));
+}
+
+}  // namespace tara
+
+#endif  // TARA_MINING_MEASURES_H_

@@ -1,0 +1,62 @@
+#ifndef TARA_MINING_RULE_GENERATION_H_
+#define TARA_MINING_RULE_GENERATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/frequent_itemset.h"
+#include "txdb/types.h"
+
+namespace tara {
+
+/// One association rule X ⇒ Y mined from a window, with the raw counts from
+/// which support and confidence derive.
+struct MinedRule {
+  Itemset antecedent;
+  Itemset consequent;
+  uint64_t rule_count = 0;        ///< count of X ∪ Y
+  uint64_t antecedent_count = 0;  ///< count of X
+
+  double SupportOver(uint64_t total) const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(rule_count) /
+                            static_cast<double>(total);
+  }
+  double Confidence() const {
+    return antecedent_count == 0
+               ? 0.0
+               : static_cast<double>(rule_count) /
+                     static_cast<double>(antecedent_count);
+  }
+};
+
+/// Lookup table from canonical itemset to its count, built from a miner
+/// output. Downward closure guarantees every subset of a frequent itemset is
+/// present.
+class ItemsetCountIndex {
+ public:
+  explicit ItemsetCountIndex(const std::vector<FrequentItemset>& frequent);
+
+  /// Count of `items`, or 0 if not frequent (not present).
+  uint64_t Count(const Itemset& items) const;
+
+  size_t size() const { return counts_.size(); }
+
+ private:
+  struct Hash {
+    size_t operator()(const Itemset& s) const;
+  };
+  std::unordered_map<Itemset, uint64_t, Hash> counts_;
+};
+
+/// Generates every rule X ⇒ Y with X ∪ Y in `frequent`, X, Y non-empty
+/// disjoint, and confidence >= `min_confidence`. This is the paper's rule
+/// derivation step: TARA runs it once per window offline with the archive
+/// floor thresholds; the H-Mine baseline runs it per query online.
+std::vector<MinedRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, double min_confidence);
+
+}  // namespace tara
+
+#endif  // TARA_MINING_RULE_GENERATION_H_

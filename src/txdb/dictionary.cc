@@ -1,0 +1,23 @@
+#include "txdb/dictionary.h"
+
+#include "common/logging.h"
+
+namespace tara {
+
+ItemId Dictionary::Intern(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, names_.size());
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+ItemId Dictionary::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string& Dictionary::Name(ItemId id) const {
+  TARA_CHECK_LT(id, names_.size()) << "unknown item id";
+  return names_[id];
+}
+
+}  // namespace tara

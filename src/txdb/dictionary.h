@@ -1,0 +1,41 @@
+#ifndef TARA_TXDB_DICTIONARY_H_
+#define TARA_TXDB_DICTIONARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "txdb/types.h"
+
+namespace tara {
+
+/// Bidirectional mapping between item names and dense ItemIds.
+///
+/// Ids are assigned in first-seen order starting from 0, so a dictionary
+/// built deterministically yields deterministic ids.
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  ItemId Intern(const std::string& name);
+
+  /// Returns the id for `name`, or `kNotFound` if it was never interned.
+  ItemId Find(const std::string& name) const;
+
+  /// Returns the name for `id`. `id` must be valid.
+  const std::string& Name(ItemId id) const;
+
+  /// Number of distinct items interned.
+  size_t size() const { return names_.size(); }
+
+  static constexpr ItemId kNotFound = static_cast<ItemId>(-1);
+
+ private:
+  std::unordered_map<std::string, ItemId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_TXDB_DICTIONARY_H_

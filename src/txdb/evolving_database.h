@@ -1,0 +1,72 @@
+#ifndef TARA_TXDB_EVOLVING_DATABASE_H_
+#define TARA_TXDB_EVOLVING_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "txdb/transaction_database.h"
+#include "txdb/types.h"
+
+namespace tara {
+
+/// Identifier of a tumbling window (time period T_i of the paper).
+using WindowId = uint32_t;
+
+/// Index slice of the underlying database covered by one window, plus the
+/// closed time period it represents.
+struct WindowInfo {
+  size_t begin = 0;  ///< first transaction index (inclusive)
+  size_t end = 0;    ///< one past last transaction index
+  Timestamp start_time = 0;
+  Timestamp end_time = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+/// An evolving dataset: a transaction database partitioned into disjoint,
+/// consecutive tumbling windows (Section 2.4.1). New batches may arrive over
+/// time; each arrival extends the window list without touching old windows,
+/// which is the contract the incremental (iPARAS-style) index build relies
+/// on.
+class EvolvingDatabase {
+ public:
+  EvolvingDatabase() = default;
+
+  /// Appends one batch of transactions as a new window. Transactions within
+  /// the batch and across batches must be in timestamp order.
+  WindowId AppendBatch(const std::vector<Transaction>& batch);
+
+  /// Splits `db` into `k` windows of (near-)equal transaction counts — the
+  /// partitioning the paper applies to its static datasets. Later windows
+  /// absorb the remainder.
+  static EvolvingDatabase PartitionIntoBatches(const TransactionDatabase& db,
+                                               uint32_t k);
+
+  /// Splits `db` into windows of fixed time duration `w` (Figure 3's
+  /// tumbling window model). Empty windows are preserved so window ids map
+  /// linearly to time.
+  static EvolvingDatabase PartitionByDuration(const TransactionDatabase& db,
+                                              Timestamp w);
+
+  uint32_t window_count() const {
+    return static_cast<uint32_t>(windows_.size());
+  }
+  const WindowInfo& window(WindowId id) const;
+  const TransactionDatabase& database() const { return db_; }
+
+  /// Count of transactions within window `id` that contain `query`.
+  size_t CountContaining(const Itemset& query, WindowId id) const;
+
+  /// Count of transactions within every window in `ids` that contain
+  /// `query`.
+  size_t CountContaining(const Itemset& query,
+                         const std::vector<WindowId>& ids) const;
+
+ private:
+  TransactionDatabase db_;
+  std::vector<WindowInfo> windows_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_TXDB_EVOLVING_DATABASE_H_

@@ -1,0 +1,46 @@
+#include "txdb/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tara {
+
+void WriteDatabase(const TransactionDatabase& db, std::ostream* out) {
+  for (const Transaction& t : db.transactions()) {
+    *out << t.time;
+    for (ItemId item : t.items) *out << ' ' << item;
+    *out << '\n';
+  }
+}
+
+TransactionDatabase ReadDatabase(std::istream* in) {
+  TransactionDatabase db;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    Timestamp time;
+    TARA_CHECK(static_cast<bool>(fields >> time)) << "bad timestamp: " << line;
+    Itemset items;
+    ItemId item;
+    while (fields >> item) items.push_back(item);
+    db.Append(time, std::move(items));
+  }
+  return db;
+}
+
+std::string DatabaseToString(const TransactionDatabase& db) {
+  std::ostringstream out;
+  WriteDatabase(db, &out);
+  return out.str();
+}
+
+TransactionDatabase DatabaseFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadDatabase(&in);
+}
+
+}  // namespace tara

@@ -1,0 +1,24 @@
+#ifndef TARA_TXDB_IO_H_
+#define TARA_TXDB_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "txdb/transaction_database.h"
+
+namespace tara {
+
+/// Writes `db` in the classic FIMI text format extended with a leading
+/// timestamp: one transaction per line, `time item item ...`.
+void WriteDatabase(const TransactionDatabase& db, std::ostream* out);
+
+/// Parses the format written by WriteDatabase. Aborts on malformed input.
+TransactionDatabase ReadDatabase(std::istream* in);
+
+/// Convenience: round-trips through a string (used by tests and examples).
+std::string DatabaseToString(const TransactionDatabase& db);
+TransactionDatabase DatabaseFromString(const std::string& text);
+
+}  // namespace tara
+
+#endif  // TARA_TXDB_IO_H_

@@ -1,0 +1,61 @@
+#include "txdb/transaction_database.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tara {
+
+void TransactionDatabase::Append(Timestamp time, Itemset items) {
+  TARA_CHECK(transactions_.empty() || transactions_.back().time <= time)
+      << "transactions must be appended in timestamp order";
+  Canonicalize(&items);
+  if (!items.empty()) {
+    item_bound_ = std::max(item_bound_, static_cast<ItemId>(items.back() + 1));
+  }
+  transactions_.push_back(Transaction{time, std::move(items)});
+}
+
+size_t TransactionDatabase::distinct_item_count() const {
+  std::unordered_set<ItemId> seen;
+  for (const Transaction& t : transactions_) {
+    seen.insert(t.items.begin(), t.items.end());
+  }
+  return seen.size();
+}
+
+double TransactionDatabase::average_length() const {
+  if (transactions_.empty()) return 0.0;
+  size_t total = 0;
+  for (const Transaction& t : transactions_) total += t.items.size();
+  return static_cast<double>(total) / static_cast<double>(size());
+}
+
+size_t TransactionDatabase::CountContaining(const Itemset& query, size_t begin,
+                                            size_t end) const {
+  TARA_DCHECK(begin <= end && end <= size());
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (IsSubsetOf(query, transactions_[i].items)) ++count;
+  }
+  return count;
+}
+
+size_t TransactionDatabase::LowerBound(Timestamp t) const {
+  return std::lower_bound(transactions_.begin(), transactions_.end(), t,
+                          [](const Transaction& tx, Timestamp ts) {
+                            return tx.time < ts;
+                          }) -
+         transactions_.begin();
+}
+
+size_t TransactionDatabase::UpperBound(Timestamp t) const {
+  return std::upper_bound(transactions_.begin(), transactions_.end(), t,
+                          [](Timestamp ts, const Transaction& tx) {
+                            return ts < tx.time;
+                          }) -
+         transactions_.begin();
+}
+
+}  // namespace tara

@@ -1,0 +1,74 @@
+#ifndef TARA_TXDB_TRANSACTION_DATABASE_H_
+#define TARA_TXDB_TRANSACTION_DATABASE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "txdb/types.h"
+
+namespace tara {
+
+/// One timestamped transaction: the items observed together at `time`
+/// (Definition 1's d_i with d_i.time). `items` is canonical.
+struct Transaction {
+  Timestamp time = 0;
+  Itemset items;
+};
+
+/// An in-memory timestamped transaction database D = {d_1, ..., d_m}.
+///
+/// Transactions are kept in non-decreasing timestamp order; Append enforces
+/// this so that windowing (EvolvingDatabase) can slice by index ranges.
+class TransactionDatabase {
+ public:
+  TransactionDatabase() = default;
+
+  /// Appends a transaction. `items` is canonicalized; the timestamp must be
+  /// >= the last appended timestamp.
+  void Append(Timestamp time, Itemset items);
+
+  /// Number of transactions.
+  size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  const Transaction& operator[](size_t i) const { return transactions_[i]; }
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+
+  /// Largest item id observed plus one (0 when empty). Useful for sizing
+  /// per-item arrays in the miners.
+  ItemId item_bound() const { return item_bound_; }
+
+  /// Number of distinct items observed.
+  size_t distinct_item_count() const;
+
+  /// Mean transaction length.
+  double average_length() const;
+
+  /// Count of transactions (in [begin, end) index range) containing `query`.
+  /// This is the F(X, D, [ti, tj]) operator of the paper realized over an
+  /// index slice; a linear scan used by tests and the DCTAR baseline.
+  size_t CountContaining(const Itemset& query, size_t begin, size_t end) const;
+
+  /// CountContaining over all transactions.
+  size_t CountContaining(const Itemset& query) const {
+    return CountContaining(query, 0, size());
+  }
+
+  /// Index of the first transaction with time >= t (lower bound).
+  size_t LowerBound(Timestamp t) const;
+
+  /// Index of the first transaction with time > t (upper bound).
+  size_t UpperBound(Timestamp t) const;
+
+ private:
+  std::vector<Transaction> transactions_;
+  ItemId item_bound_ = 0;
+};
+
+}  // namespace tara
+
+#endif  // TARA_TXDB_TRANSACTION_DATABASE_H_

@@ -1,0 +1,39 @@
+#include "txdb/types.h"
+
+#include <algorithm>
+
+namespace tara {
+
+void Canonicalize(Itemset* items) {
+  std::sort(items->begin(), items->end());
+  items->erase(std::unique(items->begin(), items->end()), items->end());
+}
+
+bool IsSubsetOf(const Itemset& needle, const Itemset& haystack) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+Itemset Union(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+Itemset Intersection(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+Itemset Difference(const Itemset& a, const Itemset& b) {
+  Itemset out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace tara

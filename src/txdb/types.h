@@ -1,0 +1,37 @@
+#ifndef TARA_TXDB_TYPES_H_
+#define TARA_TXDB_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tara {
+
+/// Dense integer identifier of an item (product, drug, ADR, word...).
+using ItemId = uint32_t;
+
+/// Timestamp of a transaction. Units are workload-defined (the paper's
+/// time axis is abstract); windowing only requires a total order.
+using Timestamp = int64_t;
+
+/// A sorted, duplicate-free set of items. Canonical form is maintained by
+/// the construction helpers below; all mining code assumes it.
+using Itemset = std::vector<ItemId>;
+
+/// Sorts and deduplicates `items` in place, producing canonical form.
+void Canonicalize(Itemset* items);
+
+/// True if `needle` ⊆ `haystack`. Both must be canonical.
+bool IsSubsetOf(const Itemset& needle, const Itemset& haystack);
+
+/// Set union of two canonical itemsets, in canonical form.
+Itemset Union(const Itemset& a, const Itemset& b);
+
+/// Set intersection of two canonical itemsets, in canonical form.
+Itemset Intersection(const Itemset& a, const Itemset& b);
+
+/// Set difference a \ b of two canonical itemsets, in canonical form.
+Itemset Difference(const Itemset& a, const Itemset& b);
+
+}  // namespace tara
+
+#endif  // TARA_TXDB_TYPES_H_

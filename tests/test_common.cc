@@ -1,0 +1,141 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/varint.h"
+
+namespace tara {
+namespace {
+
+TEST(VarintTest, EncodesSmallValuesInOneByte) {
+  for (uint64_t v : {0ULL, 1ULL, 42ULL, 127ULL}) {
+    std::vector<uint8_t> bytes;
+    varint::EncodeU64(v, &bytes);
+    EXPECT_EQ(bytes.size(), 1u) << v;
+  }
+}
+
+TEST(VarintTest, RoundTripsUnsigned) {
+  const std::vector<uint64_t> values = {
+      0, 1, 127, 128, 255, 16383, 16384, 1u << 20, (1ull << 32) - 1,
+      1ull << 32, 0x7fffffffffffffffULL, 0xffffffffffffffffULL};
+  std::vector<uint8_t> bytes;
+  for (uint64_t v : values) varint::EncodeU64(v, &bytes);
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    EXPECT_EQ(varint::DecodeU64(bytes.data(), bytes.size(), &pos), v);
+  }
+  EXPECT_EQ(pos, bytes.size());
+}
+
+TEST(VarintTest, RoundTripsSigned) {
+  const std::vector<int64_t> values = {0, -1, 1, -63, 64, -64, 1000, -100000,
+                                       INT64_MAX, INT64_MIN};
+  std::vector<uint8_t> bytes;
+  for (int64_t v : values) varint::EncodeS64(v, &bytes);
+  size_t pos = 0;
+  for (int64_t v : values) {
+    EXPECT_EQ(varint::DecodeS64(bytes.data(), bytes.size(), &pos), v);
+  }
+}
+
+TEST(VarintTest, ZigzagMapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(varint::ZigzagEncode(0), 0u);
+  EXPECT_EQ(varint::ZigzagEncode(-1), 1u);
+  EXPECT_EQ(varint::ZigzagEncode(1), 2u);
+  EXPECT_EQ(varint::ZigzagEncode(-2), 3u);
+  for (int64_t v = -1000; v <= 1000; ++v) {
+    EXPECT_EQ(varint::ZigzagDecode(varint::ZigzagEncode(v)), v);
+  }
+}
+
+class VarintPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<uint64_t> values;
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 1000; ++i) {
+    // Mix magnitudes so all byte lengths are exercised.
+    const uint64_t v = rng.Next() >> rng.NextBounded(64);
+    values.push_back(v);
+    varint::EncodeU64(v, &bytes);
+  }
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    ASSERT_EQ(varint::DecodeU64(bytes.data(), bytes.size(), &pos), v);
+  }
+  EXPECT_EQ(pos, bytes.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VarintPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 20160197));
+
+TEST(RngTest, IsDeterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleStaysInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, PoissonMeanIsApproximatelyCorrect) {
+  Rng rng(11);
+  const double mean = 8.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(mean);
+  EXPECT_NEAR(sum / n, mean, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApproximation) {
+  Rng rng(13);
+  const double mean = 100.0;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextPoisson(mean);
+  EXPECT_NEAR(sum / n, mean, 1.0);
+}
+
+TEST(RngTest, ZipfStaysInRangeAndIsSkewed) {
+  Rng rng(17);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t r = rng.NextZipf(n, 1.2);
+    ASSERT_LT(r, n);
+    ++counts[r];
+  }
+  // Rank 0 must dominate rank 50 heavily under alpha=1.2.
+  EXPECT_GT(counts[0], counts[50] * 10);
+  // Monotone-ish head.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+}
+
+TEST(HashTest, CombinesOrderSensitively) {
+  const std::vector<uint32_t> a = {1, 2, 3};
+  const std::vector<uint32_t> b = {3, 2, 1};
+  EXPECT_NE(HashSpan(a), HashSpan(b));
+  EXPECT_EQ(HashSpan(a), HashSpan(a));
+}
+
+}  // namespace
+}  // namespace tara

@@ -1,0 +1,201 @@
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "datagen/basket_generators.h"
+#include "datagen/faers_generator.h"
+#include "datagen/quest_generator.h"
+#include "txdb/io.h"
+
+namespace tara {
+namespace {
+
+TEST(QuestGeneratorTest, IsDeterministic) {
+  QuestGenerator::Params params;
+  params.num_transactions = 200;
+  params.seed = 5;
+  const TransactionDatabase a = QuestGenerator(params).Generate();
+  const TransactionDatabase b = QuestGenerator(params).Generate();
+  EXPECT_EQ(DatabaseToString(a), DatabaseToString(b));
+}
+
+TEST(QuestGeneratorTest, DifferentSeedsDiffer) {
+  QuestGenerator::Params params;
+  params.num_transactions = 200;
+  params.seed = 5;
+  const TransactionDatabase a = QuestGenerator(params).Generate();
+  params.seed = 6;
+  const TransactionDatabase b = QuestGenerator(params).Generate();
+  EXPECT_NE(DatabaseToString(a), DatabaseToString(b));
+}
+
+TEST(QuestGeneratorTest, MatchesRequestedShape) {
+  QuestGenerator::Params params;
+  params.num_transactions = 3000;
+  params.avg_transaction_len = 12;
+  params.num_items = 500;
+  params.seed = 11;
+  const TransactionDatabase db = QuestGenerator(params).Generate();
+  EXPECT_EQ(db.size(), 3000u);
+  EXPECT_LT(db.item_bound(), 501u);
+  // Average length lands near the target (corruption and dedup push it
+  // around; allow a broad band).
+  EXPECT_GT(db.average_length(), 6.0);
+  EXPECT_LT(db.average_length(), 20.0);
+}
+
+TEST(QuestGeneratorTest, EmbedsFrequentPatterns) {
+  // A pattern-based generator must produce correlated items: some pair must
+  // co-occur far above independence.
+  QuestGenerator::Params params;
+  params.num_transactions = 2000;
+  params.num_items = 300;
+  params.num_patterns = 40;
+  params.seed = 13;
+  const TransactionDatabase db = QuestGenerator(params).Generate();
+
+  // Find the two most frequent items and check their joint count.
+  std::vector<uint64_t> counts(db.item_bound(), 0);
+  for (const Transaction& t : db.transactions()) {
+    for (ItemId i : t.items) ++counts[i];
+  }
+  // Find the pair with the highest co-occurrence lift among pairs that
+  // occur at least 20 times.
+  std::map<std::pair<ItemId, ItemId>, uint64_t> pair_counts;
+  for (const Transaction& t : db.transactions()) {
+    for (size_t i = 0; i < t.items.size(); ++i) {
+      for (size_t j = i + 1; j < t.items.size(); ++j) {
+        ++pair_counts[{t.items[i], t.items[j]}];
+      }
+    }
+  }
+  double best_lift = 0;
+  for (const auto& [pair, joint] : pair_counts) {
+    if (joint < 20) continue;
+    const double lift = static_cast<double>(joint) * db.size() /
+                        (static_cast<double>(counts[pair.first]) *
+                         counts[pair.second]);
+    best_lift = std::max(best_lift, lift);
+  }
+  EXPECT_GT(best_lift, 2.0) << "no correlated pair found";
+}
+
+TEST(QuestGeneratorTest, TimestampsAreSequentialFromOffset) {
+  QuestGenerator::Params params;
+  params.num_transactions = 50;
+  const TransactionDatabase db = QuestGenerator(params).Generate(1000);
+  EXPECT_EQ(db[0].time, 1000);
+  EXPECT_EQ(db[49].time, 1049);
+}
+
+TEST(BasketGeneratorTest, BatchesAreDeterministicAndDistinct) {
+  BasketGenerator gen(BasketGenerator::RetailPreset());
+  const TransactionDatabase a = gen.GenerateBatch(0, 0);
+  const TransactionDatabase b = gen.GenerateBatch(0, 0);
+  const TransactionDatabase c = gen.GenerateBatch(1, 0);
+  EXPECT_EQ(DatabaseToString(a), DatabaseToString(b));
+  EXPECT_NE(DatabaseToString(a), DatabaseToString(c));
+}
+
+TEST(BasketGeneratorTest, PopularityIsSkewed) {
+  BasketGenerator::Params params;
+  params.num_transactions = 5000;
+  params.num_items = 1000;
+  params.avg_len = 8;
+  params.zipf_alpha = 1.2;
+  params.drift_rate = 0;
+  const TransactionDatabase db =
+      BasketGenerator(params).GenerateBatch(0, 0);
+  std::vector<uint64_t> counts(db.item_bound(), 0);
+  for (const Transaction& t : db.transactions()) {
+    for (ItemId i : t.items) ++counts[i];
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  // Head dominates the tail by an order of magnitude.
+  EXPECT_GT(counts[0], 10 * std::max<uint64_t>(counts[counts.size() / 2], 1));
+}
+
+TEST(BasketGeneratorTest, DriftShiftsPopularItems) {
+  BasketGenerator::Params params;
+  params.num_transactions = 3000;
+  params.num_items = 500;
+  params.drift_rate = 0.2;
+  params.avg_len = 6;
+  BasketGenerator gen(params);
+  auto top_item = [](const TransactionDatabase& db) {
+    std::vector<uint64_t> counts(db.item_bound(), 0);
+    for (const Transaction& t : db.transactions()) {
+      for (ItemId i : t.items) ++counts[i];
+    }
+    return static_cast<ItemId>(std::max_element(counts.begin(),
+                                                counts.end()) -
+                               counts.begin());
+  };
+  const ItemId top0 = top_item(gen.GenerateBatch(0, 0));
+  const ItemId top3 = top_item(gen.GenerateBatch(3, 0));
+  EXPECT_NE(top0, top3) << "heavy drift must move the most popular item";
+}
+
+TEST(FaersGeneratorTest, GroundTruthIsWellFormed) {
+  FaersGenerator::Params params;
+  params.seed = 42;
+  const FaersGenerator gen(params);
+  ASSERT_EQ(gen.ground_truth().size(), params.num_ddis);
+  for (const PlantedDdi& ddi : gen.ground_truth()) {
+    EXPECT_GE(ddi.drugs.size(), 2u);
+    EXPECT_LE(ddi.drugs.size(), 3u);
+    for (ItemId d : ddi.drugs) EXPECT_LT(d, params.num_drugs);
+    EXPECT_TRUE(gen.IsAdr(ddi.adr));
+  }
+}
+
+TEST(FaersGeneratorTest, ReportsSeparateDrugAndAdrSpaces) {
+  FaersGenerator gen(FaersGenerator::Params{});
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  EXPECT_EQ(db.size(), gen.params().reports_per_quarter);
+  size_t with_drug = 0, with_adr = 0;
+  for (const Transaction& t : db.transactions()) {
+    bool drug = false, adr = false;
+    for (ItemId item : t.items) {
+      (gen.IsAdr(item) ? adr : drug) = true;
+    }
+    with_drug += drug;
+    with_adr += adr;
+  }
+  EXPECT_EQ(with_drug, db.size()) << "every report names a drug";
+  EXPECT_EQ(with_adr, db.size()) << "every report names an ADR";
+}
+
+TEST(FaersGeneratorTest, PlantedCombosProduceInteractionAdr) {
+  FaersGenerator::Params params;
+  params.reports_per_quarter = 8000;
+  params.seed = 17;
+  const FaersGenerator gen(params);
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  const PlantedDdi& ddi = gen.ground_truth().front();
+
+  size_t combo_reports = 0, combo_with_adr = 0;
+  for (const Transaction& t : db.transactions()) {
+    if (!IsSubsetOf(ddi.drugs, t.items)) continue;
+    ++combo_reports;
+    if (std::binary_search(t.items.begin(), t.items.end(), ddi.adr)) {
+      ++combo_with_adr;
+    }
+  }
+  ASSERT_GT(combo_reports, 10u) << "combo must occur often enough to mine";
+  // Interaction ADR fires at ~interaction_adr_prob among combo reports.
+  EXPECT_GT(static_cast<double>(combo_with_adr) / combo_reports, 0.5);
+}
+
+TEST(FaersGeneratorTest, QuartersAreIndependentButReproducible) {
+  FaersGenerator gen(FaersGenerator::Params{});
+  const TransactionDatabase q0 = gen.GenerateQuarter(0, 0);
+  const TransactionDatabase q0_again = gen.GenerateQuarter(0, 0);
+  const TransactionDatabase q1 = gen.GenerateQuarter(1, 0);
+  EXPECT_EQ(DatabaseToString(q0), DatabaseToString(q0_again));
+  EXPECT_NE(DatabaseToString(q0), DatabaseToString(q1));
+}
+
+}  // namespace
+}  // namespace tara

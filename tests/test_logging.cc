@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+TEST(CheckTest, PassingConditionsAreSilent) {
+  TARA_CHECK(true);
+  TARA_CHECK_EQ(1, 1);
+  TARA_CHECK_NE(1, 2);
+  TARA_CHECK_LT(1, 2);
+  TARA_CHECK_LE(2, 2);
+  TARA_CHECK_GT(3, 2);
+  TARA_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailureAbortsWithExpression) {
+  EXPECT_DEATH(TARA_CHECK(1 == 2), "1 == 2");
+}
+
+TEST(CheckDeathTest, StreamedMessageIsIncluded) {
+  const int n = -5;
+  EXPECT_DEATH(TARA_CHECK(n >= 0) << "bad n: " << n, "bad n: -5");
+}
+
+TEST(CheckDeathTest, ComparisonMacrosReportLocation) {
+  EXPECT_DEATH(TARA_CHECK_EQ(2 + 2, 5), "TARA_CHECK failed");
+  EXPECT_DEATH(TARA_CHECK_LT(9, 3), "\\(9\\) < \\(3\\)");
+}
+
+TEST(CheckTest, ConditionIsEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  auto count = [&evaluations] {
+    ++evaluations;
+    return true;
+  };
+  TARA_CHECK(count());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(CheckTest, DcheckPassesInAllBuildModes) {
+  TARA_DCHECK(true);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tara

@@ -1,0 +1,311 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "datagen/faers_generator.h"
+#include "maras/contrast.h"
+#include "maras/drug_adr.h"
+#include "maras/evaluation.h"
+#include "mining/closed_itemsets.h"
+#include "maras/maras_engine.h"
+#include "maras/tidset_index.h"
+
+namespace tara {
+namespace {
+
+constexpr ItemId kAdrBase = 100;
+
+TEST(TidsetIndexTest, CountsMatchScans) {
+  TransactionDatabase db;
+  db.Append(0, {1, 2, 100});
+  db.Append(1, {1, 100, 101});
+  db.Append(2, {2, 3});
+  db.Append(3, {1, 2, 3, 101});
+  const TidsetIndex index(db, 0, db.size());
+  EXPECT_EQ(index.total(), 4u);
+  for (const Itemset& q : std::vector<Itemset>{
+           {}, {1}, {2}, {1, 2}, {1, 100}, {2, 3, 101}, {9}}) {
+    EXPECT_EQ(index.Count(q), db.CountContaining(q)) << "query size "
+                                                     << q.size();
+  }
+}
+
+TEST(TidsetIndexTest, HandlesWordBoundaries) {
+  TransactionDatabase db;
+  for (int i = 0; i < 130; ++i) {
+    db.Append(i, {static_cast<ItemId>(i % 3)});
+  }
+  const TidsetIndex index(db, 0, db.size());
+  EXPECT_EQ(index.Count({0}), db.CountContaining({0}));
+  EXPECT_EQ(index.Count({2}), db.CountContaining({2}));
+}
+
+TEST(SplitReportTest, SeparatesSpaces) {
+  const DrugAdrAssociation assoc =
+      SplitReport({1, 5, 100, 103}, kAdrBase);
+  EXPECT_EQ(assoc.drugs, (Itemset{1, 5}));
+  EXPECT_EQ(assoc.adrs, (Itemset{100, 103}));
+  EXPECT_EQ(assoc.AllItems(), (Itemset{1, 5, 100, 103}));
+}
+
+TransactionDatabase ReportsFixture() {
+  // Reports mirroring Section 2.3.2's running example:
+  //   t0: {d1, d2, d3} ∪ {a1, a2}
+  //   t1: {d1, d2, d4} ∪ {a1, a2}
+  // Drugs = 1..4, ADRs = 100, 101.
+  TransactionDatabase db;
+  db.Append(0, {1, 2, 3, 100, 101});
+  db.Append(1, {1, 2, 4, 100, 101});
+  return db;
+}
+
+TEST(ClassifySupportTest, ExplicitWhenAReportMatchesExactly) {
+  const TransactionDatabase db = ReportsFixture();
+  const DrugAdrAssociation r1{{1, 2, 3}, {100, 101}};
+  EXPECT_EQ(ClassifySupport(r1, db, 0, db.size()), SupportType::kExplicit);
+}
+
+TEST(ClassifySupportTest, ImplicitWhenIntersectionOfReports) {
+  const TransactionDatabase db = ReportsFixture();
+  // {d1,d2} ⇒ {a1,a2} is the intersection of t0 and t1 — implicit.
+  const DrugAdrAssociation r4{{1, 2}, {100, 101}};
+  EXPECT_EQ(ClassifySupport(r4, db, 0, db.size()), SupportType::kImplicit);
+  EXPECT_TRUE(IsPairwiseIntersection(r4, db, 0, db.size()));
+}
+
+TEST(ClassifySupportTest, SpuriousPartialInterpretations) {
+  const TransactionDatabase db = ReportsFixture();
+  // d1 ⇒ a2 is a partial interpretation backed by no exact report and no
+  // intersection.
+  const DrugAdrAssociation r2{{1}, {101}};
+  // Single-drug: not an MDAR anyway, but classification must call it
+  // spurious (closure of {d1, a2} is bigger).
+  EXPECT_EQ(ClassifySupport(r2, db, 0, db.size()), SupportType::kSpurious);
+  const DrugAdrAssociation r5{{1, 3}, {100}};
+  EXPECT_EQ(ClassifySupport(r5, db, 0, db.size()), SupportType::kSpurious);
+}
+
+TEST(ClassifySupportTest, Lemma1ClosedEqualsExplicitOrImplicit) {
+  // Empirical check of Lemma 1 on generated reports: an association whose
+  // item union is closed must classify explicit or implicit; a non-closed
+  // one must classify spurious.
+  FaersGenerator::Params params;
+  params.reports_per_quarter = 300;
+  params.num_drugs = 40;
+  params.num_adrs = 20;
+  params.num_ddis = 5;
+  params.seed = 3;
+  const FaersGenerator gen(params);
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+
+  // Probe with all distinct report signatures and their pairwise
+  // intersections.
+  std::vector<Itemset> probes;
+  for (size_t i = 0; i < 60 && i < db.size(); ++i) {
+    probes.push_back(db[i].items);
+    for (size_t j = i + 1; j < 60 && j < db.size(); ++j) {
+      const Itemset inter = Intersection(db[i].items, db[j].items);
+      if (!inter.empty()) probes.push_back(inter);
+    }
+  }
+  for (const Itemset& probe : probes) {
+    const DrugAdrAssociation assoc = SplitReport(probe, gen.adr_base());
+    if (assoc.drugs.empty() || assoc.adrs.empty()) continue;
+    const SupportType type = ClassifySupport(assoc, db, 0, db.size());
+    const Itemset closure = ComputeClosure(probe, db, 0, db.size());
+    if (closure == probe) {
+      EXPECT_NE(type, SupportType::kSpurious)
+          << "closed association classified spurious";
+    } else {
+      EXPECT_EQ(type, SupportType::kSpurious)
+          << "non-closed association not classified spurious";
+    }
+  }
+}
+
+TEST(BuildCacTest, ThreeDrugTargetHasSixContextuals) {
+  // Table 1's example: a 3-drug target has 3 two-drug and 3 one-drug
+  // contextual associations.
+  TransactionDatabase db;
+  db.Append(0, {1, 2, 3, 100});
+  db.Append(1, {1, 2, 3, 100});
+  db.Append(2, {1, 2});
+  db.Append(3, {3, 100});
+  const TidsetIndex index(db, 0, db.size());
+  const Cac cac = BuildCac(DrugAdrAssociation{{1, 2, 3}, {100}}, index);
+  ASSERT_EQ(cac.levels.size(), 2u);
+  EXPECT_EQ(cac.levels[0].size(), 3u);  // 1-drug contextuals
+  EXPECT_EQ(cac.levels[1].size(), 3u);  // 2-drug contextuals
+  EXPECT_DOUBLE_EQ(cac.target_confidence, 1.0);
+  // Contextual confidences match raw scans.
+  for (const auto& level : cac.levels) {
+    for (const ContextualAssociation& c : level) {
+      const double expected =
+          static_cast<double>(db.CountContaining(Union(c.drugs, {100}))) /
+          db.CountContaining(c.drugs);
+      EXPECT_DOUBLE_EQ(c.confidence, expected);
+    }
+  }
+}
+
+Cac TwoDrugCac(double target_conf, double ctx1, double ctx2) {
+  Cac cac;
+  cac.target = DrugAdrAssociation{{1, 2}, {100}};
+  cac.target_confidence = target_conf;
+  cac.levels.resize(1);
+  cac.levels[0].push_back(ContextualAssociation{{1}, ctx1});
+  cac.levels[0].push_back(ContextualAssociation{{2}, ctx2});
+  return cac;
+}
+
+TEST(ContrastTest, PaperWorkedExampleForContrastCv) {
+  // Section 2.3.5: C1 confidences {1, 0.2, 0.8}, C2 {1, 0.5, 0.55};
+  // theta = 0.75 gives contrast_cv 0.18 and 0.45.
+  const Cac c1 = TwoDrugCac(1.0, 0.2, 0.8);
+  const Cac c2 = TwoDrugCac(1.0, 0.5, 0.55);
+  EXPECT_DOUBLE_EQ(ContrastAvg(c1), 0.5);
+  EXPECT_NEAR(ContrastCv(c1, 0.75), 0.18, 0.005);
+  EXPECT_NEAR(ContrastCv(c2, 0.75), 0.45, 0.005);
+  EXPECT_GT(ContrastCv(c2, 0.75), ContrastCv(c1, 0.75))
+      << "variation penalty must prefer uniformly weak contextuals";
+}
+
+TEST(ContrastTest, ContrastMaxUsesStrongestContextual) {
+  const Cac cac = TwoDrugCac(0.9, 0.2, 0.8);
+  EXPECT_NEAR(ContrastMax(cac), 0.9 - 0.8, 1e-12);
+  // Dominated by a subset: negative.
+  const Cac dominated = TwoDrugCac(0.5, 0.9, 0.1);
+  EXPECT_LT(ContrastMax(dominated), 0.0);
+}
+
+TEST(ContrastTest, FinalScoreRewardsExclusiveInteractions) {
+  // Strong DDI: target confident, all subsets weak.
+  const Cac ddi = TwoDrugCac(0.9, 0.05, 0.08);
+  // Confounded: one drug alone explains the ADR.
+  const Cac confounded = TwoDrugCac(0.9, 0.88, 0.1);
+  EXPECT_GT(ContrastScore(ddi, 0.75), ContrastScore(confounded, 0.75));
+  // The 1/n normalization caps a perfect 2-drug DDI at 0.5.
+  EXPECT_GT(ContrastScore(ddi, 0.75), 0.25);
+}
+
+TEST(ContrastTest, WeightingFavorsWeakSingleDrugEvidence) {
+  // Two 3-drug targets with the same average contextual confidence, but one
+  // concentrates the strength at the single-drug level. H(i, n) weighs
+  // level 1 more, so strength there must hurt more.
+  auto three_drug_cac = [](double l1, double l2) {
+    Cac cac;
+    cac.target = DrugAdrAssociation{{1, 2, 3}, {100}};
+    cac.target_confidence = 1.0;
+    cac.levels.resize(2);
+    for (int i = 0; i < 3; ++i) {
+      cac.levels[0].push_back(ContextualAssociation{{1}, l1});
+      cac.levels[1].push_back(ContextualAssociation{{1, 2}, l2});
+    }
+    return cac;
+  };
+  const double strong_singles = ContrastScore(three_drug_cac(0.6, 0.1), 0.75);
+  const double strong_pairs = ContrastScore(three_drug_cac(0.1, 0.6), 0.75);
+  EXPECT_LT(strong_singles, strong_pairs);
+}
+
+class MarasEndToEndTest : public ::testing::Test {
+ protected:
+  static FaersGenerator MakeGenerator() {
+    FaersGenerator::Params params;
+    params.reports_per_quarter = 6000;
+    params.num_drugs = 150;
+    params.num_adrs = 80;
+    params.num_ddis = 8;
+    params.seed = 88;
+    return FaersGenerator(params);
+  }
+
+  static MarasEngine::Options EngineOptions(ItemId adr_base) {
+    MarasEngine::Options options;
+    options.adr_base = adr_base;
+    options.min_count = 10;
+    options.max_itemset_size = 7;
+    return options;
+  }
+};
+
+TEST_F(MarasEndToEndTest, SignalsAreRankedAndNonSpurious) {
+  const FaersGenerator gen = MakeGenerator();
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  const MarasEngine engine(db, 0, db.size(), EngineOptions(gen.adr_base()));
+  ASSERT_FALSE(engine.signals().empty());
+  for (size_t i = 1; i < engine.signals().size(); ++i) {
+    EXPECT_GE(engine.signals()[i - 1].contrast,
+              engine.signals()[i].contrast);
+  }
+  for (const MdarSignal& s : engine.signals()) {
+    EXPECT_GE(s.assoc.drugs.size(), 2u);
+    EXPECT_FALSE(s.assoc.adrs.empty());
+    EXPECT_NE(s.support_type, SupportType::kSpurious)
+        << "closedness filter must remove spurious associations";
+  }
+}
+
+TEST_F(MarasEndToEndTest, ContrastBeatsBaselinesOnPrecisionAtK) {
+  const FaersGenerator gen = MakeGenerator();
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  const MarasEngine engine(db, 0, db.size(), EngineOptions(gen.adr_base()));
+
+  const double p10_maras =
+      PrecisionAtK(engine.signals(), gen.ground_truth(), 10);
+  const double p10_conf =
+      PrecisionAtK(engine.RankByConfidence(), gen.ground_truth(), 10);
+  const double p10_lift =
+      PrecisionAtK(engine.RankByLift(), gen.ground_truth(), 10);
+  EXPECT_GE(p10_maras, 0.5) << "planted DDIs must surface in the top 10";
+  EXPECT_GT(p10_maras, p10_conf);
+  EXPECT_GT(p10_maras, p10_lift);
+}
+
+TEST_F(MarasEndToEndTest, TrueDdisRankDeepUnderBaselines) {
+  const FaersGenerator gen = MakeGenerator();
+  const TransactionDatabase db = gen.GenerateQuarter(0, 0);
+  const MarasEngine engine(db, 0, db.size(), EngineOptions(gen.adr_base()));
+
+  // The top MARAS hit must rank far deeper in the confidence ranking
+  // (Table 2's 2,436th-style observation, scaled to this dataset).
+  const auto by_confidence = engine.RankByConfidence();
+  size_t maras_rank = 0;
+  const PlantedDdi* found = nullptr;
+  for (size_t i = 0; i < engine.signals().size() && found == nullptr; ++i) {
+    for (const PlantedDdi& ddi : gen.ground_truth()) {
+      if (RankOfDdi({engine.signals()[i]}, ddi) == 1) {
+        maras_rank = i + 1;
+        found = &ddi;
+        break;
+      }
+    }
+  }
+  ASSERT_NE(found, nullptr) << "no planted DDI detected at all";
+  EXPECT_LE(maras_rank, 10u);
+  const size_t conf_rank = RankOfDdi(by_confidence, *found);
+  ASSERT_GT(conf_rank, 0u);
+  EXPECT_GT(conf_rank, 3 * maras_rank)
+      << "confidence ranking should bury the DDI relative to MARAS";
+}
+
+TEST(EvaluationTest, PrecisionAndRankHelpers) {
+  std::vector<PlantedDdi> truth = {{{1, 2}, 100}};
+  MdarSignal hit;
+  hit.assoc = DrugAdrAssociation{{1, 2}, {100}};
+  MdarSignal miss;
+  miss.assoc = DrugAdrAssociation{{3, 4}, {101}};
+  EXPECT_TRUE(IsHit(hit, truth));
+  EXPECT_FALSE(IsHit(miss, truth));
+  EXPECT_DOUBLE_EQ(PrecisionAtK({miss, hit}, truth, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAtK({miss, hit}, truth, 1), 0.0);
+  EXPECT_EQ(RankOfDdi({miss, hit}, truth[0]), 2u);
+  EXPECT_EQ(RankOfDdi({miss}, truth[0]), 0u);
+  // Superset drugs and extra ADRs still hit.
+  MdarSignal superset;
+  superset.assoc = DrugAdrAssociation{{1, 2, 9}, {99, 100}};
+  EXPECT_TRUE(IsHit(superset, truth));
+}
+
+}  // namespace
+}  // namespace tara

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "datagen/faers_generator.h"
+#include "maras/evaluation.h"
+#include "maras/mediar.h"
+
+namespace tara {
+namespace {
+
+FaersGenerator MakeGenerator(uint64_t seed) {
+  FaersGenerator::Params params;
+  params.reports_per_quarter = 4000;
+  params.num_drugs = 120;
+  params.num_adrs = 60;
+  params.num_ddis = 6;
+  params.seed = seed;
+  return FaersGenerator(params);
+}
+
+MarasEngine::Options EngineOptions(ItemId adr_base) {
+  MarasEngine::Options options;
+  options.adr_base = adr_base;
+  options.min_count = 8;
+  options.max_itemset_size = 7;
+  options.classify_support = false;  // keep the test fast
+  return options;
+}
+
+TEST(MediarMonitorTest, TracksSignalsAcrossQuarters) {
+  const FaersGenerator gen = MakeGenerator(100);
+  MediarMonitor monitor(EngineOptions(gen.adr_base()));
+  for (uint32_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(monitor.AddQuarter(gen.GenerateQuarter(q, 0)), q);
+  }
+  EXPECT_EQ(monitor.quarter_count(), 3u);
+
+  // Planted DDIs fire every quarter, so at least one history must span all
+  // three quarters.
+  bool found_persistent = false;
+  for (const auto* history : monitor.histories()) {
+    ASSERT_EQ(history->quarters.size(), history->contrasts.size());
+    ASSERT_EQ(history->quarters.size(), history->counts.size());
+    EXPECT_TRUE(std::is_sorted(history->quarters.begin(),
+                               history->quarters.end()));
+    if (history->quarters.size() == 3) found_persistent = true;
+  }
+  EXPECT_TRUE(found_persistent);
+}
+
+TEST(MediarMonitorTest, ReviewQueuePutsNewSignalsFirst) {
+  const FaersGenerator gen = MakeGenerator(101);
+  MediarMonitor monitor(EngineOptions(gen.adr_base()));
+  monitor.AddQuarter(gen.GenerateQuarter(0, 0));
+  monitor.AddQuarter(gen.GenerateQuarter(1, 0));
+
+  const auto queue = monitor.ReviewQueue();
+  ASSERT_FALSE(queue.empty());
+  // Every queued history ends at the latest quarter.
+  for (const auto* history : queue) {
+    EXPECT_EQ(history->quarters.back(), 1u);
+  }
+  // New signals (first seen in quarter 1) come before recurring ones.
+  bool seen_recurring = false;
+  for (const auto* history : queue) {
+    if (history->NewIn(1)) {
+      EXPECT_FALSE(seen_recurring)
+          << "new signal ranked after a recurring one";
+    } else {
+      seen_recurring = true;
+    }
+  }
+}
+
+TEST(MediarMonitorTest, StrengtheningSignalsHavePositiveTrend) {
+  const FaersGenerator gen = MakeGenerator(102);
+  MediarMonitor monitor(EngineOptions(gen.adr_base()));
+  monitor.AddQuarter(gen.GenerateQuarter(0, 0));
+  monitor.AddQuarter(gen.GenerateQuarter(1, 0));
+  for (const auto* history : monitor.StrengtheningSignals()) {
+    EXPECT_GT(history->trend(), 0.0);
+    EXPECT_GE(history->quarters.size(), 2u);
+  }
+}
+
+TEST(MediarMonitorTest, PersistentDdiSignalsKeepTheirIdentity) {
+  const FaersGenerator gen = MakeGenerator(103);
+  MediarMonitor monitor(EngineOptions(gen.adr_base()));
+  for (uint32_t q = 0; q < 3; ++q) {
+    monitor.AddQuarter(gen.GenerateQuarter(q, 0));
+  }
+  // At least one planted DDI should be tracked as a multi-quarter history.
+  size_t hits = 0;
+  for (const auto* history : monitor.histories()) {
+    MdarSignal probe;
+    probe.assoc = history->assoc;
+    if (IsHit(probe, gen.ground_truth()) && history->quarters.size() >= 2) {
+      ++hits;
+    }
+  }
+  EXPECT_GE(hits, 3u) << "planted interactions should persist across "
+                         "quarters";
+}
+
+}  // namespace
+}  // namespace tara

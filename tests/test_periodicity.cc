@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/periodicity.h"
+
+namespace tara {
+namespace {
+
+Trajectory FromPattern(const std::string& pattern) {
+  Trajectory t;
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    TrajectoryPoint p;
+    p.window = static_cast<WindowId>(i);
+    p.present = pattern[i] == '1';
+    p.support = p.present ? 0.1 : 0.0;
+    p.confidence = p.present ? 0.5 : 0.0;
+    t.push_back(p);
+  }
+  return t;
+}
+
+TEST(PeriodicityTest, DetectsPerfectPeriodTwo) {
+  const PeriodicityResult r = DetectPeriodicity(FromPattern("10101010"), 4);
+  EXPECT_EQ(r.period, 2u);
+  EXPECT_EQ(r.phase, 0u);
+  EXPECT_DOUBLE_EQ(r.strength, 1.0);
+}
+
+TEST(PeriodicityTest, DetectsPhaseOffset) {
+  const PeriodicityResult r = DetectPeriodicity(FromPattern("01010101"), 4);
+  EXPECT_EQ(r.period, 2u);
+  EXPECT_EQ(r.phase, 1u);
+  EXPECT_DOUBLE_EQ(r.strength, 1.0);
+}
+
+TEST(PeriodicityTest, DetectsWeekendLikePeriodThree) {
+  // Present every third window — "every weekend" over day windows scaled.
+  const PeriodicityResult r =
+      DetectPeriodicity(FromPattern("100100100100"), 6);
+  EXPECT_EQ(r.period, 3u);
+  EXPECT_EQ(r.phase, 0u);
+  EXPECT_DOUBLE_EQ(r.strength, 1.0);
+}
+
+TEST(PeriodicityTest, AlwaysPresentIsNotPeriodic) {
+  const PeriodicityResult r = DetectPeriodicity(FromPattern("11111111"), 4);
+  EXPECT_EQ(r.period, 0u);
+  EXPECT_DOUBLE_EQ(r.strength, 0.0);
+}
+
+TEST(PeriodicityTest, NeverPresentIsNotPeriodic) {
+  const PeriodicityResult r = DetectPeriodicity(FromPattern("00000000"), 4);
+  EXPECT_EQ(r.period, 0u);
+}
+
+TEST(PeriodicityTest, TooShortTrajectoriesYieldNothing) {
+  EXPECT_EQ(DetectPeriodicity(FromPattern("101"), 4).period, 0u);
+  EXPECT_EQ(DetectPeriodicity({}, 4).period, 0u);
+}
+
+TEST(PeriodicityTest, NoisyPatternScoresBelowPerfect) {
+  const PeriodicityResult perfect =
+      DetectPeriodicity(FromPattern("101010101010"), 4);
+  const PeriodicityResult noisy =
+      DetectPeriodicity(FromPattern("101010111010"), 4);
+  EXPECT_EQ(perfect.period, 2u);
+  EXPECT_EQ(noisy.period, 2u);
+  EXPECT_GT(perfect.strength, noisy.strength);
+  EXPECT_GT(noisy.strength, 0.5);
+}
+
+TEST(PeriodicityTest, PrefersShorterPeriodOnTies) {
+  // "10101010" matches period 2 and period 4 equally; period 2 must win.
+  const PeriodicityResult r = DetectPeriodicity(FromPattern("10101010"), 4);
+  EXPECT_EQ(r.period, 2u);
+}
+
+TEST(PeriodicityTest, SingleOccurrenceDoesNotCount) {
+  // One lone presence can "align" with any period; require two on-phase
+  // hits.
+  const PeriodicityResult r = DetectPeriodicity(FromPattern("00001000"), 4);
+  EXPECT_EQ(r.period, 0u);
+}
+
+TEST(PeriodicityTest, RespectsMaxPeriod) {
+  // True period 4, but the caller caps at 3: the detector may return a
+  // weaker short-period fit or nothing, never a period above the cap.
+  const PeriodicityResult r =
+      DetectPeriodicity(FromPattern("100010001000"), 3);
+  EXPECT_LE(r.period, 3u);
+}
+
+}  // namespace
+}  // namespace tara

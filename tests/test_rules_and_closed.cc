@@ -1,0 +1,177 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "mining/closed_itemsets.h"
+#include "mining/fp_growth.h"
+#include "mining/measures.h"
+#include "mining/rule_generation.h"
+#include "txdb/transaction_database.h"
+
+namespace tara {
+namespace {
+
+TransactionDatabase SmallDatabase() {
+  // Classic 5-transaction example.
+  TransactionDatabase db;
+  db.Append(0, {1, 2, 3});
+  db.Append(1, {1, 2});
+  db.Append(2, {1, 3});
+  db.Append(3, {2, 3});
+  db.Append(4, {1, 2, 3});
+  return db;
+}
+
+TEST(MeasuresTest, FormulasMatchDefinitions) {
+  RuleCounts c;
+  c.rule_count = 2;
+  c.antecedent_count = 4;
+  c.consequent_count = 4;
+  c.total = 5;
+  EXPECT_DOUBLE_EQ(Support(c), 0.4);
+  EXPECT_DOUBLE_EQ(Confidence(c), 0.5);
+  EXPECT_DOUBLE_EQ(Lift(c), 2.0 * 5 / (4.0 * 4));
+}
+
+TEST(MeasuresTest, HandlesEmptyDenominators) {
+  RuleCounts c;
+  EXPECT_DOUBLE_EQ(Support(c), 0.0);
+  EXPECT_DOUBLE_EQ(Confidence(c), 0.0);
+  EXPECT_DOUBLE_EQ(Lift(c), 0.0);
+}
+
+TEST(RuleGenerationTest, GeneratesAllConfidentRules) {
+  const TransactionDatabase db = SmallDatabase();
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options options;
+  options.min_count = 2;
+  const auto frequent = miner.Mine(db, 0, db.size(), options);
+  const auto rules = GenerateRules(frequent, 0.0);
+
+  // Every rule's counts must match raw scans, and confidence formula holds.
+  for (const MinedRule& r : rules) {
+    const Itemset whole = Union(r.antecedent, r.consequent);
+    EXPECT_EQ(r.rule_count, db.CountContaining(whole));
+    EXPECT_EQ(r.antecedent_count, db.CountContaining(r.antecedent));
+    EXPECT_FALSE(r.antecedent.empty());
+    EXPECT_FALSE(r.consequent.empty());
+    EXPECT_TRUE(Intersection(r.antecedent, r.consequent).empty());
+  }
+
+  // {1,2} count 3: rules 1->2 (conf 3/4) and 2->1 (conf 3/4) must exist.
+  const auto has_rule = [&](Itemset a, Itemset c) {
+    return std::any_of(rules.begin(), rules.end(), [&](const MinedRule& r) {
+      return r.antecedent == a && r.consequent == c;
+    });
+  };
+  EXPECT_TRUE(has_rule({1}, {2}));
+  EXPECT_TRUE(has_rule({2}, {1}));
+  EXPECT_TRUE(has_rule({1, 2}, {3}));
+  EXPECT_TRUE(has_rule({3}, {1, 2}));
+}
+
+TEST(RuleGenerationTest, ConfidenceThresholdFilters) {
+  const TransactionDatabase db = SmallDatabase();
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options options;
+  options.min_count = 2;
+  const auto frequent = miner.Mine(db, 0, db.size(), options);
+
+  const auto loose = GenerateRules(frequent, 0.0);
+  const auto tight = GenerateRules(frequent, 0.75);
+  EXPECT_LT(tight.size(), loose.size());
+  for (const MinedRule& r : tight) {
+    EXPECT_GE(r.Confidence() + 1e-12, 0.75);
+  }
+  // Threshold 0 keeps everything: counts of rules from k-itemsets equal
+  // sum over frequent itemsets of (2^k - 2).
+  size_t expected = 0;
+  for (const auto& f : frequent) {
+    if (f.items.size() >= 2) expected += (1u << f.items.size()) - 2;
+  }
+  EXPECT_EQ(loose.size(), expected);
+}
+
+TEST(ItemsetCountIndexTest, LooksUpCounts) {
+  const TransactionDatabase db = SmallDatabase();
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options options;
+  options.min_count = 2;
+  const auto frequent = miner.Mine(db, 0, db.size(), options);
+  const ItemsetCountIndex index(frequent);
+  EXPECT_EQ(index.Count({1}), 4u);
+  EXPECT_EQ(index.Count({1, 2}), 3u);
+  EXPECT_EQ(index.Count({99}), 0u);
+}
+
+TEST(ClosureTest, ClosureIsIntersectionOfContainingTransactions) {
+  const TransactionDatabase db = SmallDatabase();
+  // {1} appears in tx 0,1,2,4 → intersection {1}.
+  EXPECT_EQ(ComputeClosure({1}, db, 0, db.size()), (Itemset{1}));
+  // {2,3} appears in tx 0,3,4 → intersection {2,3}.
+  EXPECT_EQ(ComputeClosure({2, 3}, db, 0, db.size()), (Itemset{2, 3}));
+  // Never-contained itemset → empty closure.
+  EXPECT_EQ(ComputeClosure({7}, db, 0, db.size()), Itemset{});
+}
+
+TEST(ClosureTest, NonClosedItemsetGrowsToItsClosure) {
+  TransactionDatabase db;
+  db.Append(0, {1, 2, 3});
+  db.Append(1, {1, 2, 3});
+  db.Append(2, {4});
+  // {1} only occurs with {2,3}; its closure is {1,2,3}.
+  EXPECT_EQ(ComputeClosure({1}, db, 0, db.size()), (Itemset{1, 2, 3}));
+}
+
+TEST(FilterClosedTest, MatchesClosureDefinition) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    TransactionDatabase db;
+    for (int t = 0; t < 25; ++t) {
+      Itemset items;
+      for (ItemId i = 0; i < 7; ++i) {
+        if (rng.NextBool(0.4)) items.push_back(i);
+      }
+      if (items.empty()) items.push_back(0);
+      db.Append(t, items);
+    }
+    FpGrowthMiner miner;
+    FrequentItemsetMiner::Options options;
+    options.min_count = 2;
+    const auto frequent = miner.Mine(db, 0, db.size(), options);
+    const auto closed = FilterClosed(frequent);
+
+    // Exactly the itemsets equal to their own closure survive.
+    size_t expected = 0;
+    for (const auto& f : frequent) {
+      if (ComputeClosure(f.items, db, 0, db.size()) == f.items) ++expected;
+    }
+    EXPECT_EQ(closed.size(), expected);
+    for (const auto& f : closed) {
+      EXPECT_EQ(ComputeClosure(f.items, db, 0, db.size()), f.items);
+    }
+  }
+}
+
+TEST(FilterClosedTest, ClosedSetRecoversAllCounts) {
+  // Every frequent itemset's count equals the minimum count among closed
+  // supersets — the compact-representation property of closed itemsets.
+  const TransactionDatabase db = SmallDatabase();
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options options;
+  options.min_count = 1;
+  const auto frequent = miner.Mine(db, 0, db.size(), options);
+  const auto closed = FilterClosed(frequent);
+  for (const auto& f : frequent) {
+    uint64_t best = 0;
+    for (const auto& c : closed) {
+      if (IsSubsetOf(f.items, c.items)) best = std::max(best, c.count);
+    }
+    EXPECT_EQ(best, f.count) << "itemset size " << f.items.size();
+  }
+}
+
+}  // namespace
+}  // namespace tara

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "core/tara_engine.h"
+#include "datagen/quest_generator.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+namespace {
+
+EvolvingDatabase MakeData(uint64_t seed) {
+  QuestGenerator::Params params;
+  params.num_transactions = 1500;
+  params.num_items = 80;
+  params.num_patterns = 40;
+  params.avg_transaction_len = 8;
+  params.seed = seed;
+  const TransactionDatabase db = QuestGenerator(params).Generate();
+  return EvolvingDatabase::PartitionIntoBatches(db, 3);
+}
+
+TaraEngine BuildEngine(const EvolvingDatabase& data, bool content_index) {
+  TaraEngine::Options options;
+  options.min_support_floor = 0.01;
+  options.min_confidence_floor = 0.1;
+  options.max_itemset_size = 5;
+  options.build_content_index = content_index;
+  TaraEngine engine(options);
+  engine.BuildAll(data);
+  return engine;
+}
+
+TEST(SerializationTest, RoundTripPreservesEveryQueryAnswer) {
+  const EvolvingDatabase data = MakeData(60);
+  const TaraEngine original = BuildEngine(data, false);
+  const TaraEngine loaded =
+      KnowledgeBaseFromString(KnowledgeBaseToString(original));
+
+  ASSERT_EQ(loaded.window_count(), original.window_count());
+  ASSERT_EQ(loaded.catalog().size(), original.catalog().size());
+  ASSERT_EQ(loaded.archive().entry_count(), original.archive().entry_count());
+
+  // Every interned rule survives verbatim (same ids, same content).
+  for (RuleId id = 0; id < original.catalog().size(); ++id) {
+    EXPECT_EQ(loaded.catalog().rule(id).antecedent,
+              original.catalog().rule(id).antecedent);
+    EXPECT_EQ(loaded.catalog().rule(id).consequent,
+              original.catalog().rule(id).consequent);
+  }
+
+  // Mining, regions, and trajectories answer identically.
+  const std::vector<WindowId> horizon = {0, 1, 2};
+  for (double supp : {0.01, 0.02, 0.05}) {
+    for (double conf : {0.1, 0.4, 0.7}) {
+      const ParameterSetting setting{supp, conf};
+      for (WindowId w = 0; w < original.window_count(); ++w) {
+        EXPECT_EQ(loaded.MineWindow(w, setting),
+                  original.MineWindow(w, setting));
+        const RegionInfo a = loaded.RecommendRegion(w, setting);
+        const RegionInfo b = original.RecommendRegion(w, setting);
+        EXPECT_DOUBLE_EQ(a.support_upper, b.support_upper);
+        EXPECT_EQ(a.result_size, b.result_size);
+      }
+    }
+  }
+  const auto rules = original.MineWindow(0, ParameterSetting{0.02, 0.3});
+  for (RuleId id : rules) {
+    const Trajectory a = BuildTrajectory(loaded.archive(), id, horizon);
+    const Trajectory b = BuildTrajectory(original.archive(), id, horizon);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].present, b[i].present);
+      EXPECT_DOUBLE_EQ(a[i].support, b[i].support);
+      EXPECT_DOUBLE_EQ(a[i].confidence, b[i].confidence);
+    }
+  }
+}
+
+TEST(SerializationTest, PreservesOptionsAndContentIndex) {
+  const EvolvingDatabase data = MakeData(61);
+  const TaraEngine original = BuildEngine(data, true);
+  const TaraEngine loaded =
+      KnowledgeBaseFromString(KnowledgeBaseToString(original));
+  EXPECT_DOUBLE_EQ(loaded.options().min_support_floor, 0.01);
+  EXPECT_DOUBLE_EQ(loaded.options().min_confidence_floor, 0.1);
+  EXPECT_EQ(loaded.options().max_itemset_size, 5u);
+  EXPECT_TRUE(loaded.options().build_content_index);
+
+  // Content queries work on the reloaded base.
+  const ParameterSetting setting{0.02, 0.2};
+  const auto rules = loaded.MineWindow(0, setting);
+  ASSERT_FALSE(rules.empty());
+  const ItemId item = loaded.catalog().rule(rules[0]).antecedent[0];
+  EXPECT_EQ(loaded.ContentQuery(0, {item}, setting),
+            original.ContentQuery(0, {item}, setting));
+}
+
+TEST(SerializationTest, LoadedEngineKeepsEvolving) {
+  const EvolvingDatabase data = MakeData(62);
+  const TaraEngine original = BuildEngine(data, false);
+  TaraEngine loaded =
+      KnowledgeBaseFromString(KnowledgeBaseToString(original));
+
+  // A new batch can be appended to the reloaded base.
+  const EvolvingDatabase more = MakeData(63);
+  const WindowInfo& info = more.window(0);
+  const WindowId w = loaded.AppendWindow(more.database(), info.begin,
+                                         info.end);
+  EXPECT_EQ(w, 3u);
+  EXPECT_FALSE(loaded.MineWindow(w, ParameterSetting{0.02, 0.2}).empty());
+}
+
+TEST(SerializationDeathTest, RejectsGarbageStreams) {
+  EXPECT_DEATH(KnowledgeBaseFromString("not a knowledge base"),
+               "not a TARA knowledge base");
+}
+
+TEST(SerializationTest, EmptyEngineRoundTrips) {
+  TaraEngine::Options options;
+  options.min_support_floor = 0.05;
+  const TaraEngine empty(options);
+  const TaraEngine loaded =
+      KnowledgeBaseFromString(KnowledgeBaseToString(empty));
+  EXPECT_EQ(loaded.window_count(), 0u);
+  EXPECT_EQ(loaded.catalog().size(), 0u);
+}
+
+}  // namespace
+}  // namespace tara

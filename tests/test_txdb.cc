@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "txdb/dictionary.h"
+#include "txdb/evolving_database.h"
+#include "txdb/io.h"
+#include "txdb/transaction_database.h"
+#include "txdb/types.h"
+
+namespace tara {
+namespace {
+
+TEST(ItemsetOpsTest, CanonicalizeSortsAndDeduplicates) {
+  Itemset items = {5, 1, 3, 1, 5, 2};
+  Canonicalize(&items);
+  EXPECT_EQ(items, (Itemset{1, 2, 3, 5}));
+}
+
+TEST(ItemsetOpsTest, SubsetChecks) {
+  EXPECT_TRUE(IsSubsetOf({}, {1, 2}));
+  EXPECT_TRUE(IsSubsetOf({1}, {1, 2}));
+  EXPECT_TRUE(IsSubsetOf({1, 2}, {1, 2}));
+  EXPECT_FALSE(IsSubsetOf({3}, {1, 2}));
+  EXPECT_FALSE(IsSubsetOf({1, 3}, {1, 2}));
+}
+
+TEST(ItemsetOpsTest, SetAlgebra) {
+  const Itemset a = {1, 2, 4};
+  const Itemset b = {2, 3};
+  EXPECT_EQ(Union(a, b), (Itemset{1, 2, 3, 4}));
+  EXPECT_EQ(Intersection(a, b), (Itemset{2}));
+  EXPECT_EQ(Difference(a, b), (Itemset{1, 4}));
+  EXPECT_EQ(Difference(b, a), (Itemset{3}));
+}
+
+class ItemsetAlgebraPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ItemsetAlgebraPropertyTest, UnionIntersectionDifferencePartition) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    Itemset a, b;
+    for (int i = 0; i < 12; ++i) {
+      if (rng.NextBool(0.5)) a.push_back(static_cast<ItemId>(
+          rng.NextBounded(20)));
+      if (rng.NextBool(0.5)) b.push_back(static_cast<ItemId>(
+          rng.NextBounded(20)));
+    }
+    Canonicalize(&a);
+    Canonicalize(&b);
+    // |A ∪ B| = |A \ B| + |B \ A| + |A ∩ B|.
+    EXPECT_EQ(Union(a, b).size(), Difference(a, b).size() +
+                                      Difference(b, a).size() +
+                                      Intersection(a, b).size());
+    // A ∩ B ⊆ A ⊆ A ∪ B.
+    EXPECT_TRUE(IsSubsetOf(Intersection(a, b), a));
+    EXPECT_TRUE(IsSubsetOf(a, Union(a, b)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ItemsetAlgebraPropertyTest,
+                         ::testing::Values(1, 7, 99));
+
+TEST(DictionaryTest, InternsAndLooksUp) {
+  Dictionary dict;
+  const ItemId aspirin = dict.Intern("aspirin");
+  const ItemId ibuprofen = dict.Intern("ibuprofen");
+  EXPECT_NE(aspirin, ibuprofen);
+  EXPECT_EQ(dict.Intern("aspirin"), aspirin);
+  EXPECT_EQ(dict.Find("ibuprofen"), ibuprofen);
+  EXPECT_EQ(dict.Find("nonexistent"), Dictionary::kNotFound);
+  EXPECT_EQ(dict.Name(aspirin), "aspirin");
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(TransactionDatabaseTest, AppendsCanonicallyAndCounts) {
+  TransactionDatabase db;
+  db.Append(0, {3, 1, 3});
+  db.Append(1, {1, 2});
+  db.Append(5, {2, 3});
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_EQ(db[0].items, (Itemset{1, 3}));
+  EXPECT_EQ(db.CountContaining({1}), 2u);
+  EXPECT_EQ(db.CountContaining({3}), 2u);
+  EXPECT_EQ(db.CountContaining({1, 3}), 1u);
+  EXPECT_EQ(db.CountContaining({}), 3u);
+  EXPECT_EQ(db.CountContaining({9}), 0u);
+}
+
+TEST(TransactionDatabaseTest, CountsOverRanges) {
+  TransactionDatabase db;
+  for (int i = 0; i < 10; ++i) db.Append(i, {static_cast<ItemId>(i % 2)});
+  EXPECT_EQ(db.CountContaining({0}, 0, 10), 5u);
+  EXPECT_EQ(db.CountContaining({0}, 0, 4), 2u);
+  EXPECT_EQ(db.CountContaining({1}, 5, 10), 3u);
+}
+
+TEST(TransactionDatabaseTest, TimeBounds) {
+  TransactionDatabase db;
+  db.Append(10, {1});
+  db.Append(20, {1});
+  db.Append(20, {2});
+  db.Append(30, {3});
+  EXPECT_EQ(db.LowerBound(20), 1u);
+  EXPECT_EQ(db.UpperBound(20), 3u);
+  EXPECT_EQ(db.LowerBound(5), 0u);
+  EXPECT_EQ(db.LowerBound(35), 4u);
+}
+
+TEST(TransactionDatabaseTest, Statistics) {
+  TransactionDatabase db;
+  db.Append(0, {1, 2});
+  db.Append(1, {2, 3, 4, 5});
+  EXPECT_EQ(db.distinct_item_count(), 5u);
+  EXPECT_DOUBLE_EQ(db.average_length(), 3.0);
+  EXPECT_EQ(db.item_bound(), 6u);
+}
+
+TEST(IoTest, RoundTripsThroughText) {
+  TransactionDatabase db;
+  db.Append(7, {1, 5, 9});
+  db.Append(8, {2});
+  db.Append(12, {3, 4});
+  const TransactionDatabase copy = DatabaseFromString(DatabaseToString(db));
+  ASSERT_EQ(copy.size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(copy[i].time, db[i].time);
+    EXPECT_EQ(copy[i].items, db[i].items);
+  }
+}
+
+TEST(EvolvingDatabaseTest, PartitionsIntoEqualBatches) {
+  TransactionDatabase db;
+  for (int i = 0; i < 103; ++i) db.Append(i, {static_cast<ItemId>(i % 7)});
+  const EvolvingDatabase evolving =
+      EvolvingDatabase::PartitionIntoBatches(db, 5);
+  ASSERT_EQ(evolving.window_count(), 5u);
+  size_t total = 0;
+  for (WindowId w = 0; w < 5; ++w) {
+    total += evolving.window(w).size();
+    EXPECT_GE(evolving.window(w).size(), 20u);
+  }
+  EXPECT_EQ(total, 103u);
+  // Windows tile the database contiguously.
+  EXPECT_EQ(evolving.window(0).begin, 0u);
+  for (WindowId w = 1; w < 5; ++w) {
+    EXPECT_EQ(evolving.window(w).begin, evolving.window(w - 1).end);
+  }
+}
+
+TEST(EvolvingDatabaseTest, PartitionsByDuration) {
+  TransactionDatabase db;
+  db.Append(0, {1});
+  db.Append(5, {1});
+  db.Append(25, {2});  // skips one empty window [10, 20)
+  db.Append(31, {3});
+  const EvolvingDatabase evolving =
+      EvolvingDatabase::PartitionByDuration(db, 10);
+  ASSERT_EQ(evolving.window_count(), 4u);
+  EXPECT_EQ(evolving.window(0).size(), 2u);
+  EXPECT_EQ(evolving.window(1).size(), 0u);  // empty window preserved
+  EXPECT_EQ(evolving.window(2).size(), 1u);
+  EXPECT_EQ(evolving.window(3).size(), 1u);
+}
+
+TEST(EvolvingDatabaseTest, AppendBatchExtendsWindows) {
+  EvolvingDatabase evolving;
+  std::vector<Transaction> batch1 = {{0, {1, 2}}, {1, {2, 3}}};
+  std::vector<Transaction> batch2 = {{2, {1, 3}}};
+  EXPECT_EQ(evolving.AppendBatch(batch1), 0u);
+  EXPECT_EQ(evolving.AppendBatch(batch2), 1u);
+  EXPECT_EQ(evolving.window_count(), 2u);
+  EXPECT_EQ(evolving.CountContaining({2}, WindowId{0}), 2u);
+  EXPECT_EQ(evolving.CountContaining({2}, WindowId{1}), 0u);
+  EXPECT_EQ(evolving.CountContaining({1}, {0u, 1u}), 2u);
+}
+
+}  // namespace
+}  // namespace tara

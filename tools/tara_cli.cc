@@ -1,0 +1,305 @@
+// tara_cli: a scriptable command-line explorer for TARA knowledge bases.
+//
+// Reads one command per line from stdin (so it works both interactively
+// and piped). Typical session:
+//
+//   gen quest 8000 200          # synthesize a dataset (or: load FILE)
+//   windows 4                   # partition into tumbling windows
+//   build 0.01 0.1              # offline phase with these floors
+//   mine 3 0.02 0.5             # rules of window 3
+//   region 3 0.02 0.5           # Q3: enclosing stable region
+//   diff 0.02 0.5 0.04 0.5      # Q2 across all windows
+//   traj 0.02 0.5               # Q1 from the newest window
+//   top stable 5                # exploration service
+//   save kb.bin / loadkb kb.bin # knowledge-base persistence
+//   help / quit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/exploration.h"
+#include "core/serialization.h"
+#include "core/tara_engine.h"
+#include "datagen/basket_generators.h"
+#include "datagen/quest_generator.h"
+#include "txdb/evolving_database.h"
+#include "txdb/io.h"
+
+namespace tara::cli {
+namespace {
+
+class Session {
+ public:
+  int Run() {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  bool Dispatch(const std::string& line) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command) || command[0] == '#') return true;
+    if (command == "quit" || command == "exit") return false;
+    if (command == "help") {
+      Help();
+    } else if (command == "load") {
+      Load(in);
+    } else if (command == "gen") {
+      Generate(in);
+    } else if (command == "windows") {
+      Windows(in);
+    } else if (command == "build") {
+      Build(in);
+    } else if (command == "mine") {
+      Mine(in);
+    } else if (command == "region") {
+      Region(in);
+    } else if (command == "diff") {
+      Diff(in);
+    } else if (command == "traj") {
+      Trajectories(in);
+    } else if (command == "top") {
+      Top(in);
+    } else if (command == "save") {
+      SaveKb(in);
+    } else if (command == "loadkb") {
+      LoadKb(in);
+    } else {
+      std::printf("unknown command '%s' (try: help)\n", command.c_str());
+    }
+    return true;
+  }
+
+  void Help() {
+    std::printf(
+        "commands:\n"
+        "  load FILE             read 'time item item...' lines\n"
+        "  gen quest N ITEMS | gen retail N ITEMS   synthesize data\n"
+        "  windows K             partition into K tumbling windows\n"
+        "  build SUPP CONF       offline phase with these floors\n"
+        "  mine W SUPP CONF      rules of window W\n"
+        "  region W SUPP CONF    Q3 stable region\n"
+        "  diff S1 C1 S2 C2      Q2 exact-match diff over all windows\n"
+        "  traj SUPP CONF        Q1 from the newest window\n"
+        "  top stable|emerging|fading|periodic K\n"
+        "  save FILE | loadkb FILE   knowledge-base persistence\n"
+        "  quit\n");
+  }
+
+  void Load(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path)) {
+      std::printf("usage: load FILE\n");
+      return;
+    }
+    std::ifstream file(path);
+    if (!file) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    db_ = ReadDatabase(&file);
+    data_.reset();
+    engine_.reset();
+    std::printf("loaded %zu transactions, %zu distinct items\n", db_->size(),
+                db_->distinct_item_count());
+  }
+
+  void Generate(std::istringstream& in) {
+    std::string kind;
+    uint32_t n = 10000, items = 500;
+    in >> kind >> n >> items;
+    if (kind == "quest") {
+      QuestGenerator::Params params;
+      params.num_transactions = n;
+      params.num_items = items;
+      params.num_patterns = items / 3 + 1;
+      params.avg_transaction_len = 9;
+      params.seed = 11;
+      db_ = QuestGenerator(params).Generate();
+    } else if (kind == "retail") {
+      BasketGenerator::Params params = BasketGenerator::RetailPreset();
+      params.num_transactions = n;
+      params.num_items = items;
+      db_ = BasketGenerator(params).GenerateBatch(0, 0);
+    } else {
+      std::printf("usage: gen quest|retail N ITEMS\n");
+      return;
+    }
+    data_.reset();
+    engine_.reset();
+    std::printf("generated %zu transactions (%s)\n", db_->size(),
+                kind.c_str());
+  }
+
+  void Windows(std::istringstream& in) {
+    uint32_t k = 0;
+    if (!(in >> k) || k == 0 || !db_) {
+      std::printf("usage: windows K (load or gen data first)\n");
+      return;
+    }
+    data_ = EvolvingDatabase::PartitionIntoBatches(*db_, k);
+    engine_.reset();
+    std::printf("partitioned into %u windows of ~%zu transactions\n", k,
+                db_->size() / k);
+  }
+
+  void Build(std::istringstream& in) {
+    double supp = 0.01, conf = 0.1;
+    in >> supp >> conf;
+    if (!data_) {
+      std::printf("partition first (windows K)\n");
+      return;
+    }
+    TaraEngine::Options options;
+    options.min_support_floor = supp;
+    options.min_confidence_floor = conf;
+    options.max_itemset_size = 5;
+    options.build_content_index = true;
+    engine_ = std::make_unique<TaraEngine>(options);
+    engine_->BuildAll(*data_);
+    double seconds = 0;
+    for (const auto& s : engine_->build_stats()) seconds += s.total_seconds();
+    std::printf("built: %zu rules interned, %zu archive entries, %.2fs\n",
+                engine_->catalog().size(), engine_->archive().entry_count(),
+                seconds);
+  }
+
+  bool Ready() const {
+    if (!engine_) std::printf("build first\n");
+    return engine_ != nullptr;
+  }
+
+  std::vector<WindowId> AllWindows() const {
+    std::vector<WindowId> windows;
+    for (WindowId w = 0; w < engine_->window_count(); ++w) {
+      windows.push_back(w);
+    }
+    return windows;
+  }
+
+  void Mine(std::istringstream& in) {
+    uint32_t w = 0;
+    double supp = 0, conf = 0;
+    if (!(in >> w >> supp >> conf) || !Ready()) return;
+    const auto rules = engine_->MineWindow(w, ParameterSetting{supp, conf});
+    std::printf("%zu rules; first few:\n", rules.size());
+    for (size_t i = 0; i < rules.size() && i < 10; ++i) {
+      std::printf("  %s\n", engine_->catalog().FormatRule(rules[i]).c_str());
+    }
+  }
+
+  void Region(std::istringstream& in) {
+    uint32_t w = 0;
+    double supp = 0, conf = 0;
+    if (!(in >> w >> supp >> conf) || !Ready()) return;
+    const RegionInfo r =
+        engine_->RecommendRegion(w, ParameterSetting{supp, conf});
+    std::printf("stable region: supp (%.5f, %.5f], conf (%.4f, %.4f], "
+                "%zu rules\n",
+                r.support_lower, r.support_upper, r.confidence_lower,
+                r.confidence_upper, r.result_size);
+  }
+
+  void Diff(std::istringstream& in) {
+    double s1, c1, s2, c2;
+    if (!(in >> s1 >> c1 >> s2 >> c2) || !Ready()) return;
+    const auto diff = engine_->CompareSettings(
+        ParameterSetting{s1, c1}, ParameterSetting{s2, c2}, AllWindows(),
+        MatchMode::kExact);
+    std::printf("only (%g,%g): %zu rules; only (%g,%g): %zu rules\n", s1, c1,
+                diff.only_first.size(), s2, c2, diff.only_second.size());
+  }
+
+  void Trajectories(std::istringstream& in) {
+    double supp = 0, conf = 0;
+    if (!(in >> supp >> conf) || !Ready()) return;
+    const WindowId newest = engine_->window_count() - 1;
+    const auto result = engine_->TrajectoryQuery(
+        newest, ParameterSetting{supp, conf}, AllWindows());
+    std::printf("%zu rules in the newest window; trajectories:\n",
+                result.rules.size());
+    for (size_t i = 0; i < result.rules.size() && i < 5; ++i) {
+      std::printf("  %-28s",
+                  engine_->catalog().FormatRule(result.rules[i]).c_str());
+      for (const TrajectoryPoint& p : result.trajectories[i]) {
+        std::printf(p.present ? " %.4f" : "   --  ", p.support);
+      }
+      std::printf("\n");
+    }
+  }
+
+  void Top(std::istringstream& in) {
+    std::string kind;
+    size_t k = 5;
+    in >> kind >> k;
+    if (!Ready()) return;
+    ExplorationService service(engine_.get());
+    const ParameterSetting floor{engine_->options().min_support_floor,
+                                 engine_->options().min_confidence_floor};
+    std::vector<RuleInsight> insights;
+    if (kind == "stable") {
+      insights = service.TopStable(AllWindows(), floor, k);
+    } else if (kind == "emerging") {
+      insights = service.TopEmerging(AllWindows(), floor, k);
+    } else if (kind == "fading") {
+      insights = service.TopFading(AllWindows(), floor, k);
+    } else if (kind == "periodic") {
+      insights = service.TopPeriodic(AllWindows(), floor, k, 4);
+    } else {
+      std::printf("usage: top stable|emerging|fading|periodic K\n");
+      return;
+    }
+    for (const RuleInsight& insight : insights) {
+      std::printf("  %-28s coverage=%.2f stability=%.2f emergence=%+.4f",
+                  engine_->catalog().FormatRule(insight.rule).c_str(),
+                  insight.measures.coverage, insight.measures.stability,
+                  insight.emergence);
+      if (insight.periodicity.period != 0) {
+        std::printf(" period=%u", insight.periodicity.period);
+      }
+      std::printf("\n");
+    }
+  }
+
+  void SaveKb(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path) || !Ready()) return;
+    std::ofstream file(path, std::ios::binary);
+    SaveKnowledgeBase(*engine_, &file);
+    std::printf("saved knowledge base to %s\n", path.c_str());
+  }
+
+  void LoadKb(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path)) return;
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    engine_ = std::make_unique<TaraEngine>(LoadKnowledgeBase(&file));
+    std::printf("loaded knowledge base: %u windows, %zu rules\n",
+                engine_->window_count(), engine_->catalog().size());
+  }
+
+  std::optional<TransactionDatabase> db_;
+  std::optional<EvolvingDatabase> data_;
+  std::unique_ptr<TaraEngine> engine_;
+};
+
+}  // namespace
+}  // namespace tara::cli
+
+int main() {
+  return tara::cli::Session().Run();
+}
