@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incremental_build.dir/ablation_incremental_build.cc.o"
+  "CMakeFiles/ablation_incremental_build.dir/ablation_incremental_build.cc.o.d"
+  "ablation_incremental_build"
+  "ablation_incremental_build.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incremental_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_maras_precision.dir/fig06_maras_precision.cc.o"
+  "CMakeFiles/fig06_maras_precision.dir/fig06_maras_precision.cc.o.d"
+  "fig06_maras_precision"
+  "fig06_maras_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_maras_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

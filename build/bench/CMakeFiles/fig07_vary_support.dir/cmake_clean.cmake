@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_vary_support.dir/fig07_vary_support.cc.o"
+  "CMakeFiles/fig07_vary_support.dir/fig07_vary_support.cc.o.d"
+  "fig07_vary_support"
+  "fig07_vary_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vary_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

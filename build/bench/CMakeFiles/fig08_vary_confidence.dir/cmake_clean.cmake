@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_vary_confidence.dir/fig08_vary_confidence.cc.o"
+  "CMakeFiles/fig08_vary_confidence.dir/fig08_vary_confidence.cc.o.d"
+  "fig08_vary_confidence"
+  "fig08_vary_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_vary_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_preprocessing.dir/fig09_preprocessing.cc.o"
+  "CMakeFiles/fig09_preprocessing.dir/fig09_preprocessing.cc.o.d"
+  "fig09_preprocessing"
+  "fig09_preprocessing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_compare_support.dir/fig10_compare_support.cc.o"
+  "CMakeFiles/fig10_compare_support.dir/fig10_compare_support.cc.o.d"
+  "fig10_compare_support"
+  "fig10_compare_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_compare_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

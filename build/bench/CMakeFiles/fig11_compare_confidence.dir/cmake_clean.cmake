@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_compare_confidence.dir/fig11_compare_confidence.cc.o"
+  "CMakeFiles/fig11_compare_confidence.dir/fig11_compare_confidence.cc.o.d"
+  "fig11_compare_confidence"
+  "fig11_compare_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_compare_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

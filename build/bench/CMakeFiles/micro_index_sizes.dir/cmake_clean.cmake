@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_index_sizes.dir/micro_index_sizes.cc.o"
+  "CMakeFiles/micro_index_sizes.dir/micro_index_sizes.cc.o.d"
+  "micro_index_sizes"
+  "micro_index_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_index_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

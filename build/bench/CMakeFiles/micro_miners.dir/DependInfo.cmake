@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_miners.cc" "bench/CMakeFiles/micro_miners.dir/micro_miners.cc.o" "gcc" "bench/CMakeFiles/micro_miners.dir/micro_miners.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/tara_bench_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tara_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/maras/CMakeFiles/tara_maras.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tara_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/tara_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/txdb/CMakeFiles/tara_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tara_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tara_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

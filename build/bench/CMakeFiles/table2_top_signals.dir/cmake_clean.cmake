@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_top_signals.dir/table2_top_signals.cc.o"
+  "CMakeFiles/table2_top_signals.dir/table2_top_signals.cc.o.d"
+  "table2_top_signals"
+  "table2_top_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_top_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_bench_datasets.dir/bench_datasets.cc.o"
+  "CMakeFiles/tara_bench_datasets.dir/bench_datasets.cc.o.d"
+  "CMakeFiles/tara_bench_datasets.dir/q1_runner.cc.o"
+  "CMakeFiles/tara_bench_datasets.dir/q1_runner.cc.o.d"
+  "libtara_bench_datasets.a"
+  "libtara_bench_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_bench_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

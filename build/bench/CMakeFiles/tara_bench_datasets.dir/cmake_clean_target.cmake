@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtara_bench_datasets.a"
+)

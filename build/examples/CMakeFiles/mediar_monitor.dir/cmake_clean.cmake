@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mediar_monitor.dir/mediar_monitor.cpp.o"
+  "CMakeFiles/mediar_monitor.dir/mediar_monitor.cpp.o.d"
+  "mediar_monitor"
+  "mediar_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mediar_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pharmacovigilance.dir/pharmacovigilance.cpp.o"
+  "CMakeFiles/pharmacovigilance.dir/pharmacovigilance.cpp.o.d"
+  "pharmacovigilance"
+  "pharmacovigilance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pharmacovigilance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

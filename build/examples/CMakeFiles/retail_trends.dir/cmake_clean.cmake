@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_trends.dir/retail_trends.cpp.o"
+  "CMakeFiles/retail_trends.dir/retail_trends.cpp.o.d"
+  "retail_trends"
+  "retail_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

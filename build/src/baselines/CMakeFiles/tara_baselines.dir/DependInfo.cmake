@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dctar.cc" "src/baselines/CMakeFiles/tara_baselines.dir/dctar.cc.o" "gcc" "src/baselines/CMakeFiles/tara_baselines.dir/dctar.cc.o.d"
+  "/root/repo/src/baselines/hmine_baseline.cc" "src/baselines/CMakeFiles/tara_baselines.dir/hmine_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/tara_baselines.dir/hmine_baseline.cc.o.d"
+  "/root/repo/src/baselines/paras_baseline.cc" "src/baselines/CMakeFiles/tara_baselines.dir/paras_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/tara_baselines.dir/paras_baseline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tara_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/tara_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/txdb/CMakeFiles/tara_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_baselines.dir/dctar.cc.o"
+  "CMakeFiles/tara_baselines.dir/dctar.cc.o.d"
+  "CMakeFiles/tara_baselines.dir/hmine_baseline.cc.o"
+  "CMakeFiles/tara_baselines.dir/hmine_baseline.cc.o.d"
+  "CMakeFiles/tara_baselines.dir/paras_baseline.cc.o"
+  "CMakeFiles/tara_baselines.dir/paras_baseline.cc.o.d"
+  "libtara_baselines.a"
+  "libtara_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

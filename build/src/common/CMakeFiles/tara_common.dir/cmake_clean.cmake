@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_common.dir/logging.cc.o"
+  "CMakeFiles/tara_common.dir/logging.cc.o.d"
+  "CMakeFiles/tara_common.dir/rng.cc.o"
+  "CMakeFiles/tara_common.dir/rng.cc.o.d"
+  "CMakeFiles/tara_common.dir/varint.cc.o"
+  "CMakeFiles/tara_common.dir/varint.cc.o.d"
+  "libtara_common.a"
+  "libtara_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtara_common.a"
+)

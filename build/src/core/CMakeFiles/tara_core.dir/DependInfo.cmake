@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/exploration.cc" "src/core/CMakeFiles/tara_core.dir/exploration.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/exploration.cc.o.d"
+  "/root/repo/src/core/periodicity.cc" "src/core/CMakeFiles/tara_core.dir/periodicity.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/periodicity.cc.o.d"
+  "/root/repo/src/core/rule_catalog.cc" "src/core/CMakeFiles/tara_core.dir/rule_catalog.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/rule_catalog.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/tara_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/serialization.cc.o.d"
+  "/root/repo/src/core/stable_region_index.cc" "src/core/CMakeFiles/tara_core.dir/stable_region_index.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/stable_region_index.cc.o.d"
+  "/root/repo/src/core/tar_archive.cc" "src/core/CMakeFiles/tara_core.dir/tar_archive.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/tar_archive.cc.o.d"
+  "/root/repo/src/core/tara_engine.cc" "src/core/CMakeFiles/tara_core.dir/tara_engine.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/tara_engine.cc.o.d"
+  "/root/repo/src/core/trajectory.cc" "src/core/CMakeFiles/tara_core.dir/trajectory.cc.o" "gcc" "src/core/CMakeFiles/tara_core.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/tara_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/txdb/CMakeFiles/tara_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

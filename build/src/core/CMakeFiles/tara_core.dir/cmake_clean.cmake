@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_core.dir/exploration.cc.o"
+  "CMakeFiles/tara_core.dir/exploration.cc.o.d"
+  "CMakeFiles/tara_core.dir/periodicity.cc.o"
+  "CMakeFiles/tara_core.dir/periodicity.cc.o.d"
+  "CMakeFiles/tara_core.dir/rule_catalog.cc.o"
+  "CMakeFiles/tara_core.dir/rule_catalog.cc.o.d"
+  "CMakeFiles/tara_core.dir/serialization.cc.o"
+  "CMakeFiles/tara_core.dir/serialization.cc.o.d"
+  "CMakeFiles/tara_core.dir/stable_region_index.cc.o"
+  "CMakeFiles/tara_core.dir/stable_region_index.cc.o.d"
+  "CMakeFiles/tara_core.dir/tar_archive.cc.o"
+  "CMakeFiles/tara_core.dir/tar_archive.cc.o.d"
+  "CMakeFiles/tara_core.dir/tara_engine.cc.o"
+  "CMakeFiles/tara_core.dir/tara_engine.cc.o.d"
+  "CMakeFiles/tara_core.dir/trajectory.cc.o"
+  "CMakeFiles/tara_core.dir/trajectory.cc.o.d"
+  "libtara_core.a"
+  "libtara_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

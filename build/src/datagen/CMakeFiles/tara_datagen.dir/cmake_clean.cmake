@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_datagen.dir/basket_generators.cc.o"
+  "CMakeFiles/tara_datagen.dir/basket_generators.cc.o.d"
+  "CMakeFiles/tara_datagen.dir/faers_generator.cc.o"
+  "CMakeFiles/tara_datagen.dir/faers_generator.cc.o.d"
+  "CMakeFiles/tara_datagen.dir/quest_generator.cc.o"
+  "CMakeFiles/tara_datagen.dir/quest_generator.cc.o.d"
+  "libtara_datagen.a"
+  "libtara_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

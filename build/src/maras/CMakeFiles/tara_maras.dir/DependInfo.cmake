@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maras/contrast.cc" "src/maras/CMakeFiles/tara_maras.dir/contrast.cc.o" "gcc" "src/maras/CMakeFiles/tara_maras.dir/contrast.cc.o.d"
+  "/root/repo/src/maras/drug_adr.cc" "src/maras/CMakeFiles/tara_maras.dir/drug_adr.cc.o" "gcc" "src/maras/CMakeFiles/tara_maras.dir/drug_adr.cc.o.d"
+  "/root/repo/src/maras/evaluation.cc" "src/maras/CMakeFiles/tara_maras.dir/evaluation.cc.o" "gcc" "src/maras/CMakeFiles/tara_maras.dir/evaluation.cc.o.d"
+  "/root/repo/src/maras/maras_engine.cc" "src/maras/CMakeFiles/tara_maras.dir/maras_engine.cc.o" "gcc" "src/maras/CMakeFiles/tara_maras.dir/maras_engine.cc.o.d"
+  "/root/repo/src/maras/mediar.cc" "src/maras/CMakeFiles/tara_maras.dir/mediar.cc.o" "gcc" "src/maras/CMakeFiles/tara_maras.dir/mediar.cc.o.d"
+  "/root/repo/src/maras/tidset_index.cc" "src/maras/CMakeFiles/tara_maras.dir/tidset_index.cc.o" "gcc" "src/maras/CMakeFiles/tara_maras.dir/tidset_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/tara_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/tara_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/txdb/CMakeFiles/tara_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_maras.dir/contrast.cc.o"
+  "CMakeFiles/tara_maras.dir/contrast.cc.o.d"
+  "CMakeFiles/tara_maras.dir/drug_adr.cc.o"
+  "CMakeFiles/tara_maras.dir/drug_adr.cc.o.d"
+  "CMakeFiles/tara_maras.dir/evaluation.cc.o"
+  "CMakeFiles/tara_maras.dir/evaluation.cc.o.d"
+  "CMakeFiles/tara_maras.dir/maras_engine.cc.o"
+  "CMakeFiles/tara_maras.dir/maras_engine.cc.o.d"
+  "CMakeFiles/tara_maras.dir/mediar.cc.o"
+  "CMakeFiles/tara_maras.dir/mediar.cc.o.d"
+  "CMakeFiles/tara_maras.dir/tidset_index.cc.o"
+  "CMakeFiles/tara_maras.dir/tidset_index.cc.o.d"
+  "libtara_maras.a"
+  "libtara_maras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_maras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

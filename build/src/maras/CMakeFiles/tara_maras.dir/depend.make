@@ -1,0 +1,2 @@
+# Empty dependencies file for tara_maras.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/tara_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/closed_itemsets.cc" "src/mining/CMakeFiles/tara_mining.dir/closed_itemsets.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/closed_itemsets.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/mining/CMakeFiles/tara_mining.dir/eclat.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/eclat.cc.o.d"
+  "/root/repo/src/mining/fp_growth.cc" "src/mining/CMakeFiles/tara_mining.dir/fp_growth.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/fp_growth.cc.o.d"
+  "/root/repo/src/mining/frequent_itemset.cc" "src/mining/CMakeFiles/tara_mining.dir/frequent_itemset.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/frequent_itemset.cc.o.d"
+  "/root/repo/src/mining/h_mine.cc" "src/mining/CMakeFiles/tara_mining.dir/h_mine.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/h_mine.cc.o.d"
+  "/root/repo/src/mining/rule_generation.cc" "src/mining/CMakeFiles/tara_mining.dir/rule_generation.cc.o" "gcc" "src/mining/CMakeFiles/tara_mining.dir/rule_generation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/txdb/CMakeFiles/tara_txdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_mining.dir/apriori.cc.o"
+  "CMakeFiles/tara_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/tara_mining.dir/closed_itemsets.cc.o"
+  "CMakeFiles/tara_mining.dir/closed_itemsets.cc.o.d"
+  "CMakeFiles/tara_mining.dir/eclat.cc.o"
+  "CMakeFiles/tara_mining.dir/eclat.cc.o.d"
+  "CMakeFiles/tara_mining.dir/fp_growth.cc.o"
+  "CMakeFiles/tara_mining.dir/fp_growth.cc.o.d"
+  "CMakeFiles/tara_mining.dir/frequent_itemset.cc.o"
+  "CMakeFiles/tara_mining.dir/frequent_itemset.cc.o.d"
+  "CMakeFiles/tara_mining.dir/h_mine.cc.o"
+  "CMakeFiles/tara_mining.dir/h_mine.cc.o.d"
+  "CMakeFiles/tara_mining.dir/rule_generation.cc.o"
+  "CMakeFiles/tara_mining.dir/rule_generation.cc.o.d"
+  "libtara_mining.a"
+  "libtara_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txdb/dictionary.cc" "src/txdb/CMakeFiles/tara_txdb.dir/dictionary.cc.o" "gcc" "src/txdb/CMakeFiles/tara_txdb.dir/dictionary.cc.o.d"
+  "/root/repo/src/txdb/evolving_database.cc" "src/txdb/CMakeFiles/tara_txdb.dir/evolving_database.cc.o" "gcc" "src/txdb/CMakeFiles/tara_txdb.dir/evolving_database.cc.o.d"
+  "/root/repo/src/txdb/io.cc" "src/txdb/CMakeFiles/tara_txdb.dir/io.cc.o" "gcc" "src/txdb/CMakeFiles/tara_txdb.dir/io.cc.o.d"
+  "/root/repo/src/txdb/transaction_database.cc" "src/txdb/CMakeFiles/tara_txdb.dir/transaction_database.cc.o" "gcc" "src/txdb/CMakeFiles/tara_txdb.dir/transaction_database.cc.o.d"
+  "/root/repo/src/txdb/types.cc" "src/txdb/CMakeFiles/tara_txdb.dir/types.cc.o" "gcc" "src/txdb/CMakeFiles/tara_txdb.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tara_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

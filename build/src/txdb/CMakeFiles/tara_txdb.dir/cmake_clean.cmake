@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_txdb.dir/dictionary.cc.o"
+  "CMakeFiles/tara_txdb.dir/dictionary.cc.o.d"
+  "CMakeFiles/tara_txdb.dir/evolving_database.cc.o"
+  "CMakeFiles/tara_txdb.dir/evolving_database.cc.o.d"
+  "CMakeFiles/tara_txdb.dir/io.cc.o"
+  "CMakeFiles/tara_txdb.dir/io.cc.o.d"
+  "CMakeFiles/tara_txdb.dir/transaction_database.cc.o"
+  "CMakeFiles/tara_txdb.dir/transaction_database.cc.o.d"
+  "CMakeFiles/tara_txdb.dir/types.cc.o"
+  "CMakeFiles/tara_txdb.dir/types.cc.o.d"
+  "libtara_txdb.a"
+  "libtara_txdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_txdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exploration.dir/test_exploration.cc.o"
+  "CMakeFiles/test_exploration.dir/test_exploration.cc.o.d"
+  "test_exploration"
+  "test_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

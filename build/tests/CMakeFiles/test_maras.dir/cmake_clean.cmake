@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maras.dir/test_maras.cc.o"
+  "CMakeFiles/test_maras.dir/test_maras.cc.o.d"
+  "test_maras"
+  "test_maras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mediar.dir/test_mediar.cc.o"
+  "CMakeFiles/test_mediar.dir/test_mediar.cc.o.d"
+  "test_mediar"
+  "test_mediar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mediar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_periodicity.dir/test_periodicity.cc.o"
+  "CMakeFiles/test_periodicity.dir/test_periodicity.cc.o.d"
+  "test_periodicity"
+  "test_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

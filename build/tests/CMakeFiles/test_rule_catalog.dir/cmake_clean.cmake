@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rule_catalog.dir/test_rule_catalog.cc.o"
+  "CMakeFiles/test_rule_catalog.dir/test_rule_catalog.cc.o.d"
+  "test_rule_catalog"
+  "test_rule_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rule_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

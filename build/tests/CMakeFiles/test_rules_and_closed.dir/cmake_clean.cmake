@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rules_and_closed.dir/test_rules_and_closed.cc.o"
+  "CMakeFiles/test_rules_and_closed.dir/test_rules_and_closed.cc.o.d"
+  "test_rules_and_closed"
+  "test_rules_and_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rules_and_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stable_region_index.dir/test_stable_region_index.cc.o"
+  "CMakeFiles/test_stable_region_index.dir/test_stable_region_index.cc.o.d"
+  "test_stable_region_index"
+  "test_stable_region_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stable_region_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

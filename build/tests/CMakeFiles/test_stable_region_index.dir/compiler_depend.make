@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_stable_region_index.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tar_archive.dir/test_tar_archive.cc.o"
+  "CMakeFiles/test_tar_archive.dir/test_tar_archive.cc.o.d"
+  "test_tar_archive"
+  "test_tar_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tar_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tara_engine.dir/test_tara_engine.cc.o"
+  "CMakeFiles/test_tara_engine.dir/test_tara_engine.cc.o.d"
+  "test_tara_engine"
+  "test_tara_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tara_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

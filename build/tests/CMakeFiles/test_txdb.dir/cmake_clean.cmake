@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_txdb.dir/test_txdb.cc.o"
+  "CMakeFiles/test_txdb.dir/test_txdb.cc.o.d"
+  "test_txdb"
+  "test_txdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_txdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tara_cli.dir/tara_cli.cc.o"
+  "CMakeFiles/tara_cli.dir/tara_cli.cc.o.d"
+  "tara_cli"
+  "tara_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tara_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

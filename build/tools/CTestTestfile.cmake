@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tara_cli_smoke "sh" "-c" "printf 'gen quest 2000 100
+windows 3
+build 0.01 0.1
+mine 2 0.02 0.4
+region 2 0.02 0.4
+save /tmp/tara_kb_smoke.bin
+loadkb /tmp/tara_kb_smoke.bin
+region 2 0.02 0.4
+diff 0.02 0.4 0.05 0.4
+traj 0.02 0.4
+top stable 3
+top periodic 3
+quit
+' | /root/repo/build/tools/tara_cli")
+set_tests_properties(tara_cli_smoke PROPERTIES  PASS_REGULAR_EXPRESSION "stable region" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
