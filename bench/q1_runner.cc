@@ -75,7 +75,9 @@ void RunQ1Experiment(BenchDataset& d, Vary vary) {
   systems.Build(d);
 
   const WindowId anchor = d.data.window_count() - 1;
+  // Baselines take raw window lists; the TARA engines take a WindowSet.
   const std::vector<WindowId> horizon = Horizon(d);
+  const WindowSet tara_horizon = systems.tara.MakeWindowSet(horizon);
   const std::vector<double>& sweep =
       vary == Vary::kSupport ? d.support_sweep : d.confidence_sweep;
 
@@ -93,10 +95,10 @@ void RunQ1Experiment(BenchDataset& d, Vary vary) {
     const size_t rules = systems.tara.MineWindow(anchor, setting).size();
 
     const double tara_us = TimeMicros(kFastReps, [&] {
-      systems.tara.TrajectoryQuery(anchor, setting, horizon);
+      systems.tara.TrajectoryQuery(anchor, setting, tara_horizon);
     });
     const double tara_s_us = TimeMicros(kFastReps, [&] {
-      systems.tara_s.TrajectoryQuery(anchor, setting, horizon);
+      systems.tara_s.TrajectoryQuery(anchor, setting, tara_horizon);
       systems.tara_s.ContentView(anchor, setting);
     });
     const double tara_r_us = TimeMicros(kFastReps, [&] {
@@ -126,6 +128,7 @@ void RunQ2Experiment(BenchDataset& d, Vary vary) {
   systems.Build(d);
 
   const std::vector<WindowId> windows = Horizon(d);
+  const WindowSet tara_windows = systems.tara.MakeWindowSet(windows);
   const std::vector<double>& sweep =
       vary == Vary::kSupport ? d.support_sweep : d.confidence_sweep;
 
@@ -146,7 +149,7 @@ void RunQ2Experiment(BenchDataset& d, Vary vary) {
     size_t diff_size = 0;
     const double tara_us = TimeMicros(kFastReps, [&] {
       const auto diff =
-          systems.tara.CompareSettings(first, second, windows,
+          systems.tara.CompareSettings(first, second, tara_windows,
                                        MatchMode::kExact);
       diff_size = diff.only_first.size() + diff.only_second.size();
     });

@@ -70,7 +70,7 @@ int main() {
   const ParameterSetting chosen = guess;
   const ParameterSetting looser{chosen.min_support * 0.7,
                                 chosen.min_confidence};
-  const std::vector<WindowId> windows = {newest};
+  const WindowSet windows = WindowSet::Single(newest, engine.window_count());
   const auto diff =
       engine.CompareSettings(looser, chosen, windows, MatchMode::kExact);
   std::printf("\nQ2 diff (supp %.4f vs %.4f): %zu rules only at the looser "

@@ -43,13 +43,14 @@ int main() {
               "newest window: %zu\n",
               setting.min_support, setting.min_confidence, rules.size());
 
-  // 4. Trajectory of the first few rules across all windows.
-  const std::vector<WindowId> horizon = {0, 1, 2, 3};
+  // 4. Trajectory of the first few rules across all windows. WindowSet
+  // validates the window list once, at construction.
+  const WindowSet horizon = engine.AllWindows();
   std::printf("\ntrajectories (support/confidence per window):\n");
   for (size_t i = 0; i < rules.size() && i < 3; ++i) {
     std::printf("  %-28s", engine.catalog().FormatRule(rules[i]).c_str());
     for (const TrajectoryPoint& p :
-         BuildTrajectory(engine.archive(), rules[i], horizon)) {
+         BuildTrajectory(engine.archive(), rules[i], horizon.ids())) {
       if (p.present) {
         std::printf("  [%.3f/%.2f]", p.support, p.confidence);
       } else {

@@ -60,7 +60,7 @@ int main() {
   TaraEngine engine(options);
   engine.BuildAll(data);
 
-  const std::vector<WindowId> all_weeks = {0, 1, 2, 3, 4, 5};
+  const WindowSet all_weeks = engine.AllWindows();
   const ParameterSetting setting{0.006, 0.3};
 
   // Rules valid in at least one week, with their evolving measures.
@@ -98,7 +98,7 @@ int main() {
 
   // Emerging: strong in the last week, absent in the first weeks.
   auto emergence = [&](const Scored& s) {
-    const Trajectory t = BuildTrajectory(engine.archive(), s.rule, all_weeks);
+    const Trajectory t = BuildTrajectory(engine.archive(), s.rule, all_weeks.ids());
     const double early = t[0].present ? t[0].support : 0.0;
     const double late = t.back().present ? t.back().support : 0.0;
     return late - early;
@@ -125,7 +125,7 @@ int main() {
   }
 
   // Roll-up: treat weeks 0-3 as a "month" and mine it with bounds.
-  const std::vector<WindowId> month = {0, 1, 2, 3};
+  const WindowSet month = WindowSet::Range(0, 4, engine.window_count());
   const auto rolled = engine.MineRolledUp(month, ParameterSetting{0.01, 0.3});
   std::printf("\nrolled-up month (weeks 1-4): %zu rules certainly valid, "
               "%zu possibly valid (depend on sub-floor windows)\n",

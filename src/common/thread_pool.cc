@@ -1,0 +1,91 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tara {
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  const uint32_t n = std::max<uint32_t>(1, num_threads);
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InWorkerThread() { return tls_in_worker; }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TARA_CHECK(!stopping_) << "Submit on a stopping ThreadPool";
+    queue_.push(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+size_t ThreadPool::ChunkCountFor(size_t n) const {
+  return std::min<size_t>(n, size() + 1);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n,
+    const std::function<void(size_t chunk, size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  if (InWorkerThread()) {
+    body(0, 0, n);
+    return;
+  }
+  const size_t chunks = ChunkCountFor(n);
+  if (chunks <= 1) {
+    body(0, 0, n);
+    return;
+  }
+  // Even split; the first (n % chunks) chunks take one extra element.
+  const size_t base = n / chunks;
+  const size_t extra = n % chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  size_t begin = base + (0 < extra ? 1 : 0);  // chunk 0 runs on the caller
+  const size_t chunk0_end = begin;
+  for (size_t c = 1; c < chunks; ++c) {
+    const size_t len = base + (c < extra ? 1 : 0);
+    const size_t end = begin + len;
+    futures.push_back(Submit([&body, c, begin, end] { body(c, begin, end); }));
+    begin = end;
+  }
+  body(0, 0, chunk0_end);
+  for (std::future<void>& f : futures) f.get();
+}
+
+}  // namespace tara

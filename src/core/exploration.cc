@@ -32,8 +32,7 @@ std::vector<RuleInsight> TakeTop(std::vector<RuleInsight> insights,
 }  // namespace
 
 std::vector<RuleInsight> ExplorationService::ProfileRules(
-    const std::vector<WindowId>& horizon,
-    const ParameterSetting& setting) const {
+    const WindowSet& horizon, const ParameterSetting& setting) const {
   const std::vector<RuleId> rules =
       engine_->MineWindows(horizon, setting, MatchMode::kSingle);
   std::vector<RuleInsight> insights;
@@ -44,7 +43,7 @@ std::vector<RuleInsight> ExplorationService::ProfileRules(
     RuleInsight insight;
     insight.rule = rule;
     const Trajectory trajectory =
-        BuildTrajectory(engine_->archive(), rule, horizon);
+        BuildTrajectory(engine_->archive(), rule, horizon.ids());
     insight.measures = ComputeMeasures(trajectory);
     insight.periodicity = DetectPeriodicity(trajectory, max_period);
     insight.emergence = Emergence(trajectory);
@@ -54,7 +53,7 @@ std::vector<RuleInsight> ExplorationService::ProfileRules(
 }
 
 std::vector<RuleInsight> ExplorationService::TopStable(
-    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    const WindowSet& horizon, const ParameterSetting& setting,
     size_t k) const {
   std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
   std::sort(insights.begin(), insights.end(),
@@ -71,7 +70,7 @@ std::vector<RuleInsight> ExplorationService::TopStable(
 }
 
 std::vector<RuleInsight> ExplorationService::TopEmerging(
-    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    const WindowSet& horizon, const ParameterSetting& setting,
     size_t k) const {
   std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
   std::sort(insights.begin(), insights.end(),
@@ -85,7 +84,7 @@ std::vector<RuleInsight> ExplorationService::TopEmerging(
 }
 
 std::vector<RuleInsight> ExplorationService::TopFading(
-    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    const WindowSet& horizon, const ParameterSetting& setting,
     size_t k) const {
   std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
   std::sort(insights.begin(), insights.end(),
@@ -99,12 +98,12 @@ std::vector<RuleInsight> ExplorationService::TopFading(
 }
 
 std::vector<RuleInsight> ExplorationService::TopPeriodic(
-    const std::vector<WindowId>& horizon, const ParameterSetting& setting,
+    const WindowSet& horizon, const ParameterSetting& setting,
     size_t k, uint32_t max_period) const {
   std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
   for (RuleInsight& insight : insights) {
     const Trajectory trajectory =
-        BuildTrajectory(engine_->archive(), insight.rule, horizon);
+        BuildTrajectory(engine_->archive(), insight.rule, horizon.ids());
     insight.periodicity = DetectPeriodicity(trajectory, max_period);
   }
   std::sort(insights.begin(), insights.end(),

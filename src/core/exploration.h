@@ -34,27 +34,26 @@ class ExplorationService {
 
   /// Profiles every rule valid (under `setting`) in at least one window of
   /// `horizon`.
-  std::vector<RuleInsight> ProfileRules(
-      const std::vector<WindowId>& horizon,
-      const ParameterSetting& setting) const;
+  std::vector<RuleInsight> ProfileRules(const WindowSet& horizon,
+                                        const ParameterSetting& setting) const;
 
   /// Top-k rules by full coverage then stability.
-  std::vector<RuleInsight> TopStable(const std::vector<WindowId>& horizon,
+  std::vector<RuleInsight> TopStable(const WindowSet& horizon,
                                      const ParameterSetting& setting,
                                      size_t k) const;
 
   /// Top-k rules by emergence (most positive support trend).
-  std::vector<RuleInsight> TopEmerging(const std::vector<WindowId>& horizon,
+  std::vector<RuleInsight> TopEmerging(const WindowSet& horizon,
                                        const ParameterSetting& setting,
                                        size_t k) const;
 
   /// Top-k rules by negative emergence (fading).
-  std::vector<RuleInsight> TopFading(const std::vector<WindowId>& horizon,
+  std::vector<RuleInsight> TopFading(const WindowSet& horizon,
                                      const ParameterSetting& setting,
                                      size_t k) const;
 
   /// Top-k periodic rules (strongest cycle, then shorter period).
-  std::vector<RuleInsight> TopPeriodic(const std::vector<WindowId>& horizon,
+  std::vector<RuleInsight> TopPeriodic(const WindowSet& horizon,
                                        const ParameterSetting& setting,
                                        size_t k, uint32_t max_period) const;
 

@@ -16,11 +16,50 @@ double ConfidenceOf(uint64_t rule_count, uint64_t antecedent_count) {
                    static_cast<double>(antecedent_count);
 }
 
+/// Strict total order on entries: descending support count, then
+/// descending confidence, then rule id. Total because rule ids are unique
+/// within a window, so every sort — chunked or not — yields one sequence.
+bool LocationLess(const WindowIndex::Entry& a, const WindowIndex::Entry& b) {
+  if (a.rule_count != b.rule_count) return a.rule_count > b.rule_count;
+  const double ca = ConfidenceOf(a.rule_count, a.antecedent_count);
+  const double cb = ConfidenceOf(b.rule_count, b.antecedent_count);
+  if (ca != cb) return ca > cb;
+  return a.rule < b.rule;
+}
+
+/// Sorts `entries` into parametric-location order, chunk-sorting on the
+/// pool and merging when one is supplied. Small inputs sort inline — the
+/// fan-out overhead would dwarf the work.
+void SortByLocation(std::vector<WindowIndex::Entry>* entries,
+                    ThreadPool* pool) {
+  constexpr size_t kParallelSortMin = 4096;
+  const size_t n = entries->size();
+  if (pool == nullptr || n < kParallelSortMin ||
+      pool->ChunkCountFor(n) <= 1) {
+    std::sort(entries->begin(), entries->end(), LocationLess);
+    return;
+  }
+  const size_t chunks = pool->ChunkCountFor(n);
+  std::vector<std::pair<size_t, size_t>> ranges(chunks);
+  pool->ParallelFor(n, [&](size_t chunk, size_t begin, size_t end) {
+    std::sort(entries->begin() + begin, entries->begin() + end, LocationLess);
+    ranges[chunk] = {begin, end};
+  });
+  // Fold the sorted chunks left-to-right; the comparator's total order
+  // makes the merged sequence identical to a single full sort.
+  size_t merged_end = ranges[0].second;
+  for (size_t c = 1; c < chunks; ++c) {
+    std::inplace_merge(entries->begin(), entries->begin() + merged_end,
+                       entries->begin() + ranges[c].second, LocationLess);
+    merged_end = ranges[c].second;
+  }
+}
+
 }  // namespace
 
 void WindowIndex::Build(const std::vector<Entry>& entries,
                         uint64_t total_transactions, bool build_content_index,
-                        const RuleCatalog& catalog) {
+                        const RuleCatalog& catalog, ThreadPool* pool) {
   total_transactions_ = total_transactions;
   has_content_index_ = build_content_index;
   buckets_.clear();
@@ -38,13 +77,7 @@ void WindowIndex::Build(const std::vector<Entry>& entries,
   // confidence exactly; two rules share a location iff both counts match —
   // Lemma 2's distinctness guarantee).
   std::vector<Entry> sorted = entries;
-  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
-    if (a.rule_count != b.rule_count) return a.rule_count > b.rule_count;
-    const double ca = ConfidenceOf(a.rule_count, a.antecedent_count);
-    const double cb = ConfidenceOf(b.rule_count, b.antecedent_count);
-    if (ca != cb) return ca > cb;
-    return a.rule < b.rule;
-  });
+  SortByLocation(&sorted, pool);
 
   for (const Entry& e : sorted) {
     const double conf = ConfidenceOf(e.rule_count, e.antecedent_count);

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/rule_catalog.h"
 #include "txdb/types.h"
 
@@ -49,8 +50,13 @@ class WindowIndex {
   /// Builds the index for a window with `total_transactions` transactions.
   /// When `build_content_index` is set (the TARA-S variant), a per-item
   /// inverted index over the rules is kept for content-based exploration.
+  /// A non-null `pool` parallelizes the stable-region sweep's dominant
+  /// cost — sorting the entries into parametric-location order — via
+  /// chunked sorts merged deterministically; the built index is identical
+  /// to a sequential build.
   void Build(const std::vector<Entry>& entries, uint64_t total_transactions,
-             bool build_content_index, const RuleCatalog& catalog);
+             bool build_content_index, const RuleCatalog& catalog,
+             ThreadPool* pool = nullptr);
 
   uint64_t total_transactions() const { return total_transactions_; }
 

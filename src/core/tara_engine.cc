@@ -1,6 +1,10 @@
 #include "core/tara_engine.h"
 
 #include <algorithm>
+#include <deque>
+#include <sstream>
+#include <thread>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -8,44 +12,75 @@
 #include "mining/rule_generation.h"
 
 namespace tara {
+namespace {
 
-TaraEngine::TaraEngine(const Options& options) : options_(options) {
-  TARA_CHECK(options.min_support_floor > 0 &&
-             options.min_support_floor <= 1.0);
-  TARA_CHECK(options.min_confidence_floor >= 0 &&
-             options.min_confidence_floor <= 1.0);
+/// Resolves Options::parallelism (0 = hardware concurrency) to a concrete
+/// worker count.
+uint32_t EffectiveParallelism(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
 }
 
-WindowId TaraEngine::AppendWindow(const TransactionDatabase& db, size_t begin,
-                                  size_t end) {
-  const WindowId window = static_cast<WindowId>(windows_.size());
-  const uint64_t total = end - begin;
-  WindowBuildStats stats;
-  stats.window = window;
+}  // namespace
+
+std::optional<std::string> TaraEngine::Options::Validate() const {
+  std::ostringstream error;
+  if (!(min_support_floor > 0.0 && min_support_floor <= 1.0)) {
+    error << "Options::min_support_floor must be in (0, 1] — windows are "
+             "mined once at this floor and online queries may only tighten "
+             "it — got "
+          << min_support_floor;
+    return error.str();
+  }
+  if (!(min_confidence_floor >= 0.0 && min_confidence_floor <= 1.0)) {
+    error << "Options::min_confidence_floor must be in [0, 1] — got "
+          << min_confidence_floor;
+    return error.str();
+  }
+  if (max_itemset_size == 1) {
+    error << "Options::max_itemset_size of 1 admits no rules (a rule needs "
+             ">= 2 items); use 0 for unlimited or a cap >= 2";
+    return error.str();
+  }
+  return std::nullopt;
+}
+
+TaraEngine::TaraEngine(const Options& options) : options_(options) {
+  const std::optional<std::string> error = options_.Validate();
+  TARA_CHECK(!error.has_value()) << *error;
+  const uint32_t parallelism = EffectiveParallelism(options_.parallelism);
+  if (parallelism > 1) pool_ = std::make_unique<ThreadPool>(parallelism);
+}
+
+TaraEngine::MinedWindow TaraEngine::MineWindowSlice(
+    const TransactionDatabase& db, size_t begin, size_t end,
+    ThreadPool* intra_pool) const {
+  MinedWindow mined;
+  mined.total_transactions = end - begin;
 
   // (1) Frequent itemset generation at the floor support.
   Stopwatch timer;
   FpGrowthMiner miner;
   FrequentItemsetMiner::Options mine_options;
-  mine_options.min_count = MinCountForSupport(options_.min_support_floor,
-                                              total);
+  mine_options.min_count =
+      MinCountForSupport(options_.min_support_floor, mined.total_transactions);
   mine_options.max_size = options_.max_itemset_size;
+  mined.floor_count = mine_options.min_count;
   const std::vector<FrequentItemset> frequent =
       miner.Mine(db, begin, end, mine_options);
-  stats.itemset_seconds = timer.ElapsedSeconds();
-  stats.itemset_count = frequent.size();
+  mined.itemset_seconds = timer.ElapsedSeconds();
+  mined.itemset_count = frequent.size();
 
   // (2) Rule derivation at the floor confidence.
   timer.Restart();
-  const std::vector<MinedRule> rules =
-      GenerateRules(frequent, options_.min_confidence_floor);
-  stats.rule_seconds = timer.ElapsedSeconds();
-  stats.rule_count = rules.size();
+  mined.rules =
+      GenerateRules(frequent, options_.min_confidence_floor, intra_pool);
+  mined.rule_seconds = timer.ElapsedSeconds();
+  return mined;
+}
 
-  // (3) Archive append.
-  timer.Restart();
-  archive_.RegisterWindow(window, total, mine_options.min_count,
-                          options_.min_confidence_floor);
+std::vector<WindowIndex::Entry> TaraEngine::InternAndArchive(
+    WindowId window, const std::vector<MinedRule>& rules) {
   std::vector<WindowIndex::Entry> entries;
   entries.reserve(rules.size());
   for (const MinedRule& r : rules) {
@@ -54,13 +89,31 @@ WindowId TaraEngine::AppendWindow(const TransactionDatabase& db, size_t begin,
     entries.push_back(
         WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
   }
+  return entries;
+}
+
+WindowId TaraEngine::CommitWindow(MinedWindow mined) {
+  const WindowId window = static_cast<WindowId>(windows_.size());
+  WindowBuildStats stats;
+  stats.window = window;
+  stats.itemset_seconds = mined.itemset_seconds;
+  stats.rule_seconds = mined.rule_seconds;
+  stats.itemset_count = mined.itemset_count;
+  stats.rule_count = mined.rules.size();
+
+  // (3) Archive append.
+  Stopwatch timer;
+  archive_.RegisterWindow(window, mined.total_transactions, mined.floor_count,
+                          options_.min_confidence_floor);
+  std::vector<WindowIndex::Entry> entries =
+      InternAndArchive(window, mined.rules);
   stats.archive_seconds = timer.ElapsedSeconds();
 
   // (4) EPS slice (stable region index) build.
   timer.Restart();
   windows_.emplace_back();
-  windows_.back().Build(entries, total, options_.build_content_index,
-                        catalog_);
+  windows_.back().Build(entries, mined.total_transactions,
+                        options_.build_content_index, catalog_, pool_.get());
   stats.index_seconds = timer.ElapsedSeconds();
   stats.location_count = windows_.back().location_count();
   stats.region_count = windows_.back().region_count();
@@ -68,6 +121,11 @@ WindowId TaraEngine::AppendWindow(const TransactionDatabase& db, size_t begin,
   window_entries_.push_back(std::move(entries));
   stats_.push_back(stats);
   return window;
+}
+
+WindowId TaraEngine::AppendWindow(const TransactionDatabase& db, size_t begin,
+                                  size_t end) {
+  return CommitWindow(MineWindowSlice(db, begin, end, pool_.get()));
 }
 
 WindowId TaraEngine::AppendPrecomputedWindow(
@@ -88,7 +146,7 @@ WindowId TaraEngine::AppendPrecomputedWindow(
   }
   windows_.emplace_back();
   windows_.back().Build(entries, total_transactions,
-                        options_.build_content_index, catalog_);
+                        options_.build_content_index, catalog_, pool_.get());
   WindowBuildStats stats;
   stats.window = window;
   stats.rule_count = rules.size();
@@ -100,10 +158,81 @@ WindowId TaraEngine::AppendPrecomputedWindow(
 }
 
 void TaraEngine::BuildAll(const EvolvingDatabase& data) {
-  for (WindowId w = 0; w < data.window_count(); ++w) {
-    const WindowInfo& info = data.window(w);
-    AppendWindow(data.database(), info.begin, info.end);
+  const uint32_t n = data.window_count();
+  ThreadPool* pool = pool_.get();
+  if (pool == nullptr || n <= 1) {
+    for (WindowId w = 0; w < n; ++w) {
+      const WindowInfo& info = data.window(w);
+      AppendWindow(data.database(), info.begin, info.end);
+    }
+    return;
   }
+
+  // Parallel pipeline. Windows are independent by construction (the iPARAS
+  // increment never revisits prior windows), so:
+  //   stage 1 (fan-out):  mine itemsets + derive rules per window;
+  //   stage 2 (serial):   intern rules + append archive counts, strictly
+  //                       in window order — RuleIds and the archive byte
+  //                       stream come out identical to a sequential build;
+  //   stage 3 (fan-out):  build each committed window's EPS slice.
+  const TransactionDatabase& db = data.database();
+  const size_t base = windows_.size();
+  windows_.resize(base + n);
+  window_entries_.resize(base + n);
+  stats_.resize(base + n);
+
+  // Keep only a few windows of mined-but-uncommitted rules in memory.
+  const uint32_t max_ahead = pool->size() + 2;
+  std::deque<std::future<MinedWindow>> in_flight;
+  WindowId next_to_mine = 0;
+  const auto submit_next_mine = [&] {
+    if (next_to_mine >= n) return;
+    const WindowInfo info = data.window(next_to_mine);
+    in_flight.push_back(pool->Submit([this, &db, info] {
+      // Intra-window loops stay sequential here: the window fan-out
+      // already keeps every worker busy.
+      return MineWindowSlice(db, info.begin, info.end, nullptr);
+    }));
+    ++next_to_mine;
+  };
+  while (next_to_mine < n && next_to_mine < max_ahead) submit_next_mine();
+
+  std::vector<std::future<void>> eps_builds;
+  eps_builds.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MinedWindow mined = in_flight.front().get();
+    in_flight.pop_front();
+    submit_next_mine();
+
+    const WindowId window = static_cast<WindowId>(base + i);
+    WindowBuildStats& stats = stats_[window];
+    stats.window = window;
+    stats.itemset_seconds = mined.itemset_seconds;
+    stats.rule_seconds = mined.rule_seconds;
+    stats.itemset_count = mined.itemset_count;
+    stats.rule_count = mined.rules.size();
+
+    Stopwatch timer;
+    archive_.RegisterWindow(window, mined.total_transactions,
+                            mined.floor_count,
+                            options_.min_confidence_floor);
+    window_entries_[window] = InternAndArchive(window, mined.rules);
+    stats.archive_seconds = timer.ElapsedSeconds();
+
+    // Stage 3 reads the catalog (content index only) while later windows
+    // intern — safe: RuleCatalog readers lock shared against the writer.
+    const uint64_t total = mined.total_transactions;
+    eps_builds.push_back(pool->Submit([this, window, total] {
+      Stopwatch index_timer;
+      windows_[window].Build(window_entries_[window], total,
+                             options_.build_content_index, catalog_, nullptr);
+      WindowBuildStats& slot = stats_[window];
+      slot.index_seconds = index_timer.ElapsedSeconds();
+      slot.location_count = windows_[window].location_count();
+      slot.region_count = windows_[window].region_count();
+    }));
+  }
+  for (std::future<void>& f : eps_builds) f.get();
 }
 
 void TaraEngine::CheckSetting(const ParameterSetting& setting) const {
@@ -111,6 +240,11 @@ void TaraEngine::CheckSetting(const ParameterSetting& setting) const {
       << "query support below the generation floor";
   TARA_CHECK(setting.min_confidence + 1e-12 >= options_.min_confidence_floor)
       << "query confidence below the generation floor";
+}
+
+void TaraEngine::CheckWindows(const WindowSet& windows) const {
+  TARA_CHECK_LE(windows.required_window_count(), windows_.size())
+      << "WindowSet built for a different (larger) engine";
 }
 
 std::vector<RuleId> TaraEngine::MineWindow(
@@ -123,8 +257,9 @@ std::vector<RuleId> TaraEngine::MineWindow(
 }
 
 std::vector<RuleId> TaraEngine::MineWindows(
-    const std::vector<WindowId>& windows, const ParameterSetting& setting,
+    const WindowSet& windows, const ParameterSetting& setting,
     MatchMode mode) const {
+  CheckWindows(windows);
   std::vector<RuleId> combined;
   bool first = true;
   for (WindowId w : windows) {
@@ -150,19 +285,21 @@ std::vector<RuleId> TaraEngine::MineWindows(
 
 TaraEngine::TrajectoryQueryResult TaraEngine::TrajectoryQuery(
     WindowId anchor, const ParameterSetting& setting,
-    const std::vector<WindowId>& horizon) const {
+    const WindowSet& horizon) const {
+  CheckWindows(horizon);
   TrajectoryQueryResult result;
   result.rules = MineWindow(anchor, setting);
   result.trajectories.reserve(result.rules.size());
   for (RuleId rule : result.rules) {
-    result.trajectories.push_back(BuildTrajectory(archive_, rule, horizon));
+    result.trajectories.push_back(
+        BuildTrajectory(archive_, rule, horizon.ids()));
   }
   return result;
 }
 
 TaraEngine::RulesetDiff TaraEngine::CompareSettings(
     const ParameterSetting& first, const ParameterSetting& second,
-    const std::vector<WindowId>& windows, MatchMode mode) const {
+    const WindowSet& windows, MatchMode mode) const {
   std::vector<RuleId> a = MineWindows(windows, first, mode);
   std::vector<RuleId> b = MineWindows(windows, second, mode);
   RulesetDiff diff;
@@ -179,9 +316,10 @@ RegionInfo TaraEngine::RecommendRegion(WindowId w,
   return window_index(w).Locate(setting.min_support, setting.min_confidence);
 }
 
-TrajectoryMeasures TaraEngine::RuleMeasures(
-    RuleId rule, const std::vector<WindowId>& windows) const {
-  return ComputeMeasures(BuildTrajectory(archive_, rule, windows));
+TrajectoryMeasures TaraEngine::RuleMeasures(RuleId rule,
+                                            const WindowSet& windows) const {
+  CheckWindows(windows);
+  return ComputeMeasures(BuildTrajectory(archive_, rule, windows.ids()));
 }
 
 std::vector<RuleId> TaraEngine::ContentQuery(
@@ -206,18 +344,18 @@ std::unordered_map<ItemId, std::vector<RuleId>> TaraEngine::ContentView(
 }
 
 RollUpBound TaraEngine::RollUpRule(RuleId rule,
-                                   const std::vector<WindowId>& windows) const {
-  return archive_.RollUp(rule, windows);
+                                   const WindowSet& windows) const {
+  CheckWindows(windows);
+  return archive_.RollUp(rule, windows.ids());
 }
 
 TaraEngine::RolledUpRules TaraEngine::MineRolledUp(
-    const std::vector<WindowId>& windows,
-    const ParameterSetting& setting) const {
+    const WindowSet& windows, const ParameterSetting& setting) const {
   CheckSetting(setting);
+  CheckWindows(windows);
   // Candidates: every rule present in at least one of the windows.
   std::vector<RuleId> candidates;
   for (WindowId w : windows) {
-    TARA_CHECK_LT(w, window_entries_.size());
     for (const WindowIndex::Entry& e : window_entries_[w]) {
       candidates.push_back(e.rule);
     }
@@ -228,7 +366,7 @@ TaraEngine::RolledUpRules TaraEngine::MineRolledUp(
 
   RolledUpRules result;
   for (RuleId rule : candidates) {
-    const RollUpBound bound = archive_.RollUp(rule, windows);
+    const RollUpBound bound = archive_.RollUp(rule, windows.ids());
     const bool certain = bound.support_lo + 1e-12 >= setting.min_support &&
                          bound.confidence_lo + 1e-12 >= setting.min_confidence;
     const bool possible = bound.support_hi + 1e-12 >= setting.min_support &&

@@ -3,14 +3,19 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/rule_catalog.h"
 #include "core/stable_region_index.h"
 #include "core/tar_archive.h"
 #include "core/trajectory.h"
+#include "core/window_set.h"
 #include "mining/frequent_itemset.h"
+#include "mining/rule_generation.h"
 #include "txdb/evolving_database.h"
 
 namespace tara {
@@ -36,18 +41,59 @@ enum class MatchMode {
 /// archived in the TarArchive, and the window's EPS slice built as a
 /// WindowIndex. Online queries touch only these structures — never the raw
 /// data — with thresholds at or above the floors.
+///
+/// ## Threading model
+///
+/// The engine has two phases with different rules (see DESIGN.md,
+/// "Threading model"):
+///
+/// - **Build phase** (AppendWindow / AppendPrecomputedWindow / BuildAll):
+///   single external caller. With Options::parallelism > 1 the engine
+///   parallelizes internally — independent windows are mined and EPS-indexed
+///   on a private thread pool while catalog interning and archive appends go
+///   through a serialized, window-ordered commit stage, so RuleIds and the
+///   serialized knowledge base are byte-identical to a sequential build.
+/// - **Query phase**: once the build calls have returned, every const
+///   method (MineWindow(s), TrajectoryQuery, CompareSettings,
+///   RecommendRegion, RuleMeasures, ContentQuery, ContentView, RollUpRule,
+///   MineRolledUp, and all accessors) is safe for any number of concurrent
+///   callers. None of them mutates engine state — there is no lazy caching
+///   on the const path, and this is enforced by the concurrent-query stress
+///   test run under ThreadSanitizer.
+///
+/// Interleaving build calls with queries from other threads is NOT
+/// supported.
 class TaraEngine {
  public:
   struct Options {
-    /// Generation floors (Table 4): the per-window mining thresholds. All
-    /// online queries must use minsupp/minconf >= these floors.
+    /// Generation floors (Table 4): the per-window offline mining
+    /// thresholds. Each window is mined exactly once at these floors, so
+    /// they bound the online parameter space from below: every online
+    /// query must use minsupp/minconf at or above them (checked per
+    /// query), and the roll-up interval bounds widen by at most one floor
+    /// count per missing window. Valid ranges: min_support_floor in
+    /// (0, 1], min_confidence_floor in [0, 1].
     double min_support_floor = 0.001;
     double min_confidence_floor = 0.1;
-    /// Cap on frequent-itemset cardinality (0 = unlimited).
+    /// Cap on frequent-itemset cardinality (0 = unlimited, otherwise
+    /// >= 2; a cap of 1 would admit no rules at all).
     uint32_t max_itemset_size = 0;
     /// Build per-window item→rule inverted indexes (the TARA-S variant)
     /// enabling Q5 content queries at extra build cost.
     bool build_content_index = false;
+    /// Worker threads for the offline build: BuildAll overlaps whole
+    /// windows, AppendWindow parallelizes its intra-window hot loops
+    /// (rule derivation, stable-region sort). 1 = fully sequential
+    /// (default), 0 = use the hardware concurrency. Any value yields a
+    /// byte-identical serialized knowledge base; this is an execution
+    /// knob, not knowledge-base state, and is not serialized.
+    uint32_t parallelism = 1;
+
+    /// Returns an actionable description of the first invalid field, or
+    /// nullopt when the options are usable. The TaraEngine constructor
+    /// calls this and aborts with the returned message, replacing what
+    /// used to be scattered CHECK failures at first use.
+    std::optional<std::string> Validate() const;
   };
 
   /// Per-window offline timing/size breakdown (Figure 9's stacked tasks).
@@ -111,11 +157,30 @@ class TaraEngine {
   WindowId AppendPrecomputedWindow(uint64_t total_transactions,
                                    const std::vector<PrecomputedRule>& rules);
 
-  /// Convenience: appends every window of an evolving database.
+  /// Appends every window of an evolving database. With
+  /// Options::parallelism > 1, independent windows are mined and
+  /// EPS-indexed concurrently and committed in window order.
   void BuildAll(const EvolvingDatabase& data);
 
   uint32_t window_count() const {
     return static_cast<uint32_t>(windows_.size());
+  }
+
+  /// --- WindowSet construction --------------------------------------------
+
+  /// A validated WindowSet over this engine's windows. Aborts if any id is
+  /// out of range.
+  WindowSet MakeWindowSet(std::vector<WindowId> ids) const {
+    return WindowSet(std::move(ids), window_count());
+  }
+
+  /// Every window of the engine, oldest first.
+  WindowSet AllWindows() const { return WindowSet::All(window_count()); }
+
+  /// The newest `count` windows (fewer if the engine has fewer).
+  WindowSet RecentWindows(uint32_t count) const {
+    const uint32_t n = window_count();
+    return WindowSet::Range(count >= n ? 0 : n - count, n, n);
   }
 
   /// --- Online operations -------------------------------------------------
@@ -126,22 +191,21 @@ class TaraEngine {
 
   /// Rules valid across `windows` under `setting`, combined per `mode`.
   /// Output is sorted by RuleId.
-  std::vector<RuleId> MineWindows(const std::vector<WindowId>& windows,
+  std::vector<RuleId> MineWindows(const WindowSet& windows,
                                   const ParameterSetting& setting,
                                   MatchMode mode) const;
 
   /// Q1: rules matching `setting` in `anchor`, each with its trajectory
-  /// over `horizon`.
-  TrajectoryQueryResult TrajectoryQuery(
-      WindowId anchor, const ParameterSetting& setting,
-      const std::vector<WindowId>& horizon) const;
+  /// over `horizon` (oldest window first).
+  TrajectoryQueryResult TrajectoryQuery(WindowId anchor,
+                                        const ParameterSetting& setting,
+                                        const WindowSet& horizon) const;
 
   /// Q2: symmetric difference of the rulesets of two settings over the same
   /// windows. Outputs sorted by RuleId.
   RulesetDiff CompareSettings(const ParameterSetting& first,
                               const ParameterSetting& second,
-                              const std::vector<WindowId>& windows,
-                              MatchMode mode) const;
+                              const WindowSet& windows, MatchMode mode) const;
 
   /// Q3: the time-aware stable region of `setting` in window `w` — the
   /// parameter recommendation primitive (any setting inside the region is
@@ -151,8 +215,7 @@ class TaraEngine {
                              const ParameterSetting& setting) const;
 
   /// Q4: evolving-behavior measures of a rule over `windows`.
-  TrajectoryMeasures RuleMeasures(RuleId rule,
-                                  const std::vector<WindowId>& windows) const;
+  TrajectoryMeasures RuleMeasures(RuleId rule, const WindowSet& windows) const;
 
   /// Q5: rules valid under `setting` in window `w` containing all of
   /// `items`. Requires Options::build_content_index.
@@ -166,13 +229,57 @@ class TaraEngine {
       WindowId w, const ParameterSetting& setting) const;
 
   /// Roll-up: interval measures of `rule` over the union of `windows`.
-  RollUpBound RollUpRule(RuleId rule,
-                         const std::vector<WindowId>& windows) const;
+  RollUpBound RollUpRule(RuleId rule, const WindowSet& windows) const;
 
   /// Roll-up mining: rules valid over the union of `windows` under
   /// `setting`, split into certain and possible per the interval bounds.
-  RolledUpRules MineRolledUp(const std::vector<WindowId>& windows,
+  RolledUpRules MineRolledUp(const WindowSet& windows,
                              const ParameterSetting& setting) const;
+
+  /// --- Deprecated loose-window-list overloads ----------------------------
+  /// One-release migration shims: they validate and canonicalize the id
+  /// list on every call (the cost WindowSet moves to construction). Build a
+  /// WindowSet once via MakeWindowSet / AllWindows instead.
+
+  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
+  std::vector<RuleId> MineWindows(const std::vector<WindowId>& windows,
+                                  const ParameterSetting& setting,
+                                  MatchMode mode) const {
+    return MineWindows(MakeWindowSet(windows), setting, mode);
+  }
+
+  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
+  TrajectoryQueryResult TrajectoryQuery(
+      WindowId anchor, const ParameterSetting& setting,
+      const std::vector<WindowId>& horizon) const {
+    return TrajectoryQuery(anchor, setting, MakeWindowSet(horizon));
+  }
+
+  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
+  RulesetDiff CompareSettings(const ParameterSetting& first,
+                              const ParameterSetting& second,
+                              const std::vector<WindowId>& windows,
+                              MatchMode mode) const {
+    return CompareSettings(first, second, MakeWindowSet(windows), mode);
+  }
+
+  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
+  TrajectoryMeasures RuleMeasures(RuleId rule,
+                                  const std::vector<WindowId>& windows) const {
+    return RuleMeasures(rule, MakeWindowSet(windows));
+  }
+
+  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
+  RollUpBound RollUpRule(RuleId rule,
+                         const std::vector<WindowId>& windows) const {
+    return RollUpRule(rule, MakeWindowSet(windows));
+  }
+
+  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
+  RolledUpRules MineRolledUp(const std::vector<WindowId>& windows,
+                             const ParameterSetting& setting) const {
+    return MineRolledUp(MakeWindowSet(windows), setting);
+  }
 
   /// --- Accessors ----------------------------------------------------------
 
@@ -188,9 +295,39 @@ class TaraEngine {
   size_t IndexBytes() const;
 
  private:
+  /// One window's mining output, produced off-thread by the parallel build
+  /// and handed to the ordered commit stage.
+  struct MinedWindow {
+    uint64_t total_transactions = 0;
+    uint64_t floor_count = 0;
+    std::vector<MinedRule> rules;
+    double itemset_seconds = 0;
+    double rule_seconds = 0;
+    size_t itemset_count = 0;
+  };
+
+  /// Stage 1: mines transactions [begin, end) at the floors. Touches no
+  /// engine state besides (immutable) options, so any thread may run it.
+  MinedWindow MineWindowSlice(const TransactionDatabase& db, size_t begin,
+                              size_t end, ThreadPool* intra_pool) const;
+
+  /// Stage 2 core: interns `rules` and appends their counts to the archive
+  /// for `window`. Must run serialized, in window order — this is what
+  /// keeps RuleIds deterministic.
+  std::vector<WindowIndex::Entry> InternAndArchive(
+      WindowId window, const std::vector<MinedRule>& rules);
+
+  /// Stages 2+3 for the sequential path: commit `mined` as the next window
+  /// and build its EPS slice inline.
+  WindowId CommitWindow(MinedWindow mined);
+
   void CheckSetting(const ParameterSetting& setting) const;
+  void CheckWindows(const WindowSet& windows) const;
 
   Options options_;
+  /// Non-null iff the effective parallelism is > 1; owns the build worker
+  /// threads. Queries never touch it.
+  std::unique_ptr<ThreadPool> pool_;
   RuleCatalog catalog_;
   TarArchive archive_;
   std::vector<WindowIndex> windows_;

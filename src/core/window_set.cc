@@ -1,0 +1,46 @@
+#include "core/window_set.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tara {
+
+WindowSet::WindowSet(std::vector<WindowId> ids, uint32_t window_count)
+    : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  if (!ids_.empty()) {
+    TARA_CHECK_LT(ids_.back(), window_count)
+        << "WindowSet refers to window " << ids_.back()
+        << " but only windows [0, " << window_count << ") exist";
+  }
+}
+
+WindowSet WindowSet::All(uint32_t window_count) {
+  std::vector<WindowId> ids(window_count);
+  for (uint32_t w = 0; w < window_count; ++w) ids[w] = w;
+  return WindowSet(std::move(ids), window_count);
+}
+
+WindowSet WindowSet::Range(WindowId begin, WindowId end,
+                           uint32_t window_count) {
+  TARA_CHECK_LE(begin, end) << "inverted window range";
+  TARA_CHECK_LE(end, window_count)
+      << "window range end " << end << " exceeds window count "
+      << window_count;
+  std::vector<WindowId> ids;
+  ids.reserve(end - begin);
+  for (WindowId w = begin; w < end; ++w) ids.push_back(w);
+  return WindowSet(std::move(ids), window_count);
+}
+
+WindowSet WindowSet::Single(WindowId w, uint32_t window_count) {
+  return WindowSet({w}, window_count);
+}
+
+bool WindowSet::contains(WindowId w) const {
+  return std::binary_search(ids_.begin(), ids_.end(), w);
+}
+
+}  // namespace tara

@@ -60,12 +60,39 @@ void EmitRulesForItemset(const Itemset& base, uint64_t base_count,
 }  // namespace
 
 std::vector<MinedRule> GenerateRules(
-    const std::vector<FrequentItemset>& frequent, double min_confidence) {
+    const std::vector<FrequentItemset>& frequent, double min_confidence,
+    ThreadPool* pool) {
   ItemsetCountIndex index(frequent);
+  if (pool == nullptr || pool->ChunkCountFor(frequent.size()) <= 1 ||
+      ThreadPool::InWorkerThread()) {
+    std::vector<MinedRule> rules;
+    for (const FrequentItemset& f : frequent) {
+      if (f.items.size() < 2) continue;
+      EmitRulesForItemset(f.items, f.count, index, min_confidence, &rules);
+    }
+    return rules;
+  }
+
+  // Chunked sweep: each chunk fills its own slot; concatenating slots in
+  // chunk order reproduces the sequential output exactly.
+  std::vector<std::vector<MinedRule>> parts(
+      pool->ChunkCountFor(frequent.size()));
+  pool->ParallelFor(
+      frequent.size(), [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<MinedRule>& out = parts[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          const FrequentItemset& f = frequent[i];
+          if (f.items.size() < 2) continue;
+          EmitRulesForItemset(f.items, f.count, index, min_confidence, &out);
+        }
+      });
   std::vector<MinedRule> rules;
-  for (const FrequentItemset& f : frequent) {
-    if (f.items.size() < 2) continue;
-    EmitRulesForItemset(f.items, f.count, index, min_confidence, &rules);
+  size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  rules.reserve(total);
+  for (auto& part : parts) {
+    rules.insert(rules.end(), std::make_move_iterator(part.begin()),
+                 std::make_move_iterator(part.end()));
   }
   return rules;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "mining/frequent_itemset.h"
 #include "txdb/types.h"
 
@@ -54,8 +55,14 @@ class ItemsetCountIndex {
 /// disjoint, and confidence >= `min_confidence`. This is the paper's rule
 /// derivation step: TARA runs it once per window offline with the archive
 /// floor thresholds; the H-Mine baseline runs it per query online.
+///
+/// With a non-null `pool`, the sweep over `frequent` is chunked across the
+/// pool's workers; per-chunk outputs are concatenated in chunk order, so
+/// the result is element-for-element identical to the sequential sweep
+/// (the determinism the parallel offline build relies on).
 std::vector<MinedRule> GenerateRules(
-    const std::vector<FrequentItemset>& frequent, double min_confidence);
+    const std::vector<FrequentItemset>& frequent, double min_confidence,
+    ThreadPool* pool = nullptr);
 
 }  // namespace tara
 

@@ -1,0 +1,155 @@
+// Multi-threaded stress test of the online query path: N threads hammer
+// Q1-Q5 and the roll-up operations against one finished engine, and every
+// answer must equal the single-threaded baseline computed up front. Run
+// under ThreadSanitizer (tools/run_tsan.sh) this also proves the const
+// query path performs no hidden mutation.
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exploration.h"
+#include "core/tara_engine.h"
+#include "datagen/basket_generators.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+namespace {
+
+class ConcurrentQueriesTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kWindows = 4;
+
+  ConcurrentQueriesTest() : engine_(MakeOptions()) {
+    BasketGenerator::Params params = BasketGenerator::RetailPreset();
+    params.num_transactions = 1000;
+    params.num_items = 200;
+    const BasketGenerator gen(params);
+    EvolvingDatabase data;
+    for (uint32_t w = 0; w < kWindows; ++w) {
+      data.AppendBatch(gen.GenerateBatch(w, w * 1000).transactions());
+    }
+    engine_.BuildAll(data);
+    all_ = engine_.AllWindows();
+  }
+
+  static TaraEngine::Options MakeOptions() {
+    TaraEngine::Options options;
+    options.min_support_floor = 0.005;
+    options.min_confidence_floor = 0.1;
+    options.max_itemset_size = 4;
+    options.build_content_index = true;  // Q5 needs the content index
+    return options;
+  }
+
+  TaraEngine engine_;
+  WindowSet all_;
+  const ParameterSetting setting_{0.01, 0.3};
+};
+
+TEST_F(ConcurrentQueriesTest, QueriesMatchSingleThreadedBaselines) {
+  const WindowId anchor = kWindows - 1;
+
+  // Single-threaded baselines, computed before any concurrency starts.
+  const auto base_q1 = engine_.TrajectoryQuery(anchor, setting_, all_);
+  ASSERT_FALSE(base_q1.rules.empty());
+  const ParameterSetting second{0.02, 0.4};
+  const auto base_q2 =
+      engine_.CompareSettings(setting_, second, all_, MatchMode::kExact);
+  const RegionInfo base_q3 = engine_.RecommendRegion(anchor, setting_);
+  const RuleId probe_rule = base_q1.rules[0];
+  const TrajectoryMeasures base_q4 = engine_.RuleMeasures(probe_rule, all_);
+  const Itemset probe_items = {
+      engine_.catalog().rule(probe_rule).antecedent[0]};
+  const auto base_q5 = engine_.ContentQuery(anchor, probe_items, setting_);
+  const RollUpBound base_rollup = engine_.RollUpRule(probe_rule, all_);
+  const auto base_mined = engine_.MineRolledUp(all_, setting_);
+  const auto base_window = engine_.MineWindow(anchor, setting_);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t num_threads = hw > 1 ? (hw > 8 ? 8 : hw) : 4;
+  constexpr int kItersPerThread = 25;
+  std::atomic<int> failures{0};
+
+  auto worker = [&](size_t tid) {
+    for (int i = 0; i < kItersPerThread; ++i) {
+      // Each thread builds its own WindowSet too, exercising the catalog
+      // and window accessors concurrently.
+      const WindowSet mine = engine_.AllWindows();
+      const auto q1 = engine_.TrajectoryQuery(anchor, setting_, mine);
+      if (q1.rules != base_q1.rules) failures.fetch_add(1);
+
+      const auto q2 =
+          engine_.CompareSettings(setting_, second, mine, MatchMode::kExact);
+      if (q2.only_first != base_q2.only_first ||
+          q2.only_second != base_q2.only_second) {
+        failures.fetch_add(1);
+      }
+
+      const RegionInfo q3 = engine_.RecommendRegion(anchor, setting_);
+      if (q3.result_size != base_q3.result_size ||
+          q3.support_lower != base_q3.support_lower) {
+        failures.fetch_add(1);
+      }
+
+      const TrajectoryMeasures q4 = engine_.RuleMeasures(probe_rule, mine);
+      if (q4.coverage != base_q4.coverage ||
+          q4.mean_support != base_q4.mean_support) {
+        failures.fetch_add(1);
+      }
+
+      const auto q5 = engine_.ContentQuery(anchor, probe_items, setting_);
+      if (q5 != base_q5) failures.fetch_add(1);
+
+      const RollUpBound ru = engine_.RollUpRule(probe_rule, mine);
+      if (ru.support_lo != base_rollup.support_lo ||
+          ru.confidence_hi != base_rollup.confidence_hi) {
+        failures.fetch_add(1);
+      }
+
+      // Stagger the heavier calls so threads interleave different queries.
+      if ((i + tid) % 3 == 0) {
+        const auto mined = engine_.MineRolledUp(mine, setting_);
+        if (mined.certain != base_mined.certain) failures.fetch_add(1);
+      }
+      if ((i + tid) % 2 == 0) {
+        if (engine_.MineWindow(anchor, setting_) != base_window) {
+          failures.fetch_add(1);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(ConcurrentQueriesTest, ExplorationServiceIsConcurrencySafe) {
+  const ExplorationService service(&engine_);
+  const auto base_stable = service.TopStable(all_, setting_, 5);
+  const auto base_emerging = service.TopEmerging(all_, setting_, 5);
+
+  std::atomic<int> failures{0};
+  auto worker = [&] {
+    for (int i = 0; i < 10; ++i) {
+      const auto stable = service.TopStable(all_, setting_, 5);
+      if (stable.size() != base_stable.size() ||
+          (!stable.empty() && stable[0].rule != base_stable[0].rule)) {
+        failures.fetch_add(1);
+      }
+      const auto emerging = service.TopEmerging(all_, setting_, 5);
+      if (emerging.size() != base_emerging.size()) failures.fetch_add(1);
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tara

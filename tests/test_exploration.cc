@@ -39,8 +39,8 @@ class ExplorationFixture : public ::testing::Test {
         rules.push_back(p);
       }
       engine_.AppendPrecomputedWindow(kWindowSize, rules);
-      horizon_.push_back(static_cast<WindowId>(w));
     }
+    horizon_ = engine_.AllWindows();
   }
 
   RuleId IdOf(size_t rule_index) {
@@ -50,7 +50,7 @@ class ExplorationFixture : public ::testing::Test {
   }
 
   TaraEngine engine_;
-  std::vector<WindowId> horizon_;
+  WindowSet horizon_;
   ParameterSetting setting_{0.005, 0.1};
 };
 

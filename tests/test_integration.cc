@@ -61,7 +61,7 @@ TEST(IntegrationTest, RetailPipelineEndToEnd) {
 
   // The exploration service runs on the reloaded base.
   ExplorationService service(&reloaded);
-  const auto stable = service.TopStable({0, 1, 2, 3}, setting, 5);
+  const auto stable = service.TopStable(reloaded.AllWindows(), setting, 5);
   EXPECT_FALSE(stable.empty());
   EXPECT_GT(stable[0].measures.coverage, 0.0);
 }
@@ -100,7 +100,7 @@ TEST(IntegrationTest, DrillDownRefinesRollUp) {
     // Only exact when archived in all three fine windows.
     if (fine_engine.archive().Decode(fine_id).size() != 3) continue;
     const RollUpBound bound =
-        fine_engine.RollUpRule(fine_id, {0, 1, 2});
+        fine_engine.RollUpRule(fine_id, fine_engine.AllWindows());
     const auto coarse_entry =
         coarse_engine.archive().EntryFor(coarse_id, 0);
     ASSERT_TRUE(coarse_entry.has_value());
@@ -145,7 +145,7 @@ TEST(IntegrationTest, TaraOverFaersQuartersTracksDdiRules) {
   for (const PlantedDdi& ddi : gen.ground_truth()) {
     const RuleId id = engine.catalog().Find(Rule{ddi.drugs, {ddi.adr}});
     if (id == RuleCatalog::kNotFound) continue;
-    const TrajectoryMeasures m = engine.RuleMeasures(id, {0, 1, 2});
+    const TrajectoryMeasures m = engine.RuleMeasures(id, engine.AllWindows());
     EXPECT_GT(m.mean_confidence, 0.5)
         << "interaction ADR should follow the combo";
     if (m.coverage == 1.0) ++tracked;

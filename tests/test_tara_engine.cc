@@ -78,7 +78,7 @@ TEST(TaraEngineTest, TrajectoriesMatchRawScans) {
   engine.BuildAll(data);
 
   const ParameterSetting setting{0.03, 0.3};
-  const std::vector<WindowId> horizon = {0, 1, 2, 3};
+  const WindowSet horizon = engine.AllWindows();
   const auto result = engine.TrajectoryQuery(3, setting, horizon);
   ASSERT_FALSE(result.rules.empty());
   ASSERT_EQ(result.rules.size(), result.trajectories.size());
@@ -120,7 +120,7 @@ TEST(TaraEngineTest, MatchModesCombineWindows) {
   engine.BuildAll(data);
 
   const ParameterSetting setting{0.02, 0.2};
-  const std::vector<WindowId> windows = {0, 1, 2};
+  const WindowSet windows = engine.AllWindows();
   const auto any = engine.MineWindows(windows, setting, MatchMode::kSingle);
   const auto all = engine.MineWindows(windows, setting, MatchMode::kExact);
   EXPECT_TRUE(std::is_sorted(any.begin(), any.end()));
@@ -149,7 +149,7 @@ TEST(TaraEngineTest, CompareSettingsMatchesManualDiff) {
 
   const ParameterSetting p1{0.02, 0.2};
   const ParameterSetting p2{0.05, 0.2};
-  const std::vector<WindowId> windows = {0, 1, 2};
+  const WindowSet windows = engine.AllWindows();
   const auto diff =
       engine.CompareSettings(p1, p2, windows, MatchMode::kExact);
 
@@ -234,7 +234,7 @@ TEST(TaraEngineTest, RollUpCertainRulesAreTrulyValid) {
   engine.BuildAll(data);
 
   const ParameterSetting setting{0.02, 0.3};
-  const std::vector<WindowId> windows = {0, 1, 2};
+  const WindowSet windows = engine.AllWindows();
   const auto rolled = engine.MineRolledUp(windows, setting);
 
   // "Certain" rules must pass an exact raw-scan check over the union.
@@ -283,7 +283,7 @@ TEST(TaraEngineTest, RollUpBoundsContainExactValues) {
   TaraEngine engine(EngineOptions());
   engine.BuildAll(data);
 
-  const std::vector<WindowId> windows = {0, 1, 2};
+  const WindowSet windows = engine.AllWindows();
   const auto rules = engine.MineWindow(0, ParameterSetting{0.02, 0.2});
   const size_t begin = data.window(0).begin;
   const size_t end = data.window(2).end;

@@ -1,0 +1,126 @@
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace tara {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResultsThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenAskedForZero) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmittedExceptionsPropagateThroughTheFuture) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker that ran the throwing task is still usable.
+  EXPECT_EQ(pool.Submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorRunsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains the queue before joining.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&hits](size_t /*chunk*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForChunksAreDenseOrderedAndDeterministic) {
+  ThreadPool pool(3);
+  const size_t chunks = pool.ChunkCountFor(100);
+  ASSERT_GE(chunks, 1u);
+  ASSERT_LE(chunks, 4u);  // size() + 1
+
+  // Record each chunk's range twice; the split must be identical.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<std::pair<size_t, size_t>> ranges(chunks, {0, 0});
+    pool.ParallelFor(100, [&ranges](size_t chunk, size_t begin, size_t end) {
+      ranges[chunk] = {begin, end};
+    });
+    size_t expected_begin = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      EXPECT_EQ(ranges[c].first, expected_begin) << "chunk " << c;
+      EXPECT_GT(ranges[c].second, ranges[c].first);
+      expected_begin = ranges[c].second;
+    }
+    EXPECT_EQ(expected_begin, 100u);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTinyRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&calls](size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+
+  // n smaller than the worker count: never more chunks than items.
+  std::vector<int> hits(2, 0);
+  pool.ParallelFor(2, [&hits](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_EQ(hits[0], 1);
+  EXPECT_EQ(hits[1], 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> total{0};
+  std::vector<std::future<void>> outer;
+  // More outer tasks than workers, each doing a nested ParallelFor: if the
+  // nested call queued sub-chunks this would deadlock.
+  for (int t = 0; t < 8; ++t) {
+    outer.push_back(pool.Submit([&pool, &total] {
+      EXPECT_TRUE(ThreadPool::InWorkerThread());
+      pool.ParallelFor(50, [&total](size_t chunk, size_t begin, size_t end) {
+        EXPECT_EQ(chunk, 0u);  // inline: the whole range is one chunk
+        total.fetch_add(end - begin);
+      });
+    }));
+  }
+  for (auto& f : outer) f.get();
+  EXPECT_EQ(total.load(), 8u * 50u);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadFalseOnExternalThreads) {
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+  ThreadPool pool(1);
+  EXPECT_TRUE(pool.Submit([] { return ThreadPool::InWorkerThread(); }).get());
+  EXPECT_FALSE(ThreadPool::InWorkerThread());
+}
+
+}  // namespace
+}  // namespace tara

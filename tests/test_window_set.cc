@@ -1,0 +1,111 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/tara_engine.h"
+#include "core/window_set.h"
+
+namespace tara {
+namespace {
+
+TEST(WindowSetTest, CanonicalizesToSortedUnique) {
+  const WindowSet set({3, 1, 3, 0, 1}, 4);
+  EXPECT_EQ(set.ids(), (std::vector<WindowId>{0, 1, 3}));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_FALSE(set.empty());
+  EXPECT_EQ(set.required_window_count(), 4u);
+}
+
+TEST(WindowSetTest, DefaultIsEmpty) {
+  const WindowSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_EQ(set.required_window_count(), 0u);
+  EXPECT_EQ(set.begin(), set.end());
+}
+
+TEST(WindowSetTest, OutOfRangeIdAborts) {
+  EXPECT_DEATH(WindowSet({0, 4}, 4), "window");
+  EXPECT_DEATH(WindowSet({0}, 0), "window");
+}
+
+TEST(WindowSetTest, AllAndRangeAndSingle) {
+  EXPECT_EQ(WindowSet::All(3).ids(), (std::vector<WindowId>{0, 1, 2}));
+  EXPECT_TRUE(WindowSet::All(0).empty());
+  EXPECT_EQ(WindowSet::Range(1, 3, 4).ids(), (std::vector<WindowId>{1, 2}));
+  EXPECT_TRUE(WindowSet::Range(2, 2, 4).empty());
+  EXPECT_EQ(WindowSet::Single(2, 4).ids(), (std::vector<WindowId>{2}));
+  EXPECT_DEATH(WindowSet::Single(4, 4), "window");
+}
+
+TEST(WindowSetTest, ContainsUsesTheCanonicalIds) {
+  const WindowSet set({5, 2, 2, 0}, 6);
+  EXPECT_TRUE(set.contains(0));
+  EXPECT_TRUE(set.contains(2));
+  EXPECT_TRUE(set.contains(5));
+  EXPECT_FALSE(set.contains(1));
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_FALSE(set.contains(6));
+}
+
+TEST(WindowSetTest, EqualityIsSetEquality) {
+  EXPECT_EQ(WindowSet({2, 1}, 3), WindowSet({1, 2, 2}, 3));
+  EXPECT_FALSE(WindowSet({1}, 3) == WindowSet({2}, 3));
+}
+
+TEST(WindowSetTest, RangeForIterationIsAscending) {
+  const WindowSet set({4, 0, 2}, 5);
+  std::vector<WindowId> seen;
+  for (WindowId w : set) seen.push_back(w);
+  EXPECT_EQ(seen, (std::vector<WindowId>{0, 2, 4}));
+}
+
+TEST(WindowSetTest, EngineFactoriesBoundByWindowCount) {
+  TaraEngine::Options options;
+  options.min_support_floor = 0.01;
+  options.min_confidence_floor = 0.1;
+  TaraEngine engine(options);
+  engine.AppendPrecomputedWindow(100, {});
+  engine.AppendPrecomputedWindow(100, {});
+  engine.AppendPrecomputedWindow(100, {});
+
+  EXPECT_EQ(engine.AllWindows().ids(), (std::vector<WindowId>{0, 1, 2}));
+  EXPECT_EQ(engine.MakeWindowSet({2, 0}).ids(), (std::vector<WindowId>{0, 2}));
+  EXPECT_DEATH(engine.MakeWindowSet({3}), "window");
+  EXPECT_EQ(engine.RecentWindows(2).ids(), (std::vector<WindowId>{1, 2}));
+  EXPECT_EQ(engine.RecentWindows(99).ids(), (std::vector<WindowId>{0, 1, 2}));
+}
+
+TEST(WindowSetTest, DeprecatedVectorOverloadsStillWork) {
+  TaraEngine::Options options;
+  options.min_support_floor = 0.01;
+  options.min_confidence_floor = 0.1;
+  TaraEngine engine(options);
+  TaraEngine::PrecomputedRule rule;
+  rule.rule = Rule{{1}, {2}};
+  rule.rule_count = 40;
+  rule.antecedent_count = 50;
+  engine.AppendPrecomputedWindow(1000, {rule});
+  engine.AppendPrecomputedWindow(1000, {rule});
+
+  const ParameterSetting setting{0.02, 0.5};
+  const WindowSet all = engine.AllWindows();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  // The shims must agree with the WindowSet methods they delegate to,
+  // including canonicalizing an unsorted, duplicated list.
+  const std::vector<WindowId> loose = {1, 0, 1};
+  EXPECT_EQ(engine.MineWindows(loose, setting, MatchMode::kExact),
+            engine.MineWindows(all, setting, MatchMode::kExact));
+  EXPECT_EQ(engine.TrajectoryQuery(1, setting, loose).rules,
+            engine.TrajectoryQuery(1, setting, all).rules);
+  const RuleId id = engine.catalog().Find(rule.rule);
+  EXPECT_EQ(engine.RuleMeasures(id, loose).coverage,
+            engine.RuleMeasures(id, all).coverage);
+  EXPECT_EQ(engine.RollUpRule(id, loose).support_lo,
+            engine.RollUpRule(id, all).support_lo);
+#pragma GCC diagnostic pop
+}
+
+}  // namespace
+}  // namespace tara

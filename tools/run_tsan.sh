@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer configuration and runs the threading-sensitive
+# tests under it: the parallel-build determinism tests, the thread-pool
+# tests, and the concurrent-query stress test, plus the rest of the tier-1
+# suite. Any TSan report fails the run (halt_on_error).
+#
+# Usage: tools/run_tsan.sh [extra ctest -R regex]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+# Threading-sensitive tests first so a race fails fast.
+ctest --test-dir build-tsan --output-on-failure \
+  -R 'test_thread_pool|test_parallel_build|test_concurrent_queries'
+
+# Then the full suite: everything must stay clean under TSan.
+ctest --test-dir build-tsan --output-on-failure ${1:+-R "$1"}
+
+echo "TSan run clean."

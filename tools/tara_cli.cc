@@ -179,13 +179,7 @@ class Session {
     return engine_ != nullptr;
   }
 
-  std::vector<WindowId> AllWindows() const {
-    std::vector<WindowId> windows;
-    for (WindowId w = 0; w < engine_->window_count(); ++w) {
-      windows.push_back(w);
-    }
-    return windows;
-  }
+  WindowSet AllWindows() const { return engine_->AllWindows(); }
 
   void Mine(std::istringstream& in) {
     uint32_t w = 0;
