@@ -1,0 +1,127 @@
+#ifndef TARA_BENCH_BENCH_REPORT_H_
+#define TARA_BENCH_BENCH_REPORT_H_
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace tara::bench {
+
+/// Machine-readable sidecar for a benchmark harness: collects flat rows
+/// while the human-readable table prints, then writes BENCH_<name>.json
+/// next to the binary so CI and plotting scripts never have to parse the
+/// table. Schema:
+///
+///   {"bench": "<name>",
+///    "rows": [{"<col>": <string|number|bool>, ...}, ...],
+///    "metrics": {...}}          // optional registry snapshot, verbatim
+class BenchReport {
+ public:
+  using Value = std::variant<std::string, double, uint64_t, bool>;
+
+  /// One table row; flat key -> scalar, in insertion order.
+  class Row {
+   public:
+    Row& Set(std::string key, std::string value) {
+      cells_.emplace_back(std::move(key), Value(std::move(value)));
+      return *this;
+    }
+    Row& Set(std::string key, const char* value) {
+      return Set(std::move(key), std::string(value));
+    }
+    Row& Set(std::string key, double value) {
+      cells_.emplace_back(std::move(key), Value(value));
+      return *this;
+    }
+    Row& Set(std::string key, uint64_t value) {
+      cells_.emplace_back(std::move(key), Value(value));
+      return *this;
+    }
+    Row& Set(std::string key, uint32_t value) {
+      return Set(std::move(key), static_cast<uint64_t>(value));
+    }
+    Row& Set(std::string key, bool value) {
+      cells_.emplace_back(std::move(key), Value(value));
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    std::vector<std::pair<std::string, Value>> cells_;
+  };
+
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  Row& AddRow() { return rows_.emplace_back(); }
+
+  /// Embeds an already-serialized JSON object (typically
+  /// MetricsRegistry::SnapshotJson()) under the "metrics" key.
+  void SetMetricsJson(std::string json) { metrics_json_ = std::move(json); }
+
+  std::string ToJson() const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(name_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const auto& [key, value] : row.cells_) {
+        w.Key(key);
+        if (const auto* s = std::get_if<std::string>(&value)) {
+          w.String(*s);
+        } else if (const auto* d = std::get_if<double>(&value)) {
+          w.Number(*d);
+        } else if (const auto* u = std::get_if<uint64_t>(&value)) {
+          w.Number(*u);
+        } else {
+          w.Bool(std::get<bool>(value));
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    if (!metrics_json_.empty()) {
+      w.Key("metrics");
+      w.Raw(metrics_json_);
+    }
+    w.EndObject();
+    return w.str();
+  }
+
+  /// Writes BENCH_<name>.json into the working directory and reports the
+  /// path on stdout. Returns false (with a message) if the file cannot be
+  /// opened, so harnesses can exit non-zero.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool newline_ok = std::fputc('\n', f) != EOF;
+    const bool close_ok = std::fclose(f) == 0;
+    if (written != json.size() || !newline_ok || !close_ok) {
+      std::fprintf(stderr, "short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), json.size() + 1);
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+  std::string metrics_json_;
+};
+
+}  // namespace tara::bench
+
+#endif  // TARA_BENCH_BENCH_REPORT_H_

@@ -12,13 +12,17 @@
 #include <cstdio>
 
 #include "bench/bench_datasets.h"
+#include "bench/bench_report.h"
 #include "bench/q1_runner.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace tara::bench;
   std::printf("=== Figure 7: Q1 online time, varying support ===\n");
+  BenchReport report("fig07");
   for (BenchDataset& d : MakeAllDatasets()) {
-    RunQ1Experiment(d, Vary::kSupport);
+    RunQ1Experiment(d, Vary::kSupport, &report);
   }
-  return 0;
+  report.SetMetricsJson(tara::obs::MetricsRegistry::Global().SnapshotJson());
+  return report.WriteFile() ? 0 : 1;
 }

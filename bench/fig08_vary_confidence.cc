@@ -8,13 +8,17 @@
 #include <cstdio>
 
 #include "bench/bench_datasets.h"
+#include "bench/bench_report.h"
 #include "bench/q1_runner.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace tara::bench;
   std::printf("=== Figure 8: Q1 online time, varying confidence ===\n");
+  BenchReport report("fig08");
   for (BenchDataset& d : MakeAllDatasets()) {
-    RunQ1Experiment(d, Vary::kConfidence);
+    RunQ1Experiment(d, Vary::kConfidence, &report);
   }
-  return 0;
+  report.SetMetricsJson(tara::obs::MetricsRegistry::Global().SnapshotJson());
+  return report.WriteFile() ? 0 : 1;
 }

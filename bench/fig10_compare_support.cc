@@ -8,13 +8,17 @@
 #include <cstdio>
 
 #include "bench/bench_datasets.h"
+#include "bench/bench_report.h"
 #include "bench/q1_runner.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace tara::bench;
   std::printf("=== Figure 10: Q2 comparison time, varying 2nd support ===\n");
+  BenchReport report("fig10");
   for (BenchDataset& d : MakeAllDatasets()) {
-    RunQ2Experiment(d, Vary::kSupport);
+    RunQ2Experiment(d, Vary::kSupport, &report);
   }
-  return 0;
+  report.SetMetricsJson(tara::obs::MetricsRegistry::Global().SnapshotJson());
+  return report.WriteFile() ? 0 : 1;
 }

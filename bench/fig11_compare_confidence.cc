@@ -7,14 +7,18 @@
 #include <cstdio>
 
 #include "bench/bench_datasets.h"
+#include "bench/bench_report.h"
 #include "bench/q1_runner.h"
+#include "obs/metrics.h"
 
 int main() {
   using namespace tara::bench;
   std::printf(
       "=== Figure 11: Q2 comparison time, varying 2nd confidence ===\n");
+  BenchReport report("fig11");
   for (BenchDataset& d : MakeAllDatasets()) {
-    RunQ2Experiment(d, Vary::kConfidence);
+    RunQ2Experiment(d, Vary::kConfidence, &report);
   }
-  return 0;
+  report.SetMetricsJson(tara::obs::MetricsRegistry::Global().SnapshotJson());
+  return report.WriteFile() ? 0 : 1;
 }

@@ -1,17 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the core data structures —
 // ablation-level measurements behind the figure harnesses: archive
 // encode/decode throughput, stable-region query cost versus result size,
-// tidset counting, and contrast scoring.
+// tidset counting, contrast scoring, and the observability layer's
+// overhead on the online query path (null sink versus live registry).
 
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "core/stable_region_index.h"
 #include "core/tar_archive.h"
+#include "core/tara_engine.h"
 #include "datagen/faers_generator.h"
+#include "datagen/quest_generator.h"
 #include "maras/contrast.h"
 #include "maras/tidset_index.h"
 #include "mining/frequent_itemset.h"
+#include "obs/metrics.h"
+#include "txdb/evolving_database.h"
 
 namespace tara {
 namespace {
@@ -105,6 +110,108 @@ void BM_TidsetCount(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TidsetCount)->Arg(2000)->Arg(16000);
+
+// --- Observability overhead: the same online queries against an engine
+// with metrics disabled (Options::metrics == nullptr, the null sink) and
+// one recording into a live registry. The acceptance bar is <3% on the
+// hot path; compare the paired benchmarks below.
+
+const EvolvingDatabase& ObsData() {
+  static const EvolvingDatabase* data = [] {
+    QuestGenerator::Params params;
+    params.num_transactions = 8000;
+    params.num_items = 150;
+    params.num_patterns = 60;
+    params.avg_transaction_len = 8;
+    params.seed = 23;
+    const TransactionDatabase db = QuestGenerator(params).Generate();
+    return new EvolvingDatabase(EvolvingDatabase::PartitionIntoBatches(db, 4));
+  }();
+  return *data;
+}
+
+TaraEngine& ObsEngine(obs::MetricsRegistry* registry) {
+  auto make = [registry] {
+    TaraEngine::Options options;
+    options.min_support_floor = 0.01;
+    options.min_confidence_floor = 0.1;
+    options.max_itemset_size = 4;
+    options.metrics = registry;
+    auto* engine = new TaraEngine(options);
+    engine->BuildAll(ObsData());
+    return engine;
+  };
+  if (registry == nullptr) {
+    static TaraEngine* null_sink = make();
+    return *null_sink;
+  }
+  static TaraEngine* recording = make();
+  return *recording;
+}
+
+obs::MetricsRegistry& ObsRegistry() {
+  static obs::MetricsRegistry* registry = new obs::MetricsRegistry;
+  return *registry;
+}
+
+void MineWindowLoop(benchmark::State& state, TaraEngine& engine) {
+  const WindowId newest = engine.window_count() - 1;
+  const ParameterSetting setting{0.02, 0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.MineWindow(newest, setting).value());
+  }
+}
+
+void BM_MineWindowNullSink(benchmark::State& state) {
+  MineWindowLoop(state, ObsEngine(nullptr));
+}
+BENCHMARK(BM_MineWindowNullSink);
+
+void BM_MineWindowRegistry(benchmark::State& state) {
+  MineWindowLoop(state, ObsEngine(&ObsRegistry()));
+}
+BENCHMARK(BM_MineWindowRegistry);
+
+// RecommendRegion is the cheapest query (a point-locate on the EPS), so
+// it is the most sensitive to per-query span overhead.
+void RecommendRegionLoop(benchmark::State& state, TaraEngine& engine) {
+  const WindowId newest = engine.window_count() - 1;
+  const ParameterSetting setting{0.02, 0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RecommendRegion(newest, setting).value());
+  }
+}
+
+void BM_RecommendRegionNullSink(benchmark::State& state) {
+  RecommendRegionLoop(state, ObsEngine(nullptr));
+}
+BENCHMARK(BM_RecommendRegionNullSink);
+
+void BM_RecommendRegionRegistry(benchmark::State& state) {
+  RecommendRegionLoop(state, ObsEngine(&ObsRegistry()));
+}
+BENCHMARK(BM_RecommendRegionRegistry);
+
+// Raw instrument costs, for attributing any query-path delta.
+void BM_HistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram;
+  uint64_t value = 1;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value = value * 2654435761u % (1u << 20);
+  }
+  benchmark::DoNotOptimize(histogram.Count());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter counter;
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_CounterIncrement);
 
 void BM_ContrastScore(benchmark::State& state) {
   FaersGenerator gen(FaersGenerator::Params{});

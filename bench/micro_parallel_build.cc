@@ -13,9 +13,11 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_report.h"
 #include "core/serialization.h"
 #include "core/tara_engine.h"
 #include "datagen/basket_generators.h"
+#include "obs/metrics.h"
 #include "txdb/evolving_database.h"
 
 namespace tara {
@@ -44,6 +46,7 @@ RunResult BuildOnce(const EvolvingDatabase& data, uint32_t parallelism) {
   options.min_confidence_floor = 0.1;
   options.max_itemset_size = 4;
   options.parallelism = parallelism;
+  options.metrics = &obs::MetricsRegistry::Global();
   TaraEngine engine(options);
   const auto start = std::chrono::steady_clock::now();
   engine.BuildAll(data);
@@ -68,6 +71,7 @@ int Run() {
   std::printf("%-8s %12s %12s %10s %12s\n", "threads", "seconds", "tx/sec",
               "speedup", "identical");
 
+  bench::BenchReport report("micro_parallel_build");
   double sequential_seconds = 0;
   std::string sequential_bytes;
   bool all_identical = true;
@@ -86,7 +90,16 @@ int Run() {
     std::printf("%-8u %12.3f %12.0f %9.2fx %12s\n", threads, best.seconds,
                 total_tx / best.seconds, sequential_seconds / best.seconds,
                 identical ? "yes" : "NO");
+    report.AddRow()
+        .Set("threads", threads)
+        .Set("seconds", best.seconds)
+        .Set("tx_per_sec", total_tx / best.seconds)
+        .Set("speedup", sequential_seconds / best.seconds)
+        .Set("identical", identical);
   }
+
+  report.SetMetricsJson(obs::MetricsRegistry::Global().SnapshotJson());
+  if (!report.WriteFile()) return 1;
 
   if (!all_identical) {
     std::printf("\nFAIL: parallel builds diverged from the sequential "

@@ -8,6 +8,7 @@
 #include "baselines/paras_baseline.h"
 #include "common/stopwatch.h"
 #include "core/tara_engine.h"
+#include "obs/metrics.h"
 
 namespace tara::bench {
 namespace {
@@ -46,6 +47,9 @@ struct Systems {
     options.min_confidence_floor = d.confidence_floor;
     options.max_itemset_size = d.max_itemset_size;
     options.build_content_index = content;
+    // Benchmarked queries feed the process registry, so harnesses can dump
+    // per-kind latency percentiles alongside the sweep tables.
+    options.metrics = &obs::MetricsRegistry::Global();
     return options;
   }
 
@@ -67,7 +71,7 @@ std::vector<WindowId> Horizon(const BenchDataset& d) {
 
 }  // namespace
 
-void RunQ1Experiment(BenchDataset& d, Vary vary) {
+void RunQ1Experiment(BenchDataset& d, Vary vary, BenchReport* report) {
   std::printf("\n--- dataset %s (Q1: trajectory + recommendation; anchor = "
               "newest window, horizon = %s4 windows) ---\n",
               d.name.c_str(), d.data.window_count() >= 4 ? "last " : "");
@@ -92,17 +96,20 @@ void RunQ1Experiment(BenchDataset& d, Vary vary) {
     setting.min_confidence =
         vary == Vary::kConfidence ? value : d.fixed_confidence;
 
-    const size_t rules = systems.tara.MineWindow(anchor, setting).size();
+    const size_t rules = systems.tara.MineWindow(anchor, setting).value().size();
 
+    // .value() inside the timed lambdas asserts the sweep stays above the
+    // dataset floors — a silently rejected query would time the validation
+    // path, not the query.
     const double tara_us = TimeMicros(kFastReps, [&] {
-      systems.tara.TrajectoryQuery(anchor, setting, tara_horizon);
+      systems.tara.TrajectoryQuery(anchor, setting, tara_horizon).value();
     });
     const double tara_s_us = TimeMicros(kFastReps, [&] {
-      systems.tara_s.TrajectoryQuery(anchor, setting, tara_horizon);
-      systems.tara_s.ContentView(anchor, setting);
+      systems.tara_s.TrajectoryQuery(anchor, setting, tara_horizon).value();
+      systems.tara_s.ContentView(anchor, setting).value();
     });
     const double tara_r_us = TimeMicros(kFastReps, [&] {
-      systems.tara.RecommendRegion(anchor, setting);
+      systems.tara.RecommendRegion(anchor, setting).value();
     });
     const double hmine_us = TimeMicros(kSlowReps, [&] {
       systems.hmine.TrajectoryQuery(anchor, setting, horizon);
@@ -117,10 +124,23 @@ void RunQ1Experiment(BenchDataset& d, Vary vary) {
     std::printf("%-10.4f %8zu | %12.1f %12.1f %12.1f %12.1f %14.1f %14.1f\n",
                 value, rules, tara_us, tara_s_us, tara_r_us, hmine_us,
                 paras_us, dctar_us);
+    if (report != nullptr) {
+      report->AddRow()
+          .Set("dataset", d.name)
+          .Set("vary", vary == Vary::kSupport ? "support" : "confidence")
+          .Set("value", value)
+          .Set("rules", rules)
+          .Set("tara_us", tara_us)
+          .Set("tara_s_us", tara_s_us)
+          .Set("tara_r_us", tara_r_us)
+          .Set("hmine_us", hmine_us)
+          .Set("paras_us", paras_us)
+          .Set("dctar_us", dctar_us);
+    }
   }
 }
 
-void RunQ2Experiment(BenchDataset& d, Vary vary) {
+void RunQ2Experiment(BenchDataset& d, Vary vary, BenchReport* report) {
   std::printf("\n--- dataset %s (Q2: ruleset comparison, exact match over 4 "
               "windows) ---\n",
               d.name.c_str());
@@ -148,9 +168,10 @@ void RunQ2Experiment(BenchDataset& d, Vary vary) {
 
     size_t diff_size = 0;
     const double tara_us = TimeMicros(kFastReps, [&] {
-      const auto diff =
-          systems.tara.CompareSettings(first, second, tara_windows,
-                                       MatchMode::kExact);
+      const auto diff = systems.tara
+                            .CompareSettings(first, second, tara_windows,
+                                             MatchMode::kExact)
+                            .value();
       diff_size = diff.only_first.size() + diff.only_second.size();
     });
     const double hmine_us = TimeMicros(kSlowReps, [&] {
@@ -162,6 +183,16 @@ void RunQ2Experiment(BenchDataset& d, Vary vary) {
 
     std::printf("%-10.4f %8zu | %12.1f %12.1f %14.1f\n", value, diff_size,
                 tara_us, hmine_us, dctar_us);
+    if (report != nullptr) {
+      report->AddRow()
+          .Set("dataset", d.name)
+          .Set("vary", vary == Vary::kSupport ? "support" : "confidence")
+          .Set("value", value)
+          .Set("diff", diff_size)
+          .Set("tara_us", tara_us)
+          .Set("hmine_us", hmine_us)
+          .Set("dctar_us", dctar_us);
+    }
   }
 }
 

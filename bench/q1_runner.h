@@ -2,6 +2,7 @@
 #define TARA_BENCH_Q1_RUNNER_H_
 
 #include "bench/bench_datasets.h"
+#include "bench/bench_report.h"
 
 namespace tara::bench {
 
@@ -12,13 +13,18 @@ enum class Vary { kSupport, kConfidence };
 /// Figures 7/8 on one dataset: builds TARA, TARA-S, H-Mine, and PARAS
 /// offline, then times the online query for every swept parameter value on
 /// all six systems (TARA, TARA-S, TARA-R, H-Mine, PARAS, DCTAR) and prints
-/// one row per value with microsecond timings.
-void RunQ1Experiment(BenchDataset& dataset, Vary vary);
+/// one row per value with microsecond timings. The TARA engines record
+/// into MetricsRegistry::Global(), so harnesses can embed per-query-kind
+/// latency percentiles in their reports. When `report` is non-null, every
+/// printed row is also appended to it.
+void RunQ1Experiment(BenchDataset& dataset, Vary vary,
+                     BenchReport* report = nullptr);
 
 /// Runs the Q2 (ruleset comparison, exact match across 4 windows)
 /// experiment of Figures 10/11: the second setting's support (or
 /// confidence) sweeps while everything else is fixed.
-void RunQ2Experiment(BenchDataset& dataset, Vary vary);
+void RunQ2Experiment(BenchDataset& dataset, Vary vary,
+                     BenchReport* report = nullptr);
 
 }  // namespace tara::bench
 

@@ -1,0 +1,52 @@
+// CI-sized Q1 harness: runs the Figure 7 experiment on one small synthetic
+// dataset (seconds, not minutes) and writes BENCH_q1.json — sweep rows
+// plus a snapshot of the engine's metrics registry with per-query-kind
+// latency histograms. The full-size sweeps live in fig07/fig08; this
+// binary exists so CI can assert the report pipeline end to end on every
+// push.
+
+#include <cstdio>
+
+#include "bench/bench_datasets.h"
+#include "bench/bench_report.h"
+#include "bench/q1_runner.h"
+#include "datagen/quest_generator.h"
+#include "obs/metrics.h"
+
+namespace tara::bench {
+namespace {
+
+BenchDataset MakeCiDataset() {
+  QuestGenerator::Params params;
+  params.num_transactions = 6000;
+  params.num_items = 150;
+  params.num_patterns = 60;
+  params.avg_transaction_len = 8;
+  params.seed = 11;
+  const TransactionDatabase db = QuestGenerator(params).Generate();
+
+  BenchDataset d;
+  d.name = "quest-ci";
+  d.data = EvolvingDatabase::PartitionIntoBatches(db, 4);
+  d.support_floor = 0.01;
+  d.confidence_floor = 0.1;
+  d.max_itemset_size = 4;
+  d.support_sweep = {0.012, 0.02, 0.04};
+  d.confidence_sweep = {0.2, 0.4, 0.6};
+  d.fixed_support = 0.02;
+  d.fixed_confidence = 0.3;
+  return d;
+}
+
+}  // namespace
+}  // namespace tara::bench
+
+int main() {
+  using namespace tara::bench;
+  std::printf("=== q1_runner: CI-sized Q1 sweep ===\n");
+  BenchReport report("q1");
+  BenchDataset d = MakeCiDataset();
+  RunQ1Experiment(d, Vary::kSupport, &report);
+  report.SetMetricsJson(tara::obs::MetricsRegistry::Global().SnapshotJson());
+  return report.WriteFile() ? 0 : 1;
+}

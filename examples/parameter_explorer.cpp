@@ -43,7 +43,7 @@ int main() {
 
   // Q3: what region does the guess land in, and what would change it?
   for (int step = 0; step < 4; ++step) {
-    const RegionInfo region = engine.RecommendRegion(newest, guess);
+    const RegionInfo region = engine.RecommendRegion(newest, guess).value();
     std::printf("  region: supp (%.4f, %.4f], conf (%.3f, %.3f] -> %zu "
                 "rules\n",
                 region.support_lower, region.support_upper,
@@ -55,7 +55,8 @@ int main() {
     if (region.support_lower <= options.min_support_floor) break;
     ParameterSetting next = guess;
     next.min_support = region.support_lower;
-    const RegionInfo next_region = engine.RecommendRegion(newest, next);
+    const RegionInfo next_region =
+        engine.RecommendRegion(newest, next).value();
     std::printf("  -> relaxing support to %.4f would grow the result to %zu "
                 "rules\n",
                 next.min_support, next_region.result_size);
@@ -72,7 +73,8 @@ int main() {
                                 chosen.min_confidence};
   const WindowSet windows = WindowSet::Single(newest, engine.window_count());
   const auto diff =
-      engine.CompareSettings(looser, chosen, windows, MatchMode::kExact);
+      engine.CompareSettings(looser, chosen, windows, MatchMode::kExact)
+          .value();
   std::printf("\nQ2 diff (supp %.4f vs %.4f): %zu rules only at the looser "
               "setting, e.g.:\n",
               looser.min_support, chosen.min_support,
@@ -83,11 +85,11 @@ int main() {
   }
 
   // Q5: content-based exploration — rules about one specific item.
-  const std::vector<RuleId> all = engine.MineWindow(newest, chosen);
+  const std::vector<RuleId> all = engine.MineWindow(newest, chosen).value();
   if (!all.empty()) {
     const ItemId focus = engine.catalog().rule(all[0]).antecedent[0];
     const std::vector<RuleId> about =
-        engine.ContentQuery(newest, {focus}, chosen);
+        engine.ContentQuery(newest, {focus}, chosen).value();
     std::printf("\nQ5: %zu of the %zu current rules involve item %u:\n",
                 about.size(), all.size(), focus);
     for (size_t i = 0; i < about.size() && i < 4; ++i) {

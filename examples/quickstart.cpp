@@ -38,7 +38,10 @@ int main() {
   // 3. Online: mine the newest window.
   const ParameterSetting setting{0.02, 0.5};
   const WindowId newest = engine.window_count() - 1;
-  const std::vector<RuleId> rules = engine.MineWindow(newest, setting);
+  // Queries return Expected<..., QueryError>; .value() asserts success,
+  // which is the right call for a demo with known-good parameters.
+  const std::vector<RuleId> rules =
+      engine.MineWindow(newest, setting).value();
   std::printf("\nQ: rules with support >= %.2f, confidence >= %.2f in the "
               "newest window: %zu\n",
               setting.min_support, setting.min_confidence, rules.size());
@@ -57,12 +60,13 @@ int main() {
         std::printf("  [   --    ]");
       }
     }
-    const TrajectoryMeasures m = engine.RuleMeasures(rules[i], horizon);
+    const TrajectoryMeasures m =
+        engine.RuleMeasures(rules[i], horizon).value();
     std::printf("  coverage=%.2f stability=%.2f\n", m.coverage, m.stability);
   }
 
   // 5. Parameter recommendation: the stable region around the setting.
-  const RegionInfo region = engine.RecommendRegion(newest, setting);
+  const RegionInfo region = engine.RecommendRegion(newest, setting).value();
   std::printf("\nstable region around (%.3f, %.2f): support (%.4f, %.4f], "
               "confidence (%.3f, %.3f], %zu rules — any setting inside "
               "gives the same answer\n",
@@ -72,9 +76,11 @@ int main() {
               region.result_size);
 
   // 6. Compare two settings across all windows.
-  const auto diff = engine.CompareSettings(
-      ParameterSetting{0.02, 0.5}, ParameterSetting{0.04, 0.5}, horizon,
-      MatchMode::kExact);
+  const auto diff = engine
+                        .CompareSettings(ParameterSetting{0.02, 0.5},
+                                         ParameterSetting{0.04, 0.5}, horizon,
+                                         MatchMode::kExact)
+                        .value();
   std::printf("\ntightening support 0.02 -> 0.04 over all windows drops %zu "
               "rules (gains %zu)\n",
               diff.only_first.size(), diff.only_second.size());

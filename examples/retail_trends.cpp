@@ -65,14 +65,14 @@ int main() {
 
   // Rules valid in at least one week, with their evolving measures.
   const std::vector<RuleId> rules =
-      engine.MineWindows(all_weeks, setting, MatchMode::kSingle);
+      engine.MineWindows(all_weeks, setting, MatchMode::kSingle).value();
   struct Scored {
     RuleId rule;
     TrajectoryMeasures m;
   };
   std::vector<Scored> scored;
   for (RuleId r : rules) {
-    scored.push_back(Scored{r, engine.RuleMeasures(r, all_weeks)});
+    scored.push_back(Scored{r, engine.RuleMeasures(r, all_weeks).value()});
   }
   std::printf("%zu rules were significant in at least one week\n",
               scored.size());
@@ -115,7 +115,7 @@ int main() {
   // Periodic rules: the exploration service spots the alternating-week
   // bundle.
   ExplorationService service(&engine);
-  const auto periodic = service.TopPeriodic(all_weeks, setting, 3, 3);
+  const auto periodic = service.TopPeriodic(all_weeks, setting, 3, 3).value();
   std::printf("\nperiodic rules (cycle detected over the six weeks):\n");
   for (const RuleInsight& insight : periodic) {
     std::printf("  %-24s period=%u phase=%u strength=%.2f\n",
@@ -126,12 +126,14 @@ int main() {
 
   // Roll-up: treat weeks 0-3 as a "month" and mine it with bounds.
   const WindowSet month = WindowSet::Range(0, 4, engine.window_count());
-  const auto rolled = engine.MineRolledUp(month, ParameterSetting{0.01, 0.3});
+  const auto rolled =
+      engine.MineRolledUp(month, ParameterSetting{0.01, 0.3}).value();
   std::printf("\nrolled-up month (weeks 1-4): %zu rules certainly valid, "
               "%zu possibly valid (depend on sub-floor windows)\n",
               rolled.certain.size(), rolled.possible.size());
   if (!rolled.certain.empty()) {
-    const RollUpBound bound = engine.RollUpRule(rolled.certain[0], month);
+    const RollUpBound bound =
+        engine.RollUpRule(rolled.certain[0], month).value();
     std::printf("  e.g. %s: support in [%.4f, %.4f], confidence in "
                 "[%.3f, %.3f]\n",
                 engine.catalog().FormatRule(rolled.certain[0]).c_str(),

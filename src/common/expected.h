@@ -1,0 +1,80 @@
+#ifndef TARA_COMMON_EXPECTED_H_
+#define TARA_COMMON_EXPECTED_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace tara {
+
+/// Value-or-error return type for the online query API (a minimal
+/// std::expected, which this toolchain's standard library predates).
+///
+/// A function returning Expected<T, E> NEVER aborts on invalid caller
+/// input — it returns the E describing what was wrong, so a serving
+/// process can reject one malformed request and keep answering the rest.
+/// Accessing value() on an error (i.e. skipping the has_value() check) is
+/// a caller bug and CHECK-aborts with the error's message, which keeps
+/// tests and one-shot tools terse without weakening the serving contract.
+///
+/// T and E must be distinct types (true for every engine query: results
+/// are vectors/structs, the error is QueryError).
+template <typename T, typename E>
+class Expected {
+ public:
+  /// Implicit from a success value or an error — `return rules;` and
+  /// `return QueryError{...};` both just work.
+  Expected(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  bool has_value() const { return data_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  const T& value() const& {
+    CheckHasValue();
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    CheckHasValue();
+    return std::get<0>(data_);
+  }
+  /// By value, not T&&: `for (auto x : f().value())` must keep iterating a
+  /// live object after the temporary Expected is destroyed at the end of
+  /// the range-initializer (C++20 does not extend its lifetime).
+  T value() && {
+    CheckHasValue();
+    return std::get<0>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const E& error() const {
+    TARA_CHECK(!has_value()) << "Expected::error() on a success value";
+    return std::get<1>(data_);
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return has_value() ? std::get<0>(data_)
+                       : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (has_value()) return;
+    const E& e = std::get<1>(data_);
+    if constexpr (requires { e.message; }) {
+      TARA_CHECK(false) << "Expected::value() on an error: " << e.message;
+    } else {
+      TARA_CHECK(false) << "Expected::value() on an error";
+    }
+  }
+
+  std::variant<T, E> data_;
+};
+
+}  // namespace tara
+
+#endif  // TARA_COMMON_EXPECTED_H_

@@ -31,10 +31,13 @@ std::vector<RuleInsight> TakeTop(std::vector<RuleInsight> insights,
 
 }  // namespace
 
-std::vector<RuleInsight> ExplorationService::ProfileRules(
-    const WindowSet& horizon, const ParameterSetting& setting) const {
-  const std::vector<RuleId> rules =
+Expected<std::vector<RuleInsight>, QueryError>
+ExplorationService::ProfileRules(const WindowSet& horizon,
+                                 const ParameterSetting& setting) const {
+  Expected<std::vector<RuleId>, QueryError> mined =
       engine_->MineWindows(horizon, setting, MatchMode::kSingle);
+  if (!mined) return mined.error();
+  const std::vector<RuleId>& rules = *mined;
   std::vector<RuleInsight> insights;
   insights.reserve(rules.size());
   const uint32_t max_period =
@@ -52,10 +55,13 @@ std::vector<RuleInsight> ExplorationService::ProfileRules(
   return insights;
 }
 
-std::vector<RuleInsight> ExplorationService::TopStable(
+Expected<std::vector<RuleInsight>, QueryError> ExplorationService::TopStable(
     const WindowSet& horizon, const ParameterSetting& setting,
     size_t k) const {
-  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+  Expected<std::vector<RuleInsight>, QueryError> profiled =
+      ProfileRules(horizon, setting);
+  if (!profiled) return profiled.error();
+  std::vector<RuleInsight> insights = std::move(profiled).value();
   std::sort(insights.begin(), insights.end(),
             [](const RuleInsight& a, const RuleInsight& b) {
               if (a.measures.coverage != b.measures.coverage) {
@@ -69,10 +75,14 @@ std::vector<RuleInsight> ExplorationService::TopStable(
   return TakeTop(std::move(insights), k);
 }
 
-std::vector<RuleInsight> ExplorationService::TopEmerging(
-    const WindowSet& horizon, const ParameterSetting& setting,
-    size_t k) const {
-  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+Expected<std::vector<RuleInsight>, QueryError>
+ExplorationService::TopEmerging(const WindowSet& horizon,
+                                const ParameterSetting& setting,
+                                size_t k) const {
+  Expected<std::vector<RuleInsight>, QueryError> profiled =
+      ProfileRules(horizon, setting);
+  if (!profiled) return profiled.error();
+  std::vector<RuleInsight> insights = std::move(profiled).value();
   std::sort(insights.begin(), insights.end(),
             [](const RuleInsight& a, const RuleInsight& b) {
               if (a.emergence != b.emergence) {
@@ -83,10 +93,13 @@ std::vector<RuleInsight> ExplorationService::TopEmerging(
   return TakeTop(std::move(insights), k);
 }
 
-std::vector<RuleInsight> ExplorationService::TopFading(
+Expected<std::vector<RuleInsight>, QueryError> ExplorationService::TopFading(
     const WindowSet& horizon, const ParameterSetting& setting,
     size_t k) const {
-  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+  Expected<std::vector<RuleInsight>, QueryError> profiled =
+      ProfileRules(horizon, setting);
+  if (!profiled) return profiled.error();
+  std::vector<RuleInsight> insights = std::move(profiled).value();
   std::sort(insights.begin(), insights.end(),
             [](const RuleInsight& a, const RuleInsight& b) {
               if (a.emergence != b.emergence) {
@@ -97,10 +110,14 @@ std::vector<RuleInsight> ExplorationService::TopFading(
   return TakeTop(std::move(insights), k);
 }
 
-std::vector<RuleInsight> ExplorationService::TopPeriodic(
-    const WindowSet& horizon, const ParameterSetting& setting,
-    size_t k, uint32_t max_period) const {
-  std::vector<RuleInsight> insights = ProfileRules(horizon, setting);
+Expected<std::vector<RuleInsight>, QueryError>
+ExplorationService::TopPeriodic(const WindowSet& horizon,
+                                const ParameterSetting& setting, size_t k,
+                                uint32_t max_period) const {
+  Expected<std::vector<RuleInsight>, QueryError> profiled =
+      ProfileRules(horizon, setting);
+  if (!profiled) return profiled.error();
+  std::vector<RuleInsight> insights = std::move(profiled).value();
   for (RuleInsight& insight : insights) {
     const Trajectory trajectory =
         BuildTrajectory(engine_->archive(), insight.rule, horizon.ids());

@@ -27,6 +27,10 @@ struct RuleInsight {
 /// fading ones. All operations take a parameter setting and the window
 /// horizon, collect the qualifying rules (valid in at least one horizon
 /// window), profile their trajectories, and rank.
+///
+/// The service shares the engine's error contract: an invalid request
+/// (threshold below the floor, empty or mismatched horizon) surfaces as
+/// the engine's QueryError instead of aborting.
 class ExplorationService {
  public:
   /// `engine` must outlive the service.
@@ -34,28 +38,28 @@ class ExplorationService {
 
   /// Profiles every rule valid (under `setting`) in at least one window of
   /// `horizon`.
-  std::vector<RuleInsight> ProfileRules(const WindowSet& horizon,
-                                        const ParameterSetting& setting) const;
+  Expected<std::vector<RuleInsight>, QueryError> ProfileRules(
+      const WindowSet& horizon, const ParameterSetting& setting) const;
 
   /// Top-k rules by full coverage then stability.
-  std::vector<RuleInsight> TopStable(const WindowSet& horizon,
-                                     const ParameterSetting& setting,
-                                     size_t k) const;
+  Expected<std::vector<RuleInsight>, QueryError> TopStable(
+      const WindowSet& horizon, const ParameterSetting& setting,
+      size_t k) const;
 
   /// Top-k rules by emergence (most positive support trend).
-  std::vector<RuleInsight> TopEmerging(const WindowSet& horizon,
-                                       const ParameterSetting& setting,
-                                       size_t k) const;
+  Expected<std::vector<RuleInsight>, QueryError> TopEmerging(
+      const WindowSet& horizon, const ParameterSetting& setting,
+      size_t k) const;
 
   /// Top-k rules by negative emergence (fading).
-  std::vector<RuleInsight> TopFading(const WindowSet& horizon,
-                                     const ParameterSetting& setting,
-                                     size_t k) const;
+  Expected<std::vector<RuleInsight>, QueryError> TopFading(
+      const WindowSet& horizon, const ParameterSetting& setting,
+      size_t k) const;
 
   /// Top-k periodic rules (strongest cycle, then shorter period).
-  std::vector<RuleInsight> TopPeriodic(const WindowSet& horizon,
-                                       const ParameterSetting& setting,
-                                       size_t k, uint32_t max_period) const;
+  Expected<std::vector<RuleInsight>, QueryError> TopPeriodic(
+      const WindowSet& horizon, const ParameterSetting& setting, size_t k,
+      uint32_t max_period) const;
 
  private:
   const TaraEngine* engine_;

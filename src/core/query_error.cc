@@ -1,0 +1,30 @@
+#include "core/query_error.h"
+
+namespace tara {
+
+std::string_view QueryErrorCodeName(QueryError::Code code) {
+  switch (code) {
+    case QueryError::Code::kSupportBelowFloor:
+      return "support_below_floor";
+    case QueryError::Code::kConfidenceBelowFloor:
+      return "confidence_below_floor";
+    case QueryError::Code::kBadWindow:
+      return "bad_window";
+    case QueryError::Code::kEmptyWindowSet:
+      return "empty_window_set";
+    case QueryError::Code::kWindowSetMismatch:
+      return "window_set_mismatch";
+    case QueryError::Code::kUnknownRule:
+      return "unknown_rule";
+    case QueryError::Code::kNoContentIndex:
+      return "no_content_index";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& out, const QueryError& error) {
+  return out << "QueryError[" << QueryErrorCodeName(error.code) << "]: "
+             << error.message;
+}
+
+}  // namespace tara

@@ -1,0 +1,50 @@
+#ifndef TARA_CORE_QUERY_ERROR_H_
+#define TARA_CORE_QUERY_ERROR_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tara {
+
+/// Why an online query was rejected. Every Q1-Q5/roll-up entrypoint
+/// validates its request up front and returns one of these (inside an
+/// Expected) instead of aborting: invalid *input* is a client problem the
+/// serving process survives; CHECK aborts remain reserved for internal
+/// invariant violations.
+struct QueryError {
+  enum class Code {
+    /// min_support below the engine's generation floor — sub-floor rules
+    /// were never mined, so the archive cannot answer.
+    kSupportBelowFloor,
+    /// min_confidence below the generation floor.
+    kConfidenceBelowFloor,
+    /// A window id at or past window_count().
+    kBadWindow,
+    /// The operation needs at least one window.
+    kEmptyWindowSet,
+    /// A WindowSet validated against a larger engine than this one.
+    kWindowSetMismatch,
+    /// A RuleId never interned by this engine's catalog.
+    kUnknownRule,
+    /// Q5 content query on an engine built without
+    /// Options::build_content_index.
+    kNoContentIndex,
+  };
+
+  Code code = Code::kSupportBelowFloor;
+  /// Actionable description including the offending value and the bound
+  /// it violated.
+  std::string message;
+};
+
+/// Stable identifier string of a code ("support_below_floor", ...), used
+/// in error counters and CLI output.
+std::string_view QueryErrorCodeName(QueryError::Code code);
+
+/// gtest-friendly printing.
+std::ostream& operator<<(std::ostream& out, const QueryError& error);
+
+}  // namespace tara
+
+#endif  // TARA_CORE_QUERY_ERROR_H_

@@ -118,13 +118,15 @@ void SaveKnowledgeBase(const TaraEngine& engine, std::ostream* out) {
   w.Flush(out);
 }
 
-TaraEngine LoadKnowledgeBase(std::istream* in) {
+TaraEngine LoadKnowledgeBase(std::istream* in,
+                             obs::MetricsRegistry* metrics) {
   Reader r(in);
   TaraEngine::Options options;
   options.min_support_floor = r.F64();
   options.min_confidence_floor = r.F64();
   options.max_itemset_size = static_cast<uint32_t>(r.U64());
   options.build_content_index = r.U64() != 0;
+  options.metrics = metrics;
   TaraEngine engine(options);
 
   const uint64_t rule_count = r.U64();
@@ -164,9 +166,10 @@ std::string KnowledgeBaseToString(const TaraEngine& engine) {
   return out.str();
 }
 
-TaraEngine KnowledgeBaseFromString(const std::string& bytes) {
+TaraEngine KnowledgeBaseFromString(const std::string& bytes,
+                                   obs::MetricsRegistry* metrics) {
   std::istringstream in(bytes);
-  return LoadKnowledgeBase(&in);
+  return LoadKnowledgeBase(&in, metrics);
 }
 
 }  // namespace tara

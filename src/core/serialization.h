@@ -22,12 +22,17 @@ namespace tara {
 void SaveKnowledgeBase(const TaraEngine& engine, std::ostream* out);
 
 /// Reads a knowledge base written by SaveKnowledgeBase. Aborts on a
-/// malformed stream (wrong magic/version or truncation).
-TaraEngine LoadKnowledgeBase(std::istream* in);
+/// malformed stream (wrong magic/version or truncation). `metrics`
+/// becomes the loaded engine's Options::metrics — runtime knobs are not
+/// part of the serialized state, so the deployment attaches its registry
+/// here (nullptr = null sink).
+TaraEngine LoadKnowledgeBase(std::istream* in,
+                             obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience string round-trip helpers.
 std::string KnowledgeBaseToString(const TaraEngine& engine);
-TaraEngine KnowledgeBaseFromString(const std::string& bytes);
+TaraEngine KnowledgeBaseFromString(const std::string& bytes,
+                                   obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace tara
 

@@ -23,6 +23,32 @@ uint32_t EffectiveParallelism(uint32_t requested) {
 
 }  // namespace
 
+std::string_view QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMineWindow:
+      return "mine_window";
+    case QueryKind::kMineWindows:
+      return "mine_windows";
+    case QueryKind::kTrajectory:
+      return "trajectory";
+    case QueryKind::kCompare:
+      return "compare";
+    case QueryKind::kRegion:
+      return "region";
+    case QueryKind::kMeasures:
+      return "measures";
+    case QueryKind::kContent:
+      return "content";
+    case QueryKind::kContentView:
+      return "content_view";
+    case QueryKind::kRollUpRule:
+      return "rollup_rule";
+    case QueryKind::kRollUpMine:
+      return "rollup_mine";
+  }
+  return "unknown";
+}
+
 std::optional<std::string> TaraEngine::Options::Validate() const {
   std::ostringstream error;
   if (!(min_support_floor > 0.0 && min_support_floor <= 1.0)) {
@@ -50,6 +76,58 @@ TaraEngine::TaraEngine(const Options& options) : options_(options) {
   TARA_CHECK(!error.has_value()) << *error;
   const uint32_t parallelism = EffectiveParallelism(options_.parallelism);
   if (parallelism > 1) pool_ = std::make_unique<ThreadPool>(parallelism);
+  RegisterMetrics();
+}
+
+void TaraEngine::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr) return;
+  for (int k = 0; k < kQueryKindCount; ++k) {
+    const std::string name =
+        std::string("tara.query.") +
+        std::string(QueryKindName(static_cast<QueryKind>(k))) + ".latency_ns";
+    metrics_.latency[k] = registry->GetHistogram(name);
+  }
+  metrics_.ok = registry->GetCounter("tara.query.ok");
+  metrics_.rejected = registry->GetCounter("tara.query.rejected");
+  metrics_.build_itemset_seconds =
+      registry->GetGauge("tara.build.itemset_seconds");
+  metrics_.build_rule_seconds = registry->GetGauge("tara.build.rule_seconds");
+  metrics_.build_archive_seconds =
+      registry->GetGauge("tara.build.archive_seconds");
+  metrics_.build_index_seconds =
+      registry->GetGauge("tara.build.index_seconds");
+  metrics_.build_windows = registry->GetGauge("tara.build.windows");
+  metrics_.build_rules = registry->GetGauge("tara.build.rules");
+  metrics_.build_regions = registry->GetGauge("tara.build.regions");
+  metrics_.archive_payload_bytes =
+      registry->GetGauge("tara.archive.payload_bytes");
+  metrics_.archive_entries = registry->GetGauge("tara.archive.entries");
+  metrics_.index_bytes = registry->GetGauge("tara.index.bytes");
+}
+
+void TaraEngine::UpdateBuildMetrics() {
+  if (options_.metrics == nullptr) return;
+  double itemset = 0, rule = 0, archive = 0, index = 0;
+  double regions = 0;
+  for (const WindowBuildStats& s : stats_) {
+    itemset += s.itemset_seconds;
+    rule += s.rule_seconds;
+    archive += s.archive_seconds;
+    index += s.index_seconds;
+    regions += static_cast<double>(s.region_count);
+  }
+  metrics_.build_itemset_seconds->Set(itemset);
+  metrics_.build_rule_seconds->Set(rule);
+  metrics_.build_archive_seconds->Set(archive);
+  metrics_.build_index_seconds->Set(index);
+  metrics_.build_windows->Set(static_cast<double>(windows_.size()));
+  metrics_.build_rules->Set(static_cast<double>(catalog_.size()));
+  metrics_.build_regions->Set(regions);
+  metrics_.archive_payload_bytes->Set(
+      static_cast<double>(archive_.payload_bytes()));
+  metrics_.archive_entries->Set(static_cast<double>(archive_.entry_count()));
+  metrics_.index_bytes->Set(static_cast<double>(IndexBytes()));
 }
 
 TaraEngine::MinedWindow TaraEngine::MineWindowSlice(
@@ -120,6 +198,7 @@ WindowId TaraEngine::CommitWindow(MinedWindow mined) {
 
   window_entries_.push_back(std::move(entries));
   stats_.push_back(stats);
+  UpdateBuildMetrics();
   return window;
 }
 
@@ -154,6 +233,7 @@ WindowId TaraEngine::AppendPrecomputedWindow(
   stats.region_count = windows_.back().region_count();
   window_entries_.push_back(std::move(entries));
   stats_.push_back(stats);
+  UpdateBuildMetrics();
   return window;
 }
 
@@ -233,37 +313,102 @@ void TaraEngine::BuildAll(const EvolvingDatabase& data) {
     }));
   }
   for (std::future<void>& f : eps_builds) f.get();
+  // Gauges refresh after the fan-out joins: stage-3 workers write stats_
+  // slots, so the totals are only stable here.
+  UpdateBuildMetrics();
 }
 
-void TaraEngine::CheckSetting(const ParameterSetting& setting) const {
-  TARA_CHECK(setting.min_support + 1e-12 >= options_.min_support_floor)
-      << "query support below the generation floor";
-  TARA_CHECK(setting.min_confidence + 1e-12 >= options_.min_confidence_floor)
-      << "query confidence below the generation floor";
+std::optional<QueryError> TaraEngine::ValidateSetting(
+    const ParameterSetting& setting) const {
+  if (setting.min_support + 1e-12 < options_.min_support_floor) {
+    std::ostringstream message;
+    message << "min_support " << setting.min_support
+            << " is below the generation floor "
+            << options_.min_support_floor
+            << " — rules under the floor were never mined";
+    return QueryError{QueryError::Code::kSupportBelowFloor, message.str()};
+  }
+  if (setting.min_confidence + 1e-12 < options_.min_confidence_floor) {
+    std::ostringstream message;
+    message << "min_confidence " << setting.min_confidence
+            << " is below the generation floor "
+            << options_.min_confidence_floor
+            << " — rules under the floor were never derived";
+    return QueryError{QueryError::Code::kConfidenceBelowFloor, message.str()};
+  }
+  return std::nullopt;
 }
 
-void TaraEngine::CheckWindows(const WindowSet& windows) const {
-  TARA_CHECK_LE(windows.required_window_count(), windows_.size())
-      << "WindowSet built for a different (larger) engine";
+std::optional<QueryError> TaraEngine::ValidateWindow(WindowId w) const {
+  if (w < windows_.size()) return std::nullopt;
+  std::ostringstream message;
+  message << "window " << w << " does not exist (engine has "
+          << windows_.size() << " windows)";
+  return QueryError{QueryError::Code::kBadWindow, message.str()};
 }
 
-std::vector<RuleId> TaraEngine::MineWindow(
+std::optional<QueryError> TaraEngine::ValidateWindows(
+    const WindowSet& windows) const {
+  if (windows.empty()) {
+    return QueryError{QueryError::Code::kEmptyWindowSet,
+                      "the window set is empty — the operation needs at "
+                      "least one window"};
+  }
+  if (windows.required_window_count() > windows_.size()) {
+    std::ostringstream message;
+    message << "WindowSet refers to window "
+            << windows.required_window_count() - 1
+            << " but this engine has only " << windows_.size()
+            << " windows (set built for a different engine?)";
+    return QueryError{QueryError::Code::kWindowSetMismatch, message.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<QueryError> TaraEngine::ValidateRule(RuleId rule) const {
+  if (rule < catalog_.size()) return std::nullopt;
+  std::ostringstream message;
+  message << "rule " << rule << " was never interned (catalog has "
+          << catalog_.size() << " rules)";
+  return QueryError{QueryError::Code::kUnknownRule, message.str()};
+}
+
+QueryError TaraEngine::Reject(obs::QuerySpan* span, QueryError error) const {
+  span->Cancel();
+  if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
+  return error;
+}
+
+void TaraEngine::CountOk() const {
+  if (metrics_.ok != nullptr) metrics_.ok->Increment();
+}
+
+std::vector<RuleId> TaraEngine::CollectWindow(
     WindowId w, const ParameterSetting& setting) const {
-  CheckSetting(setting);
   std::vector<RuleId> out;
-  window_index(w).CollectRules(setting.min_support, setting.min_confidence,
-                               &out);
+  windows_[w].CollectRules(setting.min_support, setting.min_confidence, &out);
   return out;
 }
 
-std::vector<RuleId> TaraEngine::MineWindows(
+Expected<std::vector<RuleId>, QueryError> TaraEngine::MineWindow(
+    WindowId w, const ParameterSetting& setting) const {
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kMineWindow)]);
+  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
+  CountOk();
+  return CollectWindow(w, setting);
+}
+
+std::vector<RuleId> TaraEngine::MineWindowsUnchecked(
     const WindowSet& windows, const ParameterSetting& setting,
     MatchMode mode) const {
-  CheckWindows(windows);
   std::vector<RuleId> combined;
   bool first = true;
   for (WindowId w : windows) {
-    std::vector<RuleId> rules = MineWindow(w, setting);
+    std::vector<RuleId> rules = CollectWindow(w, setting);
     std::sort(rules.begin(), rules.end());
     if (first) {
       combined = std::move(rules);
@@ -283,76 +428,155 @@ std::vector<RuleId> TaraEngine::MineWindows(
   return combined;
 }
 
-TaraEngine::TrajectoryQueryResult TaraEngine::TrajectoryQuery(
-    WindowId anchor, const ParameterSetting& setting,
-    const WindowSet& horizon) const {
-  CheckWindows(horizon);
+Expected<std::vector<RuleId>, QueryError> TaraEngine::MineWindows(
+    const WindowSet& windows, const ParameterSetting& setting,
+    MatchMode mode) const {
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kMineWindows)]);
+  if (auto error = ValidateWindows(windows)) {
+    return Reject(&span, *std::move(error));
+  }
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
+  CountOk();
+  return MineWindowsUnchecked(windows, setting, mode);
+}
+
+Expected<TaraEngine::TrajectoryQueryResult, QueryError>
+TaraEngine::TrajectoryQuery(WindowId anchor, const ParameterSetting& setting,
+                            const WindowSet& horizon) const {
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kTrajectory)]);
+  if (auto error = ValidateWindow(anchor)) {
+    return Reject(&span, *std::move(error));
+  }
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
+  if (auto error = ValidateWindows(horizon)) {
+    return Reject(&span, *std::move(error));
+  }
   TrajectoryQueryResult result;
-  result.rules = MineWindow(anchor, setting);
+  result.rules = CollectWindow(anchor, setting);
   result.trajectories.reserve(result.rules.size());
   for (RuleId rule : result.rules) {
     result.trajectories.push_back(
         BuildTrajectory(archive_, rule, horizon.ids()));
   }
+  CountOk();
   return result;
 }
 
-TaraEngine::RulesetDiff TaraEngine::CompareSettings(
+Expected<TaraEngine::RulesetDiff, QueryError> TaraEngine::CompareSettings(
     const ParameterSetting& first, const ParameterSetting& second,
     const WindowSet& windows, MatchMode mode) const {
-  std::vector<RuleId> a = MineWindows(windows, first, mode);
-  std::vector<RuleId> b = MineWindows(windows, second, mode);
+  obs::QuerySpan span(metrics_.latency[static_cast<int>(QueryKind::kCompare)]);
+  if (auto error = ValidateWindows(windows)) {
+    return Reject(&span, *std::move(error));
+  }
+  if (auto error = ValidateSetting(first)) {
+    return Reject(&span, *std::move(error));
+  }
+  if (auto error = ValidateSetting(second)) {
+    return Reject(&span, *std::move(error));
+  }
+  const std::vector<RuleId> a = MineWindowsUnchecked(windows, first, mode);
+  const std::vector<RuleId> b = MineWindowsUnchecked(windows, second, mode);
   RulesetDiff diff;
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(diff.only_first));
   std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
                       std::back_inserter(diff.only_second));
+  CountOk();
   return diff;
 }
 
-RegionInfo TaraEngine::RecommendRegion(WindowId w,
-                                       const ParameterSetting& setting) const {
-  CheckSetting(setting);
-  return window_index(w).Locate(setting.min_support, setting.min_confidence);
+Expected<RegionInfo, QueryError> TaraEngine::RecommendRegion(
+    WindowId w, const ParameterSetting& setting) const {
+  obs::QuerySpan span(metrics_.latency[static_cast<int>(QueryKind::kRegion)]);
+  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
+  CountOk();
+  return windows_[w].Locate(setting.min_support, setting.min_confidence);
 }
 
-TrajectoryMeasures TaraEngine::RuleMeasures(RuleId rule,
-                                            const WindowSet& windows) const {
-  CheckWindows(windows);
+Expected<TrajectoryMeasures, QueryError> TaraEngine::RuleMeasures(
+    RuleId rule, const WindowSet& windows) const {
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kMeasures)]);
+  if (auto error = ValidateRule(rule)) return Reject(&span, *std::move(error));
+  if (auto error = ValidateWindows(windows)) {
+    return Reject(&span, *std::move(error));
+  }
+  CountOk();
   return ComputeMeasures(BuildTrajectory(archive_, rule, windows.ids()));
 }
 
-std::vector<RuleId> TaraEngine::ContentQuery(
+Expected<std::vector<RuleId>, QueryError> TaraEngine::ContentQuery(
     WindowId w, const Itemset& items, const ParameterSetting& setting) const {
-  CheckSetting(setting);
+  obs::QuerySpan span(metrics_.latency[static_cast<int>(QueryKind::kContent)]);
+  if (!options_.build_content_index) {
+    return Reject(&span,
+                  QueryError{QueryError::Code::kNoContentIndex,
+                             "content queries need an engine built with "
+                             "Options::build_content_index (the TARA-S "
+                             "variant)"});
+  }
+  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
   std::vector<RuleId> out;
-  window_index(w).ContentQuery(items, setting.min_support,
-                               setting.min_confidence, &out);
+  windows_[w].ContentQuery(items, setting.min_support, setting.min_confidence,
+                           &out);
+  CountOk();
   return out;
 }
 
-std::unordered_map<ItemId, std::vector<RuleId>> TaraEngine::ContentView(
-    WindowId w, const ParameterSetting& setting) const {
+Expected<std::unordered_map<ItemId, std::vector<RuleId>>, QueryError>
+TaraEngine::ContentView(WindowId w, const ParameterSetting& setting) const {
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kContentView)]);
+  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
   std::unordered_map<ItemId, std::vector<RuleId>> view;
-  for (RuleId rule : MineWindow(w, setting)) {
+  for (RuleId rule : CollectWindow(w, setting)) {
     const Rule& r = catalog_.rule(rule);
     for (ItemId item : r.antecedent) view[item].push_back(rule);
     for (ItemId item : r.consequent) view[item].push_back(rule);
   }
   for (auto& [item, rules] : view) std::sort(rules.begin(), rules.end());
+  CountOk();
   return view;
 }
 
-RollUpBound TaraEngine::RollUpRule(RuleId rule,
-                                   const WindowSet& windows) const {
-  CheckWindows(windows);
+Expected<RollUpBound, QueryError> TaraEngine::RollUpRule(
+    RuleId rule, const WindowSet& windows) const {
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kRollUpRule)]);
+  if (auto error = ValidateRule(rule)) return Reject(&span, *std::move(error));
+  if (auto error = ValidateWindows(windows)) {
+    return Reject(&span, *std::move(error));
+  }
+  CountOk();
   return archive_.RollUp(rule, windows.ids());
 }
 
-TaraEngine::RolledUpRules TaraEngine::MineRolledUp(
+Expected<TaraEngine::RolledUpRules, QueryError> TaraEngine::MineRolledUp(
     const WindowSet& windows, const ParameterSetting& setting) const {
-  CheckSetting(setting);
-  CheckWindows(windows);
+  obs::QuerySpan span(
+      metrics_.latency[static_cast<int>(QueryKind::kRollUpMine)]);
+  if (auto error = ValidateWindows(windows)) {
+    return Reject(&span, *std::move(error));
+  }
+  if (auto error = ValidateSetting(setting)) {
+    return Reject(&span, *std::move(error));
+  }
   // Candidates: every rule present in at least one of the windows.
   std::vector<RuleId> candidates;
   for (WindowId w : windows) {
@@ -377,6 +601,7 @@ TaraEngine::RolledUpRules TaraEngine::MineRolledUp(
       result.possible.push_back(rule);
     }
   }
+  CountOk();
   return result;
 }
 

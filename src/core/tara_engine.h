@@ -1,14 +1,18 @@
 #ifndef TARA_CORE_TARA_ENGINE_H_
 #define TARA_CORE_TARA_ENGINE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/expected.h"
 #include "common/thread_pool.h"
+#include "core/query_error.h"
 #include "core/rule_catalog.h"
 #include "core/stable_region_index.h"
 #include "core/tar_archive.h"
@@ -16,6 +20,8 @@
 #include "core/window_set.h"
 #include "mining/frequent_itemset.h"
 #include "mining/rule_generation.h"
+#include "obs/metrics.h"
+#include "obs/query_span.h"
 #include "txdb/evolving_database.h"
 
 namespace tara {
@@ -32,6 +38,26 @@ enum class MatchMode {
   kExact,   ///< valid in every window (intersection)
 };
 
+/// Label of an online operation, used for per-kind latency series
+/// ("tara.query.<name>.latency_ns") and per-kind result typing.
+enum class QueryKind : int {
+  kMineWindow = 0,  ///< single-window mining
+  kMineWindows,     ///< multi-window mining (union/intersection)
+  kTrajectory,      ///< Q1 trajectory query
+  kCompare,         ///< Q2 ruleset comparison
+  kRegion,          ///< Q3 stable-region recommendation
+  kMeasures,        ///< Q4 evolving-behavior measures
+  kContent,         ///< Q5 content query
+  kContentView,     ///< TARA-S merged item→rules view
+  kRollUpRule,      ///< roll-up of a single rule
+  kRollUpMine,      ///< roll-up mining over a window union
+};
+
+inline constexpr int kQueryKindCount = 10;
+
+/// The metric label of a query kind ("mine_window", "trajectory", ...).
+std::string_view QueryKindName(QueryKind kind);
+
 /// The TARA framework: offline knowledge-base construction (Association
 /// Generator + Knowledge Base Constructor of Figure 2) plus the online
 /// explorer operations (Q1-Q5, roll-up/drill-down).
@@ -41,6 +67,26 @@ enum class MatchMode {
 /// archived in the TarArchive, and the window's EPS slice built as a
 /// WindowIndex. Online queries touch only these structures — never the raw
 /// data — with thresholds at or above the floors.
+///
+/// ## Error contract
+///
+/// Every online operation returns Expected<Result, QueryError>: a
+/// malformed *request* (threshold below the generation floor, bad window
+/// id, empty window set, unknown rule, Q5 without a content index) is
+/// reported as a QueryError value, never an abort, so one bad client
+/// request cannot take down a serving process. CHECK aborts remain for
+/// internal invariants and construction-time contracts (an out-of-range
+/// id passed to MakeWindowSet is the caller's bug, caught at
+/// construction). One-shot tools may call .value(), which aborts with the
+/// error message on misuse.
+///
+/// ## Observability
+///
+/// When Options::metrics names a registry, the engine registers per-kind
+/// query latency histograms, ok/rejected counters, and build/size gauges
+/// (see DESIGN.md, "Observability"). All recording is relaxed-atomic and
+/// allocation-free; with metrics == nullptr every instrument pointer is
+/// null and spans skip the clock read entirely (the null sink).
 ///
 /// ## Threading model
 ///
@@ -57,9 +103,10 @@ enum class MatchMode {
 ///   method (MineWindow(s), TrajectoryQuery, CompareSettings,
 ///   RecommendRegion, RuleMeasures, ContentQuery, ContentView, RollUpRule,
 ///   MineRolledUp, and all accessors) is safe for any number of concurrent
-///   callers. None of them mutates engine state — there is no lazy caching
-///   on the const path, and this is enforced by the concurrent-query stress
-///   test run under ThreadSanitizer.
+///   callers. None of them mutates engine state — metric recording goes to
+///   relaxed atomics only, there is no lazy caching on the const path, and
+///   this is enforced by the concurrent-query stress test run under
+///   ThreadSanitizer (with metrics enabled).
 ///
 /// Interleaving build calls with queries from other threads is NOT
 /// supported.
@@ -88,6 +135,12 @@ class TaraEngine {
     /// byte-identical serialized knowledge base; this is an execution
     /// knob, not knowledge-base state, and is not serialized.
     uint32_t parallelism = 1;
+    /// Destination for the engine's instruments, or nullptr for the null
+    /// sink (no clocks, no atomics on the query path). The registry must
+    /// outlive the engine. Like parallelism this is a runtime knob, not
+    /// knowledge-base state, and is not serialized. Engines sharing a
+    /// registry aggregate into the same named series.
+    obs::MetricsRegistry* metrics = nullptr;
 
     /// Returns an actionable description of the first invalid field, or
     /// nullopt when the options are usable. The TaraEngine constructor
@@ -184,102 +237,63 @@ class TaraEngine {
   }
 
   /// --- Online operations -------------------------------------------------
+  /// All of these validate the request and return a QueryError (never
+  /// abort) on invalid thresholds, window ids, empty window sets, or
+  /// unknown rules — see the class-level error contract.
 
   /// Rules valid in window `w` under `setting`.
-  std::vector<RuleId> MineWindow(WindowId w,
-                                 const ParameterSetting& setting) const;
+  Expected<std::vector<RuleId>, QueryError> MineWindow(
+      WindowId w, const ParameterSetting& setting) const;
 
   /// Rules valid across `windows` under `setting`, combined per `mode`.
   /// Output is sorted by RuleId.
-  std::vector<RuleId> MineWindows(const WindowSet& windows,
-                                  const ParameterSetting& setting,
-                                  MatchMode mode) const;
+  Expected<std::vector<RuleId>, QueryError> MineWindows(
+      const WindowSet& windows, const ParameterSetting& setting,
+      MatchMode mode) const;
 
   /// Q1: rules matching `setting` in `anchor`, each with its trajectory
   /// over `horizon` (oldest window first).
-  TrajectoryQueryResult TrajectoryQuery(WindowId anchor,
-                                        const ParameterSetting& setting,
-                                        const WindowSet& horizon) const;
+  Expected<TrajectoryQueryResult, QueryError> TrajectoryQuery(
+      WindowId anchor, const ParameterSetting& setting,
+      const WindowSet& horizon) const;
 
   /// Q2: symmetric difference of the rulesets of two settings over the same
   /// windows. Outputs sorted by RuleId.
-  RulesetDiff CompareSettings(const ParameterSetting& first,
-                              const ParameterSetting& second,
-                              const WindowSet& windows, MatchMode mode) const;
+  Expected<RulesetDiff, QueryError> CompareSettings(
+      const ParameterSetting& first, const ParameterSetting& second,
+      const WindowSet& windows, MatchMode mode) const;
 
   /// Q3: the time-aware stable region of `setting` in window `w` — the
   /// parameter recommendation primitive (any setting inside the region is
   /// equivalent; the region's upper corner is the tightest setting with the
   /// same result).
-  RegionInfo RecommendRegion(WindowId w,
-                             const ParameterSetting& setting) const;
+  Expected<RegionInfo, QueryError> RecommendRegion(
+      WindowId w, const ParameterSetting& setting) const;
 
   /// Q4: evolving-behavior measures of a rule over `windows`.
-  TrajectoryMeasures RuleMeasures(RuleId rule, const WindowSet& windows) const;
+  Expected<TrajectoryMeasures, QueryError> RuleMeasures(
+      RuleId rule, const WindowSet& windows) const;
 
   /// Q5: rules valid under `setting` in window `w` containing all of
   /// `items`. Requires Options::build_content_index.
-  std::vector<RuleId> ContentQuery(WindowId w, const Itemset& items,
-                                   const ParameterSetting& setting) const;
+  Expected<std::vector<RuleId>, QueryError> ContentQuery(
+      WindowId w, const Itemset& items,
+      const ParameterSetting& setting) const;
 
   /// Builds the merged item→rules view of a window's result set — the
   /// region-index merge the TARA-S variant performs during Q1 (its extra
   /// online cost in Figures 7-8).
-  std::unordered_map<ItemId, std::vector<RuleId>> ContentView(
-      WindowId w, const ParameterSetting& setting) const;
+  Expected<std::unordered_map<ItemId, std::vector<RuleId>>, QueryError>
+  ContentView(WindowId w, const ParameterSetting& setting) const;
 
   /// Roll-up: interval measures of `rule` over the union of `windows`.
-  RollUpBound RollUpRule(RuleId rule, const WindowSet& windows) const;
+  Expected<RollUpBound, QueryError> RollUpRule(
+      RuleId rule, const WindowSet& windows) const;
 
   /// Roll-up mining: rules valid over the union of `windows` under
   /// `setting`, split into certain and possible per the interval bounds.
-  RolledUpRules MineRolledUp(const WindowSet& windows,
-                             const ParameterSetting& setting) const;
-
-  /// --- Deprecated loose-window-list overloads ----------------------------
-  /// One-release migration shims: they validate and canonicalize the id
-  /// list on every call (the cost WindowSet moves to construction). Build a
-  /// WindowSet once via MakeWindowSet / AllWindows instead.
-
-  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
-  std::vector<RuleId> MineWindows(const std::vector<WindowId>& windows,
-                                  const ParameterSetting& setting,
-                                  MatchMode mode) const {
-    return MineWindows(MakeWindowSet(windows), setting, mode);
-  }
-
-  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
-  TrajectoryQueryResult TrajectoryQuery(
-      WindowId anchor, const ParameterSetting& setting,
-      const std::vector<WindowId>& horizon) const {
-    return TrajectoryQuery(anchor, setting, MakeWindowSet(horizon));
-  }
-
-  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
-  RulesetDiff CompareSettings(const ParameterSetting& first,
-                              const ParameterSetting& second,
-                              const std::vector<WindowId>& windows,
-                              MatchMode mode) const {
-    return CompareSettings(first, second, MakeWindowSet(windows), mode);
-  }
-
-  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
-  TrajectoryMeasures RuleMeasures(RuleId rule,
-                                  const std::vector<WindowId>& windows) const {
-    return RuleMeasures(rule, MakeWindowSet(windows));
-  }
-
-  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
-  RollUpBound RollUpRule(RuleId rule,
-                         const std::vector<WindowId>& windows) const {
-    return RollUpRule(rule, MakeWindowSet(windows));
-  }
-
-  [[deprecated("pass a WindowSet (see TaraEngine::MakeWindowSet)")]]
-  RolledUpRules MineRolledUp(const std::vector<WindowId>& windows,
-                             const ParameterSetting& setting) const {
-    return MineRolledUp(MakeWindowSet(windows), setting);
-  }
+  Expected<RolledUpRules, QueryError> MineRolledUp(
+      const WindowSet& windows, const ParameterSetting& setting) const;
 
   /// --- Accessors ----------------------------------------------------------
 
@@ -295,6 +309,25 @@ class TaraEngine {
   size_t IndexBytes() const;
 
  private:
+  /// Instrument pointers, all null when Options::metrics is null (the
+  /// null sink). Raw pointers into the registry; registration happens
+  /// once in the constructor.
+  struct EngineMetrics {
+    std::array<obs::Histogram*, kQueryKindCount> latency{};
+    obs::Counter* ok = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Gauge* build_itemset_seconds = nullptr;
+    obs::Gauge* build_rule_seconds = nullptr;
+    obs::Gauge* build_archive_seconds = nullptr;
+    obs::Gauge* build_index_seconds = nullptr;
+    obs::Gauge* build_windows = nullptr;
+    obs::Gauge* build_rules = nullptr;
+    obs::Gauge* build_regions = nullptr;
+    obs::Gauge* archive_payload_bytes = nullptr;
+    obs::Gauge* archive_entries = nullptr;
+    obs::Gauge* index_bytes = nullptr;
+  };
+
   /// One window's mining output, produced off-thread by the parallel build
   /// and handed to the ordered commit stage.
   struct MinedWindow {
@@ -321,8 +354,30 @@ class TaraEngine {
   /// and build its EPS slice inline.
   WindowId CommitWindow(MinedWindow mined);
 
-  void CheckSetting(const ParameterSetting& setting) const;
-  void CheckWindows(const WindowSet& windows) const;
+  /// --- Request validation (each returns the error, or nullopt) ----------
+  std::optional<QueryError> ValidateSetting(
+      const ParameterSetting& setting) const;
+  std::optional<QueryError> ValidateWindow(WindowId w) const;
+  std::optional<QueryError> ValidateWindows(const WindowSet& windows) const;
+  std::optional<QueryError> ValidateRule(RuleId rule) const;
+
+  /// Books a rejected request: cancels the latency span, bumps the
+  /// rejected counter, and forwards the error for returning.
+  QueryError Reject(obs::QuerySpan* span, QueryError error) const;
+  void CountOk() const;
+
+  /// Unvalidated single-window collect shared by the public entrypoints.
+  std::vector<RuleId> CollectWindow(WindowId w,
+                                    const ParameterSetting& setting) const;
+  /// Unvalidated multi-window merge (the old MineWindows body).
+  std::vector<RuleId> MineWindowsUnchecked(const WindowSet& windows,
+                                           const ParameterSetting& setting,
+                                           MatchMode mode) const;
+
+  /// Registers instruments in options_.metrics (no-op when null).
+  void RegisterMetrics();
+  /// Refreshes the build/size gauges from stats_/archive_/windows_.
+  void UpdateBuildMetrics();
 
   Options options_;
   /// Non-null iff the effective parallelism is > 1; owns the build worker
@@ -334,6 +389,7 @@ class TaraEngine {
   /// Per-window build inputs kept for roll-up candidate enumeration.
   std::vector<std::vector<WindowIndex::Entry>> window_entries_;
   std::vector<WindowBuildStats> stats_;
+  EngineMetrics metrics_;
 };
 
 }  // namespace tara

@@ -1,0 +1,140 @@
+#ifndef TARA_OBS_JSON_WRITER_H_
+#define TARA_OBS_JSON_WRITER_H_
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tara::obs {
+
+/// Minimal streaming JSON writer — just enough for metrics snapshots and
+/// the BENCH_*.json emitters, with no dependency beyond the standard
+/// library. Comma placement is handled automatically; the caller is
+/// responsible for well-nested Begin/End pairs (DCHECK-free by design:
+/// misuse shows up immediately as unparsable output in the schema-checked
+/// consumers).
+///
+/// Numbers that hold integral values are printed without a decimal point
+/// so equal states serialize byte-identically (golden-testable).
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+
+  /// Object key; must be followed by exactly one value or container.
+  void Key(std::string_view name) {
+    Separate();
+    AppendString(name);
+    out_ += ':';
+    just_wrote_key_ = true;
+  }
+
+  void String(std::string_view value) {
+    Separate();
+    AppendString(value);
+  }
+
+  void Number(uint64_t value) {
+    Separate();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    out_ += buf;
+  }
+
+  void Number(int value) { Number(static_cast<uint64_t>(value)); }
+
+  void Number(double value) {
+    Separate();
+    char buf[40];
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 9.007199254740992e15) {
+      std::snprintf(buf, sizeof(buf), "%.0f", value);
+    } else if (std::isfinite(value)) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+    } else {
+      // JSON has no inf/nan; null is the conventional stand-in.
+      std::snprintf(buf, sizeof(buf), "null");
+    }
+    out_ += buf;
+  }
+
+  void Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+  }
+
+  /// Splices an already-serialized JSON value verbatim (e.g. a registry
+  /// snapshot embedded inside a BENCH_*.json report).
+  void Raw(std::string_view json) {
+    Separate();
+    out_ += json;
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Open(char c) {
+    Separate();
+    out_ += c;
+    need_comma_ = false;
+  }
+
+  void Close(char c) {
+    out_ += c;
+    need_comma_ = true;
+  }
+
+  /// Emits a comma unless this value directly follows a key or opens a
+  /// container's first element.
+  void Separate() {
+    if (just_wrote_key_) {
+      just_wrote_key_ = false;
+      return;
+    }
+    if (need_comma_) out_ += ',';
+    need_comma_ = true;
+  }
+
+  void AppendString(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+  bool just_wrote_key_ = false;
+};
+
+}  // namespace tara::obs
+
+#endif  // TARA_OBS_JSON_WRITER_H_

@@ -1,0 +1,224 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json_writer.h"
+
+namespace tara::obs {
+namespace {
+
+/// boundary[e] = smallest value in the upper half-octave of 2^e, i.e.
+/// ceil(2^e · √2). Computed once; thereafter BucketIndex is a bit_width
+/// plus one table compare.
+const std::array<uint64_t, 64>& HalfBoundaries() {
+  static const std::array<uint64_t, 64> table = [] {
+    std::array<uint64_t, 64> t{};
+    for (int e = 0; e < 64; ++e) {
+      t[e] = static_cast<uint64_t>(
+          std::ceil(std::pow(2.0L, static_cast<long double>(e)) *
+                    1.41421356237309504880L));
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value == 0) return 0;
+  const int exp = std::bit_width(value) - 1;
+  const size_t half = value >= HalfBoundaries()[exp] ? 1 : 0;
+  return 1 + 2 * static_cast<size_t>(exp) + half;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index == 0) return 0;
+  const int exp = static_cast<int>((index - 1) / 2);
+  const bool upper_half = (index - 1) % 2 != 0;
+  if (!upper_half) return HalfBoundaries()[exp] - 1;
+  if (exp == 63) return UINT64_MAX;
+  return (uint64_t{2} << exp) - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t count = Count();
+  if (count == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      // Clamp the bucket bound to the observed range so p0/p100 report
+      // real values even though buckets are coarse.
+      const double upper = static_cast<double>(BucketUpperBound(i));
+      const double lo = static_cast<double>(Min());
+      const double hi = static_cast<double>(Max());
+      return upper < lo ? lo : (upper > hi ? hi : upper);
+    }
+  }
+  return static_cast<double>(Max());
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = Count();
+  s.sum = Sum();
+  s.min = Min();
+  s.max = Max();
+  s.p50 = Percentile(50);
+  s.p90 = Percentile(90);
+  s.p99 = Percentile(99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::SnapshotText() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  if (!counters_.empty()) {
+    out << "counters:\n";
+    for (const auto& [name, counter] : counters_) {
+      out << "  " << name << " = " << counter->Value() << "\n";
+    }
+  }
+  if (!gauges_.empty()) {
+    out << "gauges:\n";
+    for (const auto& [name, gauge] : gauges_) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", gauge->Value());
+      out << "  " << name << " = " << buf << "\n";
+    }
+  }
+  if (!histograms_.empty()) {
+    out << "histograms:\n";
+    for (const auto& [name, histogram] : histograms_) {
+      const HistogramSnapshot s = histogram->Snapshot();
+      out << "  " << name << ": count=" << s.count << " sum=" << s.sum
+          << " min=" << s.min << " p50=" << static_cast<uint64_t>(s.p50)
+          << " p90=" << static_cast<uint64_t>(s.p90)
+          << " p99=" << static_cast<uint64_t>(s.p99) << " max=" << s.max
+          << "\n";
+    }
+  }
+  if (counters_.empty() && gauges_.empty() && histograms_.empty()) {
+    out << "(no metrics registered)\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, counter] : counters_) {
+    json.Key(name);
+    json.Number(counter->Value());
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, gauge] : gauges_) {
+    json.Key(name);
+    json.Number(gauge->Value());
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, histogram] : histograms_) {
+    const HistogramSnapshot s = histogram->Snapshot();
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Number(s.count);
+    json.Key("sum");
+    json.Number(s.sum);
+    json.Key("min");
+    json.Number(s.min);
+    json.Key("max");
+    json.Number(s.max);
+    json.Key("p50");
+    json.Number(s.p50);
+    json.Key("p90");
+    json.Number(s.p90);
+    json.Key("p99");
+    json.Number(s.p99);
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+void MetricsRegistry::Reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace tara::obs

@@ -1,0 +1,154 @@
+#ifndef TARA_OBS_METRICS_H_
+#define TARA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+/// \file
+/// Lock-cheap process metrics for the TARA engine: monotonic counters,
+/// last-value gauges, and log-bucketed latency histograms, collected in a
+/// named MetricsRegistry that snapshots to human text or machine JSON.
+///
+/// Design constraints (see DESIGN.md, "Observability"):
+/// - The *recording* paths (Counter::Increment, Gauge::Set,
+///   Histogram::Record) touch only relaxed atomics — no locks, no
+///   allocation — so they are safe and cheap under the engine's
+///   concurrent query phase and TSan-clean by construction.
+/// - Registration (MetricsRegistry::Get*) takes a mutex and may allocate;
+///   it happens once at engine construction, never per query.
+/// - Snapshots read the same atomics with relaxed loads: a snapshot taken
+///   while recorders run is a consistent-enough view (each instrument is
+///   internally monotone), never a data race.
+
+namespace tara::obs {
+
+/// Monotonically increasing event count.
+class alignas(64) Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written value (sizes, seconds, ratios). Writers race benignly:
+/// the newest Set wins; there is no read-modify-write on the hot path.
+class alignas(64) Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Summary of a histogram at one instant (the snapshot unit).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Fixed-bucket latency histogram over the power-of-√2 grid.
+///
+/// Bucket b covers one half-octave: two buckets per power of two, with
+/// the split at round-up(2^e·√2). Any recorded value is therefore
+/// reported (by Percentile) with at most a √2 relative error — accurate
+/// enough to tell 2 µs from 2 ms across the full uint64 range — while
+/// recording is just one array index computation plus four relaxed
+/// atomic adds, with no per-histogram lock and no allocation.
+class Histogram {
+ public:
+  /// Bucket 0 holds zeros; buckets 1 + 2e + h (e in [0,63], h in {0,1})
+  /// hold the half-octaves of 2^e.
+  static constexpr size_t kBucketCount = 130;
+
+  /// Records one sample. Any thread, any time; relaxed atomics only.
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Largest / smallest recorded value (0 when empty).
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;
+
+  /// Upper bound of the bucket holding the p-th percentile (p in
+  /// [0, 100]), clamped to the observed max. 0 when empty.
+  double Percentile(double p) const;
+
+  /// The bucket a value lands in (exposed for boundary tests).
+  static size_t BucketIndex(uint64_t value);
+  /// Largest value mapping to bucket `index`.
+  static uint64_t BucketUpperBound(size_t index);
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  /// Sentinel UINT64_MAX = nothing recorded yet.
+  std::atomic<uint64_t> min_{UINT64_MAX};
+};
+
+/// Named instrument registry. Get* interns by name: the first call
+/// creates the instrument, later calls (same name) return the same
+/// pointer, so independent components naturally aggregate into shared
+/// series. Returned pointers stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide default registry (what tara_cli snapshots).
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Pretty, line-oriented dump for terminals.
+  std::string SnapshotText() const;
+  /// Machine-readable dump: {"counters":{...},"gauges":{...},
+  /// "histograms":{name:{count,sum,min,max,p50,p90,p99}}}. Keys are
+  /// sorted, so equal registry states produce byte-equal JSON.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every registered instrument (tests and benchmark reruns).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  /// std::map keeps snapshot ordering deterministic; unique_ptr keeps
+  /// instrument addresses stable across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tara::obs
+
+#endif  // TARA_OBS_METRICS_H_

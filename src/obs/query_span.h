@@ -1,0 +1,47 @@
+#ifndef TARA_OBS_QUERY_SPAN_H_
+#define TARA_OBS_QUERY_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace tara::obs {
+
+/// Scoped latency span: times its enclosing scope and records the elapsed
+/// nanoseconds into a Histogram on destruction.
+///
+/// A null histogram is the *null sink*: the constructor skips the clock
+/// read entirely and the destructor is a branch — this is what makes a
+/// metrics-disabled engine essentially free, without compiling the
+/// instrumentation out.
+class QuerySpan {
+ public:
+  explicit QuerySpan(Histogram* latency) : latency_(latency) {
+    if (latency_ != nullptr) start_ = Clock::now();
+  }
+
+  QuerySpan(const QuerySpan&) = delete;
+  QuerySpan& operator=(const QuerySpan&) = delete;
+
+  /// Drops the span without recording (error paths report through their
+  /// own counter instead of polluting the latency series).
+  void Cancel() { latency_ = nullptr; }
+
+  ~QuerySpan() {
+    if (latency_ == nullptr) return;
+    const int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              Clock::now() - start_)
+                              .count();
+    latency_->Record(nanos < 0 ? 0 : static_cast<uint64_t>(nanos));
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* latency_;
+  Clock::time_point start_;
+};
+
+}  // namespace tara::obs
+
+#endif  // TARA_OBS_QUERY_SPAN_H_

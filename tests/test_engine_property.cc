@@ -88,7 +88,7 @@ TEST_P(EnginePropertyTest, AllQueriesMatchScratchMiningEverywhere) {
       for (double confidence : {0.1, 0.4, 0.7}) {
         const ParameterSetting setting{support, confidence};
         RuleSet from_index;
-        for (RuleId id : engine.MineWindow(window, setting)) {
+        for (RuleId id : engine.MineWindow(window, setting).value()) {
           const Rule& r = engine.catalog().rule(id);
           from_index.emplace(r.antecedent, r.consequent);
         }
@@ -100,7 +100,7 @@ TEST_P(EnginePropertyTest, AllQueriesMatchScratchMiningEverywhere) {
             << w.name << " window=" << window << " supp=" << support
             << " conf=" << confidence;
         // Region result size is consistent with the mining result.
-        EXPECT_EQ(engine.RecommendRegion(window, setting).result_size,
+        EXPECT_EQ(engine.RecommendRegion(window, setting).value().result_size,
                   from_index.size());
       }
     }

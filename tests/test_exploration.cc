@@ -61,7 +61,7 @@ TEST_F(ExplorationFixture, TopStablePrefersFullSteadyCoverage) {
       {50, 50, 0, 50, 50, 50},   // rule 2: one gap
   });
   ExplorationService service(&engine_);
-  const auto top = service.TopStable(horizon_, setting_, 3);
+  const auto top = service.TopStable(horizon_, setting_, 3).value();
   ASSERT_EQ(top.size(), 3u);
   EXPECT_EQ(top[0].rule, IdOf(0));
   EXPECT_EQ(top[1].rule, IdOf(1));  // full coverage beats gap
@@ -77,8 +77,8 @@ TEST_F(ExplorationFixture, TopEmergingAndFadingAreMirrors) {
       {50, 50, 50, 50, 50, 50},  // rule 2: flat
   });
   ExplorationService service(&engine_);
-  const auto emerging = service.TopEmerging(horizon_, setting_, 1);
-  const auto fading = service.TopFading(horizon_, setting_, 1);
+  const auto emerging = service.TopEmerging(horizon_, setting_, 1).value();
+  const auto fading = service.TopFading(horizon_, setting_, 1).value();
   ASSERT_EQ(emerging.size(), 1u);
   ASSERT_EQ(fading.size(), 1u);
   EXPECT_EQ(emerging[0].rule, IdOf(0));
@@ -94,7 +94,7 @@ TEST_F(ExplorationFixture, TopPeriodicFindsTheCycle) {
       {60, 0, 0, 60, 30, 0, 0, 60},      // rule 2: messy
   });
   ExplorationService service(&engine_);
-  const auto periodic = service.TopPeriodic(horizon_, setting_, 3, 4);
+  const auto periodic = service.TopPeriodic(horizon_, setting_, 3, 4).value();
   ASSERT_FALSE(periodic.empty());
   EXPECT_EQ(periodic[0].rule, IdOf(0));
   EXPECT_EQ(periodic[0].periodicity.period, 2u);
@@ -111,7 +111,7 @@ TEST_F(ExplorationFixture, ProfileCoversRulesValidAnywhere) {
       {0, 0, 0, 0, 0, 50},  // only in window 5
   });
   ExplorationService service(&engine_);
-  const auto insights = service.ProfileRules(horizon_, setting_);
+  const auto insights = service.ProfileRules(horizon_, setting_).value();
   EXPECT_EQ(insights.size(), 2u);
 }
 
@@ -121,9 +121,10 @@ TEST_F(ExplorationFixture, SettingFiltersProfiles) {
       {8, 8, 8, 8, 8, 8},        // support 0.008 everywhere
   });
   ExplorationService service(&engine_);
-  const auto all = service.ProfileRules(horizon_, ParameterSetting{0.005, 0.1});
+  const auto all =
+      service.ProfileRules(horizon_, ParameterSetting{0.005, 0.1}).value();
   const auto strong =
-      service.ProfileRules(horizon_, ParameterSetting{0.02, 0.1});
+      service.ProfileRules(horizon_, ParameterSetting{0.02, 0.1}).value();
   EXPECT_EQ(all.size(), 2u);
   ASSERT_EQ(strong.size(), 1u);
   EXPECT_EQ(strong[0].rule, IdOf(0));

@@ -48,7 +48,7 @@ TEST(IntegrationTest, RetailPipelineEndToEnd) {
   const ParameterSetting setting{0.006, 0.3};
   for (WindowId w = 0; w < 4; ++w) {
     std::set<std::pair<Itemset, Itemset>> from_index;
-    for (RuleId id : reloaded.MineWindow(w, setting)) {
+    for (RuleId id : reloaded.MineWindow(w, setting).value()) {
       const Rule& r = reloaded.catalog().rule(id);
       from_index.emplace(r.antecedent, r.consequent);
     }
@@ -61,7 +61,8 @@ TEST(IntegrationTest, RetailPipelineEndToEnd) {
 
   // The exploration service runs on the reloaded base.
   ExplorationService service(&reloaded);
-  const auto stable = service.TopStable(reloaded.AllWindows(), setting, 5);
+  const auto stable =
+      service.TopStable(reloaded.AllWindows(), setting, 5).value();
   EXPECT_FALSE(stable.empty());
   EXPECT_GT(stable[0].measures.coverage, 0.0);
 }
@@ -91,7 +92,7 @@ TEST(IntegrationTest, DrillDownRefinesRollUp) {
   coarse_engine.BuildAll(coarse);
 
   const ParameterSetting setting{0.01, 0.3};
-  const auto coarse_rules = coarse_engine.MineWindow(0, setting);
+  const auto coarse_rules = coarse_engine.MineWindow(0, setting).value();
   size_t checked = 0;
   for (RuleId coarse_id : coarse_rules) {
     const Rule& rule = coarse_engine.catalog().rule(coarse_id);
@@ -100,7 +101,7 @@ TEST(IntegrationTest, DrillDownRefinesRollUp) {
     // Only exact when archived in all three fine windows.
     if (fine_engine.archive().Decode(fine_id).size() != 3) continue;
     const RollUpBound bound =
-        fine_engine.RollUpRule(fine_id, fine_engine.AllWindows());
+        fine_engine.RollUpRule(fine_id, fine_engine.AllWindows()).value();
     const auto coarse_entry =
         coarse_engine.archive().EntryFor(coarse_id, 0);
     ASSERT_TRUE(coarse_entry.has_value());
@@ -145,7 +146,8 @@ TEST(IntegrationTest, TaraOverFaersQuartersTracksDdiRules) {
   for (const PlantedDdi& ddi : gen.ground_truth()) {
     const RuleId id = engine.catalog().Find(Rule{ddi.drugs, {ddi.adr}});
     if (id == RuleCatalog::kNotFound) continue;
-    const TrajectoryMeasures m = engine.RuleMeasures(id, engine.AllWindows());
+    const TrajectoryMeasures m =
+        engine.RuleMeasures(id, engine.AllWindows()).value();
     EXPECT_GT(m.mean_confidence, 0.5)
         << "interaction ADR should follow the combo";
     if (m.coverage == 1.0) ++tracked;
@@ -173,7 +175,8 @@ TEST(IntegrationTest, TextRoundTripFeedsTheEngine) {
   b.AppendWindow(reloaded, 0, reloaded.size());
 
   const ParameterSetting setting{0.02, 0.3};
-  EXPECT_EQ(a.MineWindow(0, setting).size(), b.MineWindow(0, setting).size());
+  EXPECT_EQ(a.MineWindow(0, setting).value().size(),
+            b.MineWindow(0, setting).value().size());
   EXPECT_EQ(a.archive().payload_bytes(), b.archive().payload_bytes());
 }
 

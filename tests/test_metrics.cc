@@ -1,0 +1,223 @@
+// Unit tests for the observability layer: bucket geometry and percentile
+// accuracy of the √2 histogram, instrument semantics, registry interning,
+// and the byte-exact JSON snapshot contract that BENCH_*.json consumers
+// and the CLI rely on.
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/query_span.h"
+
+namespace tara::obs {
+namespace {
+
+constexpr double kSqrt2 = 1.41421356237309504880;
+
+TEST(HistogramBucketTest, ZeroGetsItsOwnBucket) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+}
+
+TEST(HistogramBucketTest, UpperBoundsRoundTripToTheirBucket) {
+  // Index 2 — the upper half-octave of 2^0, i.e. [√2, 2) — contains no
+  // integer, so it can never be occupied and its bound round-trips to
+  // bucket 1. Index 129 is kBucketCount padding past the last reachable
+  // bucket (1 + 2·63 + 1 = 128).
+  for (size_t index = 0; index <= 128; ++index) {
+    if (index == 2) continue;
+    const uint64_t upper = Histogram::BucketUpperBound(index);
+    EXPECT_EQ(Histogram::BucketIndex(upper), index) << "index=" << index;
+    // The next value starts the next occupiable bucket (except at the
+    // uint64 top).
+    if (upper != UINT64_MAX) {
+      EXPECT_EQ(Histogram::BucketIndex(upper + 1), index == 1 ? 3 : index + 1)
+          << "index=" << index;
+    }
+  }
+}
+
+TEST(HistogramBucketTest, BucketsAreHalfOctaves) {
+  // 2^e always starts the lower half of its octave; ceil(2^e·√2) starts
+  // the upper half. e in [1, 40]: e=0's upper half holds no integer, and
+  // past ~2^50 recomputing the boundary here would race the table's long
+  // double rounding.
+  for (int e = 1; e <= 40; ++e) {
+    const uint64_t pow2 = uint64_t{1} << e;
+    EXPECT_EQ(Histogram::BucketIndex(pow2), 1 + 2 * static_cast<size_t>(e));
+    const uint64_t half = static_cast<uint64_t>(
+        std::ceil(std::pow(2.0L, static_cast<long double>(e)) * kSqrt2));
+    EXPECT_EQ(Histogram::BucketIndex(half), 2 + 2 * static_cast<size_t>(e))
+        << "e=" << e;
+    EXPECT_EQ(Histogram::BucketIndex(half - 1),
+              1 + 2 * static_cast<size_t>(e))
+        << "e=" << e;
+  }
+}
+
+TEST(HistogramBucketTest, RelativeErrorStaysWithinSqrt2) {
+  for (uint64_t value : {1ull, 2ull, 3ull, 5ull, 7ull, 100ull, 1000ull,
+                         12345ull, 999999ull, 1ull << 40, (1ull << 40) + 17}) {
+    const uint64_t upper =
+        Histogram::BucketUpperBound(Histogram::BucketIndex(value));
+    EXPECT_GE(upper, value);
+    // The bucket's report overshoots the true value by at most √2 (+1 for
+    // the ceil at the half-octave boundary).
+    EXPECT_LE(static_cast<double>(upper),
+              static_cast<double>(value) * kSqrt2 + 1.0)
+        << "value=" << value;
+  }
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleDominatesEveryPercentile) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Sum(), 42u);
+  EXPECT_EQ(h.Min(), 42u);
+  EXPECT_EQ(h.Max(), 42u);
+  // Percentiles clamp the bucket bound to the observed range, so a single
+  // sample reports exactly.
+  EXPECT_EQ(h.Percentile(0), 42.0);
+  EXPECT_EQ(h.Percentile(50), 42.0);
+  EXPECT_EQ(h.Percentile(100), 42.0);
+}
+
+TEST(HistogramTest, PercentilesOfAUniformStreamAreSqrt2Accurate) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 1000u);
+  EXPECT_EQ(h.Sum(), 500500u);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 1000u);
+  for (double p : {50.0, 90.0, 99.0}) {
+    const double truth = p * 10;  // the p-th percentile of 1..1000
+    const double reported = h.Percentile(p);
+    EXPECT_GE(reported, truth * 0.999) << "p=" << p;
+    EXPECT_LE(reported, truth * kSqrt2 + 1.0) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, ExtremePercentilesClampToObservedRange) {
+  Histogram h;
+  h.Record(10);
+  h.Record(1000000);
+  // p0 reports 10's bucket bound (11), within √2 of the true min; p100
+  // clamps the coarse top bucket to the observed max exactly.
+  EXPECT_GE(h.Percentile(0), 10.0);
+  EXPECT_LE(h.Percentile(0), 10.0 * kSqrt2 + 1.0);
+  EXPECT_EQ(h.Percentile(100), 1000000.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Record(7);
+  h.Record(9);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+}
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.Value(), 6u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddAndReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+TEST(QuerySpanTest, RecordsOnDestructionAndCancelSkips) {
+  Histogram h;
+  { QuerySpan span(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+  {
+    QuerySpan span(&h);
+    span.Cancel();
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  // The null sink records nothing and must not crash.
+  { QuerySpan span(nullptr); }
+}
+
+TEST(MetricsRegistryTest, GetInternsByName) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("hits");
+  Counter* b = registry.GetCounter("hits");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("misses"), a);
+  EXPECT_EQ(registry.GetHistogram("lat"), registry.GetHistogram("lat"));
+  EXPECT_EQ(registry.GetGauge("size"), registry.GetGauge("size"));
+}
+
+TEST(MetricsRegistryTest, EmptyRegistrySnapshots) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.SnapshotJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_EQ(registry.SnapshotText(), "(no metrics registered)\n");
+}
+
+// The JSON snapshot is a stable contract: keys sorted, integral doubles
+// printed without a decimal point, histograms summarized as
+// count/sum/min/max/p50/p90/p99. BENCH_*.json consumers parse this shape.
+TEST(MetricsRegistryTest, SnapshotJsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("queries.ok")->Increment(3);
+  registry.GetGauge("build.seconds")->Set(2.5);
+  registry.GetHistogram("latency")->Record(4);
+  EXPECT_EQ(registry.SnapshotJson(),
+            "{\"counters\":{\"queries.ok\":3},"
+            "\"gauges\":{\"build.seconds\":2.5},"
+            "\"histograms\":{\"latency\":{\"count\":1,\"sum\":4,\"min\":4,"
+            "\"max\":4,\"p50\":4,\"p90\":4,\"p99\":4}}}");
+}
+
+TEST(MetricsRegistryTest, SnapshotKeysAreSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Increment();
+  registry.GetCounter("alpha")->Increment(2);
+  EXPECT_EQ(registry.SnapshotJson(),
+            "{\"counters\":{\"alpha\":2,\"zebra\":1},"
+            "\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(9);
+  registry.GetGauge("g")->Set(1.25);
+  registry.GetHistogram("h")->Record(100);
+  registry.Reset();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("g")->Value(), 0.0);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0u);
+}
+
+}  // namespace
+}  // namespace tara::obs

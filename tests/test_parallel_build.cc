@@ -77,13 +77,15 @@ TEST(ParallelBuildTest, ParallelEngineAnswersMatchSequential) {
   ASSERT_EQ(parallel.window_count(), sequential.window_count());
   const ParameterSetting setting{0.008, 0.3};
   for (WindowId w = 0; w < sequential.window_count(); ++w) {
-    EXPECT_EQ(parallel.MineWindow(w, setting), sequential.MineWindow(w, setting))
+    EXPECT_EQ(parallel.MineWindow(w, setting).value(),
+              sequential.MineWindow(w, setting).value())
         << "window " << w;
   }
   const WindowSet all = sequential.AllWindows();
-  EXPECT_EQ(parallel.MineWindows(parallel.AllWindows(), setting,
-                                 MatchMode::kExact),
-            sequential.MineWindows(all, setting, MatchMode::kExact));
+  EXPECT_EQ(parallel
+                .MineWindows(parallel.AllWindows(), setting, MatchMode::kExact)
+                .value(),
+            sequential.MineWindows(all, setting, MatchMode::kExact).value());
 }
 
 TEST(ParallelBuildTest, ParallelAppendWindowMatchesSequential) {

@@ -1,0 +1,219 @@
+// Error-path coverage for the crash-free query API: every Q1-Q5/roll-up
+// entrypoint must reject invalid input with the right QueryError code and
+// an actionable message — and keep serving afterwards — instead of
+// aborting the process. Also pins the metrics contract for rejections:
+// they count in tara.query.rejected but record no latency sample.
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/tara_engine.h"
+#include "datagen/quest_generator.h"
+#include "obs/metrics.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+namespace {
+
+constexpr double kFloorSupport = 0.01;
+constexpr double kFloorConfidence = 0.1;
+const ParameterSetting kOkSetting{0.02, 0.3};
+
+EvolvingDatabase MakeData() {
+  QuestGenerator::Params params;
+  params.num_transactions = 1500;
+  params.num_items = 80;
+  params.num_patterns = 40;
+  params.avg_transaction_len = 8;
+  params.seed = 31;
+  const TransactionDatabase db = QuestGenerator(params).Generate();
+  return EvolvingDatabase::PartitionIntoBatches(db, 3);
+}
+
+class QueryErrorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const EvolvingDatabase data = MakeData();
+    TaraEngine::Options options;
+    options.min_support_floor = kFloorSupport;
+    options.min_confidence_floor = kFloorConfidence;
+    options.max_itemset_size = 4;
+    engine_ = new TaraEngine(options);
+    engine_->BuildAll(data);
+  }
+
+  static TaraEngine* engine_;
+};
+
+TaraEngine* QueryErrorTest::engine_ = nullptr;
+
+TEST_F(QueryErrorTest, MineWindowRejectsSupportBelowFloor) {
+  const auto result =
+      engine_->MineWindow(0, ParameterSetting{0.001, 0.3});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kSupportBelowFloor);
+  EXPECT_NE(result.error().message.find("floor"), std::string::npos)
+      << result.error().message;
+}
+
+TEST_F(QueryErrorTest, MineWindowRejectsConfidenceBelowFloor) {
+  const auto result =
+      engine_->MineWindow(0, ParameterSetting{0.02, 0.01});
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kConfidenceBelowFloor);
+}
+
+TEST_F(QueryErrorTest, MineWindowRejectsBadWindow) {
+  const auto result = engine_->MineWindow(99, kOkSetting);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kBadWindow);
+}
+
+TEST_F(QueryErrorTest, FloorBoundaryIsInclusive) {
+  // Exactly the floor is a valid setting; only strictly below rejects.
+  EXPECT_TRUE(
+      engine_
+          ->MineWindow(0, ParameterSetting{kFloorSupport, kFloorConfidence})
+          .has_value());
+}
+
+TEST_F(QueryErrorTest, MineWindowsRejectsEmptyWindowSet) {
+  const auto result =
+      engine_->MineWindows(WindowSet(), kOkSetting, MatchMode::kSingle);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kEmptyWindowSet);
+}
+
+TEST_F(QueryErrorTest, MineWindowsRejectsForeignWindowSet) {
+  // A set validated against a bigger engine must not be trusted here.
+  const WindowSet foreign = WindowSet::Single(50, 100);
+  const auto result =
+      engine_->MineWindows(foreign, kOkSetting, MatchMode::kExact);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kWindowSetMismatch);
+}
+
+TEST_F(QueryErrorTest, TrajectoryQueryRejectsBadAnchorAndBadHorizon) {
+  const WindowSet horizon = engine_->AllWindows();
+  const auto bad_anchor = engine_->TrajectoryQuery(99, kOkSetting, horizon);
+  ASSERT_FALSE(bad_anchor.has_value());
+  EXPECT_EQ(bad_anchor.error().code, QueryError::Code::kBadWindow);
+
+  const auto bad_horizon =
+      engine_->TrajectoryQuery(0, kOkSetting, WindowSet());
+  ASSERT_FALSE(bad_horizon.has_value());
+  EXPECT_EQ(bad_horizon.error().code, QueryError::Code::kEmptyWindowSet);
+}
+
+TEST_F(QueryErrorTest, CompareSettingsRejectsEitherSettingBelowFloor) {
+  const WindowSet windows = engine_->AllWindows();
+  const auto first_bad = engine_->CompareSettings(
+      ParameterSetting{0.001, 0.3}, kOkSetting, windows, MatchMode::kExact);
+  ASSERT_FALSE(first_bad.has_value());
+  EXPECT_EQ(first_bad.error().code, QueryError::Code::kSupportBelowFloor);
+
+  const auto second_bad = engine_->CompareSettings(
+      kOkSetting, ParameterSetting{0.02, 0.001}, windows, MatchMode::kExact);
+  ASSERT_FALSE(second_bad.has_value());
+  EXPECT_EQ(second_bad.error().code,
+            QueryError::Code::kConfidenceBelowFloor);
+}
+
+TEST_F(QueryErrorTest, RecommendRegionRejectsBadWindow) {
+  const auto result = engine_->RecommendRegion(7, kOkSetting);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kBadWindow);
+}
+
+TEST_F(QueryErrorTest, RuleMeasuresRejectsUnknownRule) {
+  const RuleId unknown = static_cast<RuleId>(engine_->catalog().size());
+  const auto result = engine_->RuleMeasures(unknown, engine_->AllWindows());
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kUnknownRule);
+}
+
+TEST_F(QueryErrorTest, ContentQueryWithoutContentIndexIsRejected) {
+  const auto result = engine_->ContentQuery(0, {1}, kOkSetting);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error().code, QueryError::Code::kNoContentIndex);
+  EXPECT_NE(result.error().message.find("build_content_index"),
+            std::string::npos)
+      << result.error().message;
+}
+
+TEST_F(QueryErrorTest, RollUpRejectsUnknownRuleAndEmptySet) {
+  const RuleId unknown = static_cast<RuleId>(engine_->catalog().size() + 5);
+  const auto bad_rule = engine_->RollUpRule(unknown, engine_->AllWindows());
+  ASSERT_FALSE(bad_rule.has_value());
+  EXPECT_EQ(bad_rule.error().code, QueryError::Code::kUnknownRule);
+
+  const auto empty = engine_->MineRolledUp(WindowSet(), kOkSetting);
+  ASSERT_FALSE(empty.has_value());
+  EXPECT_EQ(empty.error().code, QueryError::Code::kEmptyWindowSet);
+}
+
+TEST_F(QueryErrorTest, EngineKeepsAnsweringAfterRejections) {
+  (void)engine_->MineWindow(99, kOkSetting);
+  (void)engine_->MineWindow(0, ParameterSetting{0.0001, 0.3});
+  const auto result = engine_->MineWindow(0, kOkSetting);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->empty());
+}
+
+TEST_F(QueryErrorTest, ValueOnAnErrorAborts) {
+  // .value() keeps the old CHECK contract for callers that want it.
+  EXPECT_DEATH(engine_->MineWindow(99, kOkSetting).value(), "window");
+}
+
+TEST(QueryErrorMetricsTest, RejectionsCountButRecordNoLatency) {
+  obs::MetricsRegistry registry;
+  const EvolvingDatabase data = MakeData();
+  TaraEngine::Options options;
+  options.min_support_floor = kFloorSupport;
+  options.min_confidence_floor = kFloorConfidence;
+  options.max_itemset_size = 4;
+  options.metrics = &registry;
+  TaraEngine engine(options);
+  engine.BuildAll(data);
+
+  obs::Histogram* latency =
+      registry.GetHistogram("tara.query.mine_window.latency_ns");
+  obs::Counter* ok = registry.GetCounter("tara.query.ok");
+  obs::Counter* rejected = registry.GetCounter("tara.query.rejected");
+
+  ASSERT_TRUE(engine.MineWindow(0, kOkSetting).has_value());
+  EXPECT_EQ(latency->Count(), 1u);
+  EXPECT_EQ(ok->Value(), 1u);
+  EXPECT_EQ(rejected->Value(), 0u);
+
+  ASSERT_FALSE(engine.MineWindow(99, kOkSetting).has_value());
+  EXPECT_EQ(latency->Count(), 1u) << "rejected query must not record latency";
+  EXPECT_EQ(ok->Value(), 1u);
+  EXPECT_EQ(rejected->Value(), 1u);
+}
+
+TEST(QueryErrorFormattingTest, CodeNamesAreStable) {
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kSupportBelowFloor),
+            "support_below_floor");
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kConfidenceBelowFloor),
+            "confidence_below_floor");
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kBadWindow), "bad_window");
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kEmptyWindowSet),
+            "empty_window_set");
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kWindowSetMismatch),
+            "window_set_mismatch");
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kUnknownRule),
+            "unknown_rule");
+  EXPECT_EQ(QueryErrorCodeName(QueryError::Code::kNoContentIndex),
+            "no_content_index");
+}
+
+TEST(QueryErrorFormattingTest, StreamOperatorShowsCodeAndMessage) {
+  std::ostringstream out;
+  out << QueryError{QueryError::Code::kBadWindow, "window 9 of 3"};
+  EXPECT_EQ(out.str(), "QueryError[bad_window]: window 9 of 3");
+}
+
+}  // namespace
+}  // namespace tara

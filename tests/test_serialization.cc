@@ -54,16 +54,17 @@ TEST(SerializationTest, RoundTripPreservesEveryQueryAnswer) {
     for (double conf : {0.1, 0.4, 0.7}) {
       const ParameterSetting setting{supp, conf};
       for (WindowId w = 0; w < original.window_count(); ++w) {
-        EXPECT_EQ(loaded.MineWindow(w, setting),
-                  original.MineWindow(w, setting));
-        const RegionInfo a = loaded.RecommendRegion(w, setting);
-        const RegionInfo b = original.RecommendRegion(w, setting);
+        EXPECT_EQ(loaded.MineWindow(w, setting).value(),
+                  original.MineWindow(w, setting).value());
+        const RegionInfo a = loaded.RecommendRegion(w, setting).value();
+        const RegionInfo b = original.RecommendRegion(w, setting).value();
         EXPECT_DOUBLE_EQ(a.support_upper, b.support_upper);
         EXPECT_EQ(a.result_size, b.result_size);
       }
     }
   }
-  const auto rules = original.MineWindow(0, ParameterSetting{0.02, 0.3});
+  const auto rules =
+      original.MineWindow(0, ParameterSetting{0.02, 0.3}).value();
   for (RuleId id : rules) {
     const Trajectory a = BuildTrajectory(loaded.archive(), id, horizon);
     const Trajectory b = BuildTrajectory(original.archive(), id, horizon);
@@ -88,11 +89,11 @@ TEST(SerializationTest, PreservesOptionsAndContentIndex) {
 
   // Content queries work on the reloaded base.
   const ParameterSetting setting{0.02, 0.2};
-  const auto rules = loaded.MineWindow(0, setting);
+  const auto rules = loaded.MineWindow(0, setting).value();
   ASSERT_FALSE(rules.empty());
   const ItemId item = loaded.catalog().rule(rules[0]).antecedent[0];
-  EXPECT_EQ(loaded.ContentQuery(0, {item}, setting),
-            original.ContentQuery(0, {item}, setting));
+  EXPECT_EQ(loaded.ContentQuery(0, {item}, setting).value(),
+            original.ContentQuery(0, {item}, setting).value());
 }
 
 TEST(SerializationTest, LoadedEngineKeepsEvolving) {
@@ -107,7 +108,8 @@ TEST(SerializationTest, LoadedEngineKeepsEvolving) {
   const WindowId w = loaded.AppendWindow(more.database(), info.begin,
                                          info.end);
   EXPECT_EQ(w, 3u);
-  EXPECT_FALSE(loaded.MineWindow(w, ParameterSetting{0.02, 0.2}).empty());
+  EXPECT_FALSE(
+      loaded.MineWindow(w, ParameterSetting{0.02, 0.2}).value().empty());
 }
 
 TEST(SerializationDeathTest, RejectsGarbageStreams) {

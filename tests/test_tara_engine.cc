@@ -60,7 +60,7 @@ TEST_P(EngineGroundTruthTest, MineWindowMatchesScratchMining) {
 
   for (WindowId w = 0; w < data.window_count(); ++w) {
     const ParameterSetting setting{min_supp, min_conf};
-    const auto tara_rules = AsRuleSet(engine, engine.MineWindow(w, setting));
+    const auto tara_rules = AsRuleSet(engine, engine.MineWindow(w, setting).value());
     const auto scratch_rules = AsRuleSet(scratch.MineWindow(w, setting));
     EXPECT_EQ(tara_rules, scratch_rules)
         << "window " << w << " supp=" << min_supp << " conf=" << min_conf;
@@ -79,7 +79,7 @@ TEST(TaraEngineTest, TrajectoriesMatchRawScans) {
 
   const ParameterSetting setting{0.03, 0.3};
   const WindowSet horizon = engine.AllWindows();
-  const auto result = engine.TrajectoryQuery(3, setting, horizon);
+  const auto result = engine.TrajectoryQuery(3, setting, horizon).value();
   ASSERT_FALSE(result.rules.empty());
   ASSERT_EQ(result.rules.size(), result.trajectories.size());
 
@@ -121,15 +121,17 @@ TEST(TaraEngineTest, MatchModesCombineWindows) {
 
   const ParameterSetting setting{0.02, 0.2};
   const WindowSet windows = engine.AllWindows();
-  const auto any = engine.MineWindows(windows, setting, MatchMode::kSingle);
-  const auto all = engine.MineWindows(windows, setting, MatchMode::kExact);
+  const auto any =
+      engine.MineWindows(windows, setting, MatchMode::kSingle).value();
+  const auto all =
+      engine.MineWindows(windows, setting, MatchMode::kExact).value();
   EXPECT_TRUE(std::is_sorted(any.begin(), any.end()));
   EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
   EXPECT_LE(all.size(), any.size());
   // kExact results must each be valid in every window.
   for (RuleId id : all) {
     for (WindowId w : windows) {
-      const auto in_window = engine.MineWindow(w, setting);
+      const auto in_window = engine.MineWindow(w, setting).value();
       EXPECT_TRUE(std::find(in_window.begin(), in_window.end(), id) !=
                   in_window.end());
     }
@@ -137,7 +139,7 @@ TEST(TaraEngineTest, MatchModesCombineWindows) {
   // Union really is the union.
   std::set<RuleId> union_set;
   for (WindowId w : windows) {
-    for (RuleId id : engine.MineWindow(w, setting)) union_set.insert(id);
+    for (RuleId id : engine.MineWindow(w, setting).value()) union_set.insert(id);
   }
   EXPECT_EQ(any.size(), union_set.size());
 }
@@ -151,10 +153,10 @@ TEST(TaraEngineTest, CompareSettingsMatchesManualDiff) {
   const ParameterSetting p2{0.05, 0.2};
   const WindowSet windows = engine.AllWindows();
   const auto diff =
-      engine.CompareSettings(p1, p2, windows, MatchMode::kExact);
+      engine.CompareSettings(p1, p2, windows, MatchMode::kExact).value();
 
-  const auto a = engine.MineWindows(windows, p1, MatchMode::kExact);
-  const auto b = engine.MineWindows(windows, p2, MatchMode::kExact);
+  const auto a = engine.MineWindows(windows, p1, MatchMode::kExact).value();
+  const auto b = engine.MineWindows(windows, p2, MatchMode::kExact).value();
   std::vector<RuleId> only_a, only_b;
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(only_a));
@@ -173,8 +175,8 @@ TEST(TaraEngineTest, RecommendRegionIsConsistentWithMining) {
   engine.BuildAll(data);
 
   const ParameterSetting setting{0.04, 0.4};
-  const RegionInfo region = engine.RecommendRegion(1, setting);
-  EXPECT_EQ(region.result_size, engine.MineWindow(1, setting).size());
+  const RegionInfo region = engine.RecommendRegion(1, setting).value();
+  EXPECT_EQ(region.result_size, engine.MineWindow(1, setting).value().size());
   EXPECT_LE(region.support_lower, setting.min_support);
   EXPECT_GE(region.support_upper + 1e-12, setting.min_support);
 }
@@ -187,12 +189,12 @@ TEST(TaraEngineTest, ContentQueryRequiresAndUsesContentIndex) {
   engine.BuildAll(data);
 
   const ParameterSetting setting{0.02, 0.2};
-  const auto all_rules = engine.MineWindow(0, setting);
+  const auto all_rules = engine.MineWindow(0, setting).value();
   ASSERT_FALSE(all_rules.empty());
   // Pick an item appearing in some rule and query for it.
   const Rule& probe = engine.catalog().rule(all_rules.front());
   const ItemId item = probe.antecedent.front();
-  const auto matches = engine.ContentQuery(0, {item}, setting);
+  const auto matches = engine.ContentQuery(0, {item}, setting).value();
   EXPECT_FALSE(matches.empty());
   for (RuleId id : matches) {
     const Rule& r = engine.catalog().rule(id);
@@ -214,8 +216,8 @@ TEST(TaraEngineTest, ContentViewGroupsResultByItem) {
   TaraEngine engine(EngineOptions());
   engine.BuildAll(data);
   const ParameterSetting setting{0.02, 0.2};
-  const auto view = engine.ContentView(0, setting);
-  const auto rules = engine.MineWindow(0, setting);
+  const auto view = engine.ContentView(0, setting).value();
+  const auto rules = engine.MineWindow(0, setting).value();
   // Every rule appears under each of its items.
   for (RuleId id : rules) {
     const Rule& r = engine.catalog().rule(id);
@@ -235,7 +237,7 @@ TEST(TaraEngineTest, RollUpCertainRulesAreTrulyValid) {
 
   const ParameterSetting setting{0.02, 0.3};
   const WindowSet windows = engine.AllWindows();
-  const auto rolled = engine.MineRolledUp(windows, setting);
+  const auto rolled = engine.MineRolledUp(windows, setting).value();
 
   // "Certain" rules must pass an exact raw-scan check over the union.
   size_t begin = data.window(0).begin;
@@ -257,8 +259,10 @@ TEST(TaraEngineTest, RollUpCertainRulesAreTrulyValid) {
   std::set<RuleId> candidates(rolled.certain.begin(), rolled.certain.end());
   candidates.insert(rolled.possible.begin(), rolled.possible.end());
   const auto anywhere =
-      engine.MineWindows(windows, ParameterSetting{0.02, 0.3},
-                         MatchMode::kSingle);
+      engine
+          .MineWindows(windows, ParameterSetting{0.02, 0.3},
+                       MatchMode::kSingle)
+          .value();
   for (RuleId id : anywhere) {
     const Rule& r = engine.catalog().rule(id);
     const Itemset whole = Union(r.antecedent, r.consequent);
@@ -284,12 +288,12 @@ TEST(TaraEngineTest, RollUpBoundsContainExactValues) {
   engine.BuildAll(data);
 
   const WindowSet windows = engine.AllWindows();
-  const auto rules = engine.MineWindow(0, ParameterSetting{0.02, 0.2});
+  const auto rules = engine.MineWindow(0, ParameterSetting{0.02, 0.2}).value();
   const size_t begin = data.window(0).begin;
   const size_t end = data.window(2).end;
   const uint64_t total = end - begin;
   for (RuleId id : rules) {
-    const RollUpBound bound = engine.RollUpRule(id, windows);
+    const RollUpBound bound = engine.RollUpRule(id, windows).value();
     const Rule& r = engine.catalog().rule(id);
     const Itemset whole = Union(r.antecedent, r.consequent);
     const double support = static_cast<double>(data.database().CountContaining(
@@ -323,8 +327,9 @@ TEST(TaraEngineTest, IncrementalAppendMatchesBulkBuild) {
 
   const ParameterSetting setting{0.02, 0.3};
   for (WindowId w = 0; w < data.window_count(); ++w) {
-    EXPECT_EQ(AsRuleSet(bulk, bulk.MineWindow(w, setting)),
-              AsRuleSet(incremental, incremental.MineWindow(w, setting)));
+    EXPECT_EQ(AsRuleSet(bulk, bulk.MineWindow(w, setting).value()),
+              AsRuleSet(incremental,
+                        incremental.MineWindow(w, setting).value()));
   }
 }
 
@@ -341,12 +346,18 @@ TEST(TaraEngineTest, BuildStatsCoverEveryWindowAndTask) {
   }
 }
 
-TEST(TaraEngineDeathTest, RejectsQueriesBelowTheFloor) {
+TEST(TaraEngineTest, RejectsQueriesBelowTheFloorWithoutAborting) {
   const EvolvingDatabase data = MakeEvolvingQuest(1, 42);
   TaraEngine engine(EngineOptions());
   engine.BuildAll(data);
-  EXPECT_DEATH(engine.MineWindow(0, ParameterSetting{0.001, 0.2}),
-               "below the generation floor");
+  const auto rejected = engine.MineWindow(0, ParameterSetting{0.001, 0.2});
+  ASSERT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.error().code, QueryError::Code::kSupportBelowFloor);
+  EXPECT_NE(rejected.error().message.find("generation floor"),
+            std::string::npos);
+  // The engine survives and keeps answering valid requests.
+  EXPECT_TRUE(
+      engine.MineWindow(0, ParameterSetting{0.02, 0.2}).has_value());
 }
 
 }  // namespace

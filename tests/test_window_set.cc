@@ -76,7 +76,7 @@ TEST(WindowSetTest, EngineFactoriesBoundByWindowCount) {
   EXPECT_EQ(engine.RecentWindows(99).ids(), (std::vector<WindowId>{0, 1, 2}));
 }
 
-TEST(WindowSetTest, DeprecatedVectorOverloadsStillWork) {
+TEST(WindowSetTest, CanonicalizedSetsAnswerLikeTheirSortedForm) {
   TaraEngine::Options options;
   options.min_support_floor = 0.01;
   options.min_confidence_floor = 0.1;
@@ -88,23 +88,21 @@ TEST(WindowSetTest, DeprecatedVectorOverloadsStillWork) {
   engine.AppendPrecomputedWindow(1000, {rule});
   engine.AppendPrecomputedWindow(1000, {rule});
 
+  // MakeWindowSet canonicalizes an unsorted, duplicated id list, so every
+  // query sees {0, 1} regardless of how the caller spelled it.
   const ParameterSetting setting{0.02, 0.5};
   const WindowSet all = engine.AllWindows();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  // The shims must agree with the WindowSet methods they delegate to,
-  // including canonicalizing an unsorted, duplicated list.
-  const std::vector<WindowId> loose = {1, 0, 1};
-  EXPECT_EQ(engine.MineWindows(loose, setting, MatchMode::kExact),
-            engine.MineWindows(all, setting, MatchMode::kExact));
-  EXPECT_EQ(engine.TrajectoryQuery(1, setting, loose).rules,
-            engine.TrajectoryQuery(1, setting, all).rules);
+  const WindowSet loose = engine.MakeWindowSet({1, 0, 1});
+  EXPECT_EQ(loose, all);
+  EXPECT_EQ(engine.MineWindows(loose, setting, MatchMode::kExact).value(),
+            engine.MineWindows(all, setting, MatchMode::kExact).value());
+  EXPECT_EQ(engine.TrajectoryQuery(1, setting, loose).value().rules,
+            engine.TrajectoryQuery(1, setting, all).value().rules);
   const RuleId id = engine.catalog().Find(rule.rule);
-  EXPECT_EQ(engine.RuleMeasures(id, loose).coverage,
-            engine.RuleMeasures(id, all).coverage);
-  EXPECT_EQ(engine.RollUpRule(id, loose).support_lo,
-            engine.RollUpRule(id, all).support_lo);
-#pragma GCC diagnostic pop
+  EXPECT_EQ(engine.RuleMeasures(id, loose).value().coverage,
+            engine.RuleMeasures(id, all).value().coverage);
+  EXPECT_EQ(engine.RollUpRule(id, loose).value().support_lo,
+            engine.RollUpRule(id, all).value().support_lo);
 }
 
 }  // namespace

@@ -11,10 +11,16 @@
 //   diff 0.02 0.5 0.04 0.5      # Q2 across all windows
 //   traj 0.02 0.5               # Q1 from the newest window
 //   top stable 5                # exploration service
+//   metrics [json]              # engine instrument snapshot
 //   save kb.bin / loadkb kb.bin # knowledge-base persistence
 //   help / quit
+//
+// With --metrics, a text snapshot of every instrument (per-query-kind
+// latency percentiles, build gauges, archive/index sizes) is printed to
+// stderr when the session ends.
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -28,11 +34,16 @@
 #include "core/tara_engine.h"
 #include "datagen/basket_generators.h"
 #include "datagen/quest_generator.h"
+#include "obs/metrics.h"
 #include "txdb/evolving_database.h"
 #include "txdb/io.h"
 
 namespace tara::cli {
 namespace {
+
+/// Every engine this process builds or loads records into the process
+/// registry; the `metrics` command and --metrics read it back.
+obs::MetricsRegistry& Registry() { return obs::MetricsRegistry::Global(); }
 
 class Session {
  public:
@@ -70,6 +81,8 @@ class Session {
       Trajectories(in);
     } else if (command == "top") {
       Top(in);
+    } else if (command == "metrics") {
+      Metrics(in);
     } else if (command == "save") {
       SaveKb(in);
     } else if (command == "loadkb") {
@@ -92,8 +105,20 @@ class Session {
         "  diff S1 C1 S2 C2      Q2 exact-match diff over all windows\n"
         "  traj SUPP CONF        Q1 from the newest window\n"
         "  top stable|emerging|fading|periodic K\n"
+        "  metrics [json]        instrument snapshot (text or JSON)\n"
         "  save FILE | loadkb FILE   knowledge-base persistence\n"
         "  quit\n");
+  }
+
+  /// Prints a rejected query's error and returns false; true on success.
+  /// The pattern every query command uses: queries never abort the CLI.
+  template <typename T>
+  bool Ok(const Expected<T, QueryError>& result) {
+    if (result.has_value()) return true;
+    std::ostringstream out;
+    out << result.error();
+    std::printf("rejected: %s\n", out.str().c_str());
+    return false;
   }
 
   void Load(std::istringstream& in) {
@@ -165,6 +190,7 @@ class Session {
     options.min_confidence_floor = conf;
     options.max_itemset_size = 5;
     options.build_content_index = true;
+    options.metrics = &Registry();
     engine_ = std::make_unique<TaraEngine>(options);
     engine_->BuildAll(*data_);
     double seconds = 0;
@@ -185,7 +211,9 @@ class Session {
     uint32_t w = 0;
     double supp = 0, conf = 0;
     if (!(in >> w >> supp >> conf) || !Ready()) return;
-    const auto rules = engine_->MineWindow(w, ParameterSetting{supp, conf});
+    const auto result = engine_->MineWindow(w, ParameterSetting{supp, conf});
+    if (!Ok(result)) return;
+    const std::vector<RuleId>& rules = *result;
     std::printf("%zu rules; first few:\n", rules.size());
     for (size_t i = 0; i < rules.size() && i < 10; ++i) {
       std::printf("  %s\n", engine_->catalog().FormatRule(rules[i]).c_str());
@@ -196,8 +224,10 @@ class Session {
     uint32_t w = 0;
     double supp = 0, conf = 0;
     if (!(in >> w >> supp >> conf) || !Ready()) return;
-    const RegionInfo r =
+    const auto result =
         engine_->RecommendRegion(w, ParameterSetting{supp, conf});
+    if (!Ok(result)) return;
+    const RegionInfo& r = *result;
     std::printf("stable region: supp (%.5f, %.5f], conf (%.4f, %.4f], "
                 "%zu rules\n",
                 r.support_lower, r.support_upper, r.confidence_lower,
@@ -207,19 +237,23 @@ class Session {
   void Diff(std::istringstream& in) {
     double s1, c1, s2, c2;
     if (!(in >> s1 >> c1 >> s2 >> c2) || !Ready()) return;
-    const auto diff = engine_->CompareSettings(
+    const auto result = engine_->CompareSettings(
         ParameterSetting{s1, c1}, ParameterSetting{s2, c2}, AllWindows(),
         MatchMode::kExact);
+    if (!Ok(result)) return;
     std::printf("only (%g,%g): %zu rules; only (%g,%g): %zu rules\n", s1, c1,
-                diff.only_first.size(), s2, c2, diff.only_second.size());
+                result->only_first.size(), s2, c2,
+                result->only_second.size());
   }
 
   void Trajectories(std::istringstream& in) {
     double supp = 0, conf = 0;
     if (!(in >> supp >> conf) || !Ready()) return;
     const WindowId newest = engine_->window_count() - 1;
-    const auto result = engine_->TrajectoryQuery(
+    const auto query = engine_->TrajectoryQuery(
         newest, ParameterSetting{supp, conf}, AllWindows());
+    if (!Ok(query)) return;
+    const auto& result = *query;
     std::printf("%zu rules in the newest window; trajectories:\n",
                 result.rules.size());
     for (size_t i = 0; i < result.rules.size() && i < 5; ++i) {
@@ -240,20 +274,22 @@ class Session {
     ExplorationService service(engine_.get());
     const ParameterSetting floor{engine_->options().min_support_floor,
                                  engine_->options().min_confidence_floor};
-    std::vector<RuleInsight> insights;
+    Expected<std::vector<RuleInsight>, QueryError> result =
+        std::vector<RuleInsight>{};
     if (kind == "stable") {
-      insights = service.TopStable(AllWindows(), floor, k);
+      result = service.TopStable(AllWindows(), floor, k);
     } else if (kind == "emerging") {
-      insights = service.TopEmerging(AllWindows(), floor, k);
+      result = service.TopEmerging(AllWindows(), floor, k);
     } else if (kind == "fading") {
-      insights = service.TopFading(AllWindows(), floor, k);
+      result = service.TopFading(AllWindows(), floor, k);
     } else if (kind == "periodic") {
-      insights = service.TopPeriodic(AllWindows(), floor, k, 4);
+      result = service.TopPeriodic(AllWindows(), floor, k, 4);
     } else {
       std::printf("usage: top stable|emerging|fading|periodic K\n");
       return;
     }
-    for (const RuleInsight& insight : insights) {
+    if (!Ok(result)) return;
+    for (const RuleInsight& insight : *result) {
       std::printf("  %-28s coverage=%.2f stability=%.2f emergence=%+.4f",
                   engine_->catalog().FormatRule(insight.rule).c_str(),
                   insight.measures.coverage, insight.measures.stability,
@@ -263,6 +299,16 @@ class Session {
       }
       std::printf("\n");
     }
+  }
+
+  void Metrics(std::istringstream& in) {
+    std::string format;
+    in >> format;
+    const std::string snapshot = format == "json"
+                                     ? Registry().SnapshotJson()
+                                     : Registry().SnapshotText();
+    std::fputs(snapshot.c_str(), stdout);
+    if (snapshot.empty() || snapshot.back() != '\n') std::printf("\n");
   }
 
   void SaveKb(std::istringstream& in) {
@@ -281,7 +327,8 @@ class Session {
       std::printf("cannot open %s\n", path.c_str());
       return;
     }
-    engine_ = std::make_unique<TaraEngine>(LoadKnowledgeBase(&file));
+    engine_ = std::make_unique<TaraEngine>(
+        LoadKnowledgeBase(&file, &Registry()));
     std::printf("loaded knowledge base: %u windows, %zu rules\n",
                 engine_->window_count(), engine_->catalog().size());
   }
@@ -294,6 +341,20 @@ class Session {
 }  // namespace
 }  // namespace tara::cli
 
-int main() {
-  return tara::cli::Session().Run();
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else {
+      std::fprintf(stderr, "usage: tara_cli [--metrics] < commands\n");
+      return 2;
+    }
+  }
+  const int status = tara::cli::Session().Run();
+  if (dump_metrics) {
+    std::fputs(tara::obs::MetricsRegistry::Global().SnapshotText().c_str(),
+               stderr);
+  }
+  return status;
 }
