@@ -1,0 +1,238 @@
+// Mixed read/write workload: online query latency with and without live
+// ingestion running underneath.
+//
+// Phase 1 (read_only): reader threads hammer a Q1/Q3/Q5/roll-up mix
+// against a finished knowledge base — the baseline the RCU snapshot
+// design should preserve.
+// Phase 2 (live_append): the same readers keep querying while the writer
+// appends new windows one at a time, each publishing a new generation.
+// The interesting columns are the read p50/p99 deltas between the phases
+// (readers never block on the writer; they only pin snapshots) and the
+// per-append publication latency.
+//
+// Writes BENCH_mixed_workload.json (schema of bench_report.h) with a full
+// metrics-registry snapshot attached, including the snapshot instruments
+// tara.kb.generation and tara.kb.swaps.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "core/tara_engine.h"
+#include "datagen/basket_generators.h"
+#include "obs/metrics.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+namespace {
+
+constexpr uint32_t kBaseWindows = 6;
+constexpr uint32_t kLiveWindows = 6;
+constexpr uint32_t kTxPerWindow = 2000;
+constexpr int kReaders = 4;
+constexpr double kReadOnlySeconds = 2.0;
+
+EvolvingDatabase MakeData(uint32_t windows) {
+  BasketGenerator::Params params = BasketGenerator::RetailPreset();
+  params.num_transactions = kTxPerWindow;
+  params.num_items = 250;
+  const BasketGenerator gen(params);
+  EvolvingDatabase data;
+  for (uint32_t w = 0; w < windows; ++w) {
+    data.AppendBatch(gen.GenerateBatch(w, w * kTxPerWindow).transactions());
+  }
+  return data;
+}
+
+double PercentileUs(std::vector<uint64_t>* latencies_ns, double p) {
+  if (latencies_ns->empty()) return 0;
+  std::sort(latencies_ns->begin(), latencies_ns->end());
+  const size_t index = std::min(
+      latencies_ns->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies_ns->size())));
+  return static_cast<double>((*latencies_ns)[index]) / 1000.0;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One reader's loop: a fixed query mix against the engine, recording
+/// whole-query latencies until `stop` flips.
+void ReaderLoop(const TaraEngine& engine, const ParameterSetting& setting,
+                RuleId probe, const Itemset& probe_items,
+                const std::atomic<bool>& stop,
+                std::vector<uint64_t>* latencies_ns) {
+  size_t i = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot =
+        engine.Snapshot();
+    const uint32_t k = snapshot->window_count();
+    if (k == 0) continue;
+    const WindowSet all = snapshot->AllWindows();
+    const WindowId newest = k - 1;
+    const uint64_t start = NowNs();
+    switch (i++ % 4) {
+      case 0:
+        (void)snapshot->TrajectoryQuery(newest, setting, all);
+        break;
+      case 1:
+        (void)snapshot->RecommendRegion(newest, setting);
+        break;
+      case 2:
+        (void)snapshot->ContentQuery(newest, probe_items, setting);
+        break;
+      default:
+        (void)snapshot->RollUpRule(probe, all);
+        break;
+    }
+    latencies_ns->push_back(NowNs() - start);
+  }
+}
+
+struct PhaseResult {
+  std::vector<uint64_t> latencies_ns;
+  double seconds = 0;
+};
+
+/// Runs `kReaders` reader threads around `writer` (which runs on this
+/// thread and flips the stop flag when it returns).
+template <typename Writer>
+PhaseResult RunPhase(const TaraEngine& engine,
+                     const ParameterSetting& setting, RuleId probe,
+                     const Itemset& probe_items, Writer&& writer) {
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<uint64_t>> per_thread(kReaders);
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    per_thread[r].reserve(1 << 16);
+    threads.emplace_back([&, r] {
+      ReaderLoop(engine, setting, probe, probe_items, stop, &per_thread[r]);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  writer();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  PhaseResult result;
+  result.seconds = elapsed.count();
+  for (std::vector<uint64_t>& lat : per_thread) {
+    result.latencies_ns.insert(result.latencies_ns.end(), lat.begin(),
+                               lat.end());
+  }
+  return result;
+}
+
+void ReportPhase(bench::BenchReport* report, const char* phase,
+                 PhaseResult result, uint64_t appends,
+                 double append_seconds) {
+  const size_t queries = result.latencies_ns.size();
+  const double qps =
+      result.seconds > 0 ? static_cast<double>(queries) / result.seconds : 0;
+  const double p50 = PercentileUs(&result.latencies_ns, 0.50);
+  const double p99 = PercentileUs(&result.latencies_ns, 0.99);
+  std::printf("%-12s %10zu queries %10.0f q/s  p50 %8.1fus  p99 %8.1fus",
+              phase, queries, qps, p50, p99);
+  if (appends > 0) {
+    std::printf("  (%llu appends, %.3fs/append)",
+                static_cast<unsigned long long>(appends),
+                append_seconds / static_cast<double>(appends));
+  }
+  std::printf("\n");
+  report->AddRow()
+      .Set("phase", phase)
+      .Set("readers", static_cast<uint64_t>(kReaders))
+      .Set("queries", static_cast<uint64_t>(queries))
+      .Set("qps", qps)
+      .Set("read_p50_us", p50)
+      .Set("read_p99_us", p99)
+      .Set("appends", appends)
+      .Set("append_seconds_total", append_seconds);
+}
+
+int Run() {
+  std::printf(
+      "mixed workload: %d readers over %u base + %u live windows x %u "
+      "transactions (hardware threads: %u)\n\n",
+      kReaders, kBaseWindows, kLiveWindows, kTxPerWindow,
+      std::thread::hardware_concurrency());
+
+  const EvolvingDatabase data = MakeData(kBaseWindows + kLiveWindows);
+  obs::MetricsRegistry registry;
+  TaraEngine::Options options;
+  options.min_support_floor = 0.004;
+  options.min_confidence_floor = 0.1;
+  options.max_itemset_size = 4;
+  options.build_content_index = true;
+  options.metrics = &registry;
+  TaraEngine engine(options);
+  for (uint32_t w = 0; w < kBaseWindows; ++w) {
+    const WindowInfo& info = data.window(w);
+    engine.AppendWindow(data.database(), info.begin, info.end);
+  }
+
+  const ParameterSetting setting{0.008, 0.3};
+  const auto mined = engine.MineWindow(0, setting).value();
+  if (mined.empty()) {
+    std::fprintf(stderr, "dataset produced no rules at the probe setting\n");
+    return 1;
+  }
+  const RuleId probe = mined[0];
+  const Itemset probe_items = {engine.catalog().rule(probe).antecedent[0]};
+
+  bench::BenchReport report("mixed_workload");
+
+  // Phase 1: pure reads against the finished base.
+  PhaseResult read_only =
+      RunPhase(engine, setting, probe, probe_items, [] {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            kReadOnlySeconds));
+      });
+  ReportPhase(&report, "read_only", std::move(read_only), 0, 0);
+
+  // Phase 2: the same readers while windows are appended live.
+  double append_seconds = 0;
+  PhaseResult live = RunPhase(
+      engine, setting, probe, probe_items, [&] {
+        for (uint32_t w = kBaseWindows; w < kBaseWindows + kLiveWindows;
+             ++w) {
+          const WindowInfo& info = data.window(w);
+          const auto start = std::chrono::steady_clock::now();
+          engine.AppendWindow(data.database(), info.begin, info.end);
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - start;
+          append_seconds += elapsed.count();
+        }
+      });
+  ReportPhase(&report, "live_append", std::move(live), kLiveWindows,
+              append_seconds);
+
+  if (engine.window_count() != kBaseWindows + kLiveWindows ||
+      engine.generation() != kBaseWindows + kLiveWindows) {
+    std::fprintf(stderr, "generation bookkeeping is off: %u windows, "
+                 "generation %llu\n",
+                 engine.window_count(),
+                 static_cast<unsigned long long>(engine.generation()));
+    return 1;
+  }
+
+  report.SetMetricsJson(registry.SnapshotJson());
+  return report.WriteFile() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace tara
+
+int main() { return tara::Run(); }

@@ -26,4 +26,20 @@ uint64_t DecodeU64(const uint8_t* data, size_t size, size_t* pos) {
   return result;
 }
 
+bool TryDecodeU64(const uint8_t* data, size_t size, size_t* pos,
+                  uint64_t* out) {
+  uint64_t result = 0;
+  int shift = 0;
+  for (;;) {
+    if (*pos >= size) return false;
+    const uint8_t byte = data[(*pos)++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) return false;
+  }
+  *out = result;
+  return true;
+}
+
 }  // namespace tara::varint

@@ -21,6 +21,12 @@ void EncodeU64(uint64_t value, std::vector<uint8_t>* out);
 /// `*pos` past it. Behavior is checked: a truncated stream aborts.
 uint64_t DecodeU64(const uint8_t* data, size_t size, size_t* pos);
 
+/// Abort-free variant for decoding untrusted bytes (the knowledge-base
+/// loader): returns false on a truncated or overlong varint, leaving
+/// `*pos` unspecified; on success stores the value and advances `*pos`.
+bool TryDecodeU64(const uint8_t* data, size_t size, size_t* pos,
+                  uint64_t* out);
+
 /// Zigzag maps signed values to unsigned so small-magnitude negatives stay
 /// short: 0→0, -1→1, 1→2, -2→3, ...
 inline uint64_t ZigzagEncode(int64_t value) {

@@ -34,8 +34,12 @@ std::vector<RuleInsight> TakeTop(std::vector<RuleInsight> insights,
 Expected<std::vector<RuleInsight>, QueryError>
 ExplorationService::ProfileRules(const WindowSet& horizon,
                                  const ParameterSetting& setting) const {
+  // Pin one generation for the whole profile so the mined ruleset and the
+  // trajectories agree even while windows are being appended.
+  const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot =
+      engine_->Snapshot();
   Expected<std::vector<RuleId>, QueryError> mined =
-      engine_->MineWindows(horizon, setting, MatchMode::kSingle);
+      snapshot->MineWindows(horizon, setting, MatchMode::kSingle);
   if (!mined) return mined.error();
   const std::vector<RuleId>& rules = *mined;
   std::vector<RuleInsight> insights;
@@ -46,7 +50,7 @@ ExplorationService::ProfileRules(const WindowSet& horizon,
     RuleInsight insight;
     insight.rule = rule;
     const Trajectory trajectory =
-        BuildTrajectory(engine_->archive(), rule, horizon.ids());
+        BuildTrajectory(snapshot->archive(), rule, horizon.ids());
     insight.measures = ComputeMeasures(trajectory);
     insight.periodicity = DetectPeriodicity(trajectory, max_period);
     insight.emergence = Emergence(trajectory);
@@ -118,9 +122,11 @@ ExplorationService::TopPeriodic(const WindowSet& horizon,
       ProfileRules(horizon, setting);
   if (!profiled) return profiled.error();
   std::vector<RuleInsight> insights = std::move(profiled).value();
+  const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot =
+      engine_->Snapshot();
   for (RuleInsight& insight : insights) {
     const Trajectory trajectory =
-        BuildTrajectory(engine_->archive(), insight.rule, horizon.ids());
+        BuildTrajectory(snapshot->archive(), insight.rule, horizon.ids());
     insight.periodicity = DetectPeriodicity(trajectory, max_period);
   }
   std::sort(insights.begin(), insights.end(),

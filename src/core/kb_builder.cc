@@ -1,0 +1,309 @@
+#include "core/kb_builder.h"
+
+#include <algorithm>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "mining/fp_growth.h"
+
+namespace tara {
+namespace {
+
+/// Resolves Options::parallelism (0 = hardware concurrency) to a concrete
+/// worker count.
+uint32_t EffectiveParallelism(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
+KbBuilder::KbBuilder(const Options& options)
+    : options_(options), catalog_(std::make_shared<RuleCatalog>()) {
+  const std::optional<std::string> error = options_.Validate();
+  TARA_CHECK(!error.has_value()) << *error;
+  const uint32_t parallelism = EffectiveParallelism(options_.parallelism);
+  if (parallelism > 1) pool_ = std::make_unique<ThreadPool>(parallelism);
+  RegisterMetrics();
+  // Publish the empty generation-0 snapshot so snapshot() is never null.
+  std::lock_guard<std::mutex> lock(commit_mutex_);
+  PublishSnapshotLocked();
+}
+
+void KbBuilder::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics;
+  if (registry == nullptr) return;
+  metrics_.build_itemset_seconds =
+      registry->GetGauge("tara.build.itemset_seconds");
+  metrics_.build_rule_seconds = registry->GetGauge("tara.build.rule_seconds");
+  metrics_.build_archive_seconds =
+      registry->GetGauge("tara.build.archive_seconds");
+  metrics_.build_index_seconds =
+      registry->GetGauge("tara.build.index_seconds");
+  metrics_.build_windows = registry->GetGauge("tara.build.windows");
+  metrics_.build_rules = registry->GetGauge("tara.build.rules");
+  metrics_.build_regions = registry->GetGauge("tara.build.regions");
+  metrics_.archive_payload_bytes =
+      registry->GetGauge("tara.archive.payload_bytes");
+  metrics_.archive_entries = registry->GetGauge("tara.archive.entries");
+  metrics_.index_bytes = registry->GetGauge("tara.index.bytes");
+  metrics_.kb_generation = registry->GetGauge("tara.kb.generation");
+  metrics_.kb_swaps = registry->GetCounter("tara.kb.swaps");
+}
+
+void KbBuilder::UpdateBuildMetrics() {
+  if (options_.metrics == nullptr) return;
+  double itemset = 0, rule = 0, archive = 0, index = 0;
+  double regions = 0;
+  for (const WindowBuildStats& s : stats_) {
+    itemset += s.itemset_seconds;
+    rule += s.rule_seconds;
+    archive += s.archive_seconds;
+    index += s.index_seconds;
+    regions += static_cast<double>(s.region_count);
+  }
+  metrics_.build_itemset_seconds->Set(itemset);
+  metrics_.build_rule_seconds->Set(rule);
+  metrics_.build_archive_seconds->Set(archive);
+  metrics_.build_index_seconds->Set(index);
+  metrics_.build_windows->Set(static_cast<double>(segments_.size()));
+  metrics_.build_rules->Set(static_cast<double>(catalog_->size()));
+  metrics_.build_regions->Set(regions);
+  metrics_.archive_payload_bytes->Set(
+      static_cast<double>(archive_.payload_bytes()));
+  metrics_.archive_entries->Set(static_cast<double>(archive_.entry_count()));
+  metrics_.index_bytes->Set(static_cast<double>(IndexBytes()));
+}
+
+const WindowSegment& KbBuilder::segment(WindowId w) const {
+  TARA_CHECK_LT(w, segments_.size()) << "bad window id";
+  return *segments_[w];
+}
+
+size_t KbBuilder::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& segment : segments_) {
+    bytes += segment->index.ApproximateBytes();
+  }
+  return bytes;
+}
+
+KbBuilder::MinedWindow KbBuilder::MineWindowSlice(
+    const TransactionDatabase& db, size_t begin, size_t end,
+    ThreadPool* intra_pool) const {
+  MinedWindow mined;
+  mined.total_transactions = end - begin;
+
+  // (1) Frequent itemset generation at the floor support.
+  Stopwatch timer;
+  FpGrowthMiner miner;
+  FrequentItemsetMiner::Options mine_options;
+  mine_options.min_count =
+      MinCountForSupport(options_.min_support_floor, mined.total_transactions);
+  mine_options.max_size = options_.max_itemset_size;
+  mined.floor_count = mine_options.min_count;
+  const std::vector<FrequentItemset> frequent =
+      miner.Mine(db, begin, end, mine_options);
+  mined.itemset_seconds = timer.ElapsedSeconds();
+  mined.itemset_count = frequent.size();
+
+  // (2) Rule derivation at the floor confidence.
+  timer.Restart();
+  mined.rules =
+      GenerateRules(frequent, options_.min_confidence_floor, intra_pool);
+  mined.rule_seconds = timer.ElapsedSeconds();
+  return mined;
+}
+
+std::vector<WindowIndex::Entry> KbBuilder::InternAndArchive(
+    WindowId window, const std::vector<MinedRule>& rules) {
+  std::vector<WindowIndex::Entry> entries;
+  entries.reserve(rules.size());
+  for (const MinedRule& r : rules) {
+    const RuleId id = catalog_->Intern(Rule{r.antecedent, r.consequent});
+    archive_.Add(id, window, r.rule_count, r.antecedent_count);
+    entries.push_back(
+        WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
+  }
+  return entries;
+}
+
+WindowId KbBuilder::CommitAndPublish(MinedWindow mined) {
+  std::lock_guard<std::mutex> lock(commit_mutex_);
+  const WindowId window = static_cast<WindowId>(segments_.size());
+  auto segment = std::make_shared<WindowSegment>();
+  segment->total_transactions = mined.total_transactions;
+  segment->floor_count = mined.floor_count;
+  WindowBuildStats& stats = segment->stats;
+  stats.window = window;
+  stats.itemset_seconds = mined.itemset_seconds;
+  stats.rule_seconds = mined.rule_seconds;
+  stats.itemset_count = mined.itemset_count;
+  stats.rule_count = mined.rules.size();
+
+  // (3) Archive append + catalog interning (the serialized commit stage).
+  Stopwatch timer;
+  archive_.RegisterWindow(window, mined.total_transactions, mined.floor_count,
+                          options_.min_confidence_floor);
+  segment->entries = InternAndArchive(window, mined.rules);
+  segment->rule_watermark = static_cast<RuleId>(catalog_->size());
+  stats.archive_seconds = timer.ElapsedSeconds();
+
+  // (4) EPS slice (stable region index) build.
+  timer.Restart();
+  segment->index.Build(segment->entries, mined.total_transactions,
+                       options_.build_content_index, *catalog_, pool_.get());
+  stats.index_seconds = timer.ElapsedSeconds();
+  stats.location_count = segment->index.location_count();
+  stats.region_count = segment->index.region_count();
+
+  PublishLocked(std::move(segment));
+  return window;
+}
+
+void KbBuilder::PublishLocked(std::shared_ptr<const WindowSegment> segment) {
+  stats_.push_back(segment->stats);
+  segments_.push_back(std::move(segment));
+  PublishSnapshotLocked();
+}
+
+void KbBuilder::PublishSnapshotLocked() {
+  auto snapshot =
+      std::shared_ptr<KnowledgeBaseSnapshot>(new KnowledgeBaseSnapshot());
+  snapshot->catalog_ = catalog_;
+  snapshot->rule_count_ = catalog_->size();
+  // Readers must never observe the builder's in-place archive appends, so
+  // each generation carries its own immutable copy of the (compressed)
+  // delta streams.
+  snapshot->archive_ = std::make_shared<const TarArchive>(archive_);
+  snapshot->segments_ = segments_;
+  snapshot->options_ = options_;
+  const bool initial = current_.load(std::memory_order_relaxed) == nullptr;
+  snapshot->generation_ = initial ? 0 : ++generation_;
+  current_.store(std::move(snapshot), std::memory_order_release);
+  UpdateBuildMetrics();
+  if (options_.metrics != nullptr) {
+    metrics_.kb_generation->Set(static_cast<double>(generation_));
+    if (!initial) metrics_.kb_swaps->Increment();
+  }
+}
+
+WindowId KbBuilder::AppendWindow(const TransactionDatabase& db, size_t begin,
+                                 size_t end) {
+  return CommitAndPublish(MineWindowSlice(db, begin, end, pool_.get()));
+}
+
+WindowId KbBuilder::AppendPrecomputedWindow(
+    uint64_t total_transactions, const std::vector<PrecomputedRule>& rules) {
+  MinedWindow mined;
+  mined.total_transactions = total_transactions;
+  mined.floor_count =
+      MinCountForSupport(options_.min_support_floor, total_transactions);
+  mined.rules.reserve(rules.size());
+  for (const PrecomputedRule& r : rules) {
+    MinedRule rule;
+    rule.antecedent = r.rule.antecedent;
+    rule.consequent = r.rule.consequent;
+    rule.rule_count = r.rule_count;
+    rule.antecedent_count = r.antecedent_count;
+    mined.rules.push_back(std::move(rule));
+  }
+  return CommitAndPublish(std::move(mined));
+}
+
+void KbBuilder::BuildAll(const EvolvingDatabase& data) {
+  const uint32_t n = data.window_count();
+  ThreadPool* pool = pool_.get();
+  if (pool == nullptr || n <= 1) {
+    for (WindowId w = 0; w < n; ++w) {
+      const WindowInfo& info = data.window(w);
+      AppendWindow(data.database(), info.begin, info.end);
+    }
+    return;
+  }
+
+  // Parallel pipeline. Windows are independent by construction (the iPARAS
+  // increment never revisits prior windows), so:
+  //   stage 1 (fan-out):  mine itemsets + derive rules per window;
+  //   stage 2 (serial):   intern rules + append archive counts, strictly
+  //                       in window order — RuleIds and the archive byte
+  //                       stream come out identical to a sequential build;
+  //   stage 3 (fan-out):  build each committed window's EPS slice.
+  // The pending segments stay private to this call until every index
+  // build has joined; a single publication then makes all of them visible
+  // to readers atomically. In-flight queries keep answering from the
+  // generation they pinned throughout.
+  std::lock_guard<std::mutex> lock(commit_mutex_);
+  const TransactionDatabase& db = data.database();
+  const WindowId base = static_cast<WindowId>(segments_.size());
+  std::vector<std::shared_ptr<WindowSegment>> pending(n);
+
+  // Keep only a few windows of mined-but-uncommitted rules in memory.
+  const uint32_t max_ahead = pool->size() + 2;
+  std::deque<std::future<MinedWindow>> in_flight;
+  WindowId next_to_mine = 0;
+  const auto submit_next_mine = [&] {
+    if (next_to_mine >= n) return;
+    const WindowInfo info = data.window(next_to_mine);
+    in_flight.push_back(pool->Submit([this, &db, info] {
+      // Intra-window loops stay sequential here: the window fan-out
+      // already keeps every worker busy.
+      return MineWindowSlice(db, info.begin, info.end, nullptr);
+    }));
+    ++next_to_mine;
+  };
+  while (next_to_mine < n && next_to_mine < max_ahead) submit_next_mine();
+
+  std::vector<std::future<void>> eps_builds;
+  eps_builds.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MinedWindow mined = in_flight.front().get();
+    in_flight.pop_front();
+    submit_next_mine();
+
+    const WindowId window = base + i;
+    auto segment = std::make_shared<WindowSegment>();
+    pending[i] = segment;
+    segment->total_transactions = mined.total_transactions;
+    segment->floor_count = mined.floor_count;
+    WindowBuildStats& stats = segment->stats;
+    stats.window = window;
+    stats.itemset_seconds = mined.itemset_seconds;
+    stats.rule_seconds = mined.rule_seconds;
+    stats.itemset_count = mined.itemset_count;
+    stats.rule_count = mined.rules.size();
+
+    Stopwatch timer;
+    archive_.RegisterWindow(window, mined.total_transactions,
+                            mined.floor_count,
+                            options_.min_confidence_floor);
+    segment->entries = InternAndArchive(window, mined.rules);
+    segment->rule_watermark = static_cast<RuleId>(catalog_->size());
+    stats.archive_seconds = timer.ElapsedSeconds();
+
+    // Stage 3 reads the catalog (content index only) while later windows
+    // intern — safe: RuleCatalog readers lock shared against the writer.
+    // Each task writes only its own (still private) segment.
+    WindowSegment* slot = segment.get();
+    eps_builds.push_back(pool->Submit([this, slot] {
+      Stopwatch index_timer;
+      slot->index.Build(slot->entries, slot->total_transactions,
+                        options_.build_content_index, *catalog_, nullptr);
+      slot->stats.index_seconds = index_timer.ElapsedSeconds();
+      slot->stats.location_count = slot->index.location_count();
+      slot->stats.region_count = slot->index.region_count();
+    }));
+  }
+  for (std::future<void>& f : eps_builds) f.get();
+
+  for (auto& segment : pending) {
+    stats_.push_back(segment->stats);
+    segments_.push_back(std::move(segment));
+  }
+  PublishSnapshotLocked();
+}
+
+}  // namespace tara

@@ -1,0 +1,268 @@
+#include "core/kb_snapshot.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace tara {
+
+std::optional<std::string> KbOptions::Validate() const {
+  std::ostringstream error;
+  if (!(min_support_floor > 0.0 && min_support_floor <= 1.0)) {
+    error << "Options::min_support_floor must be in (0, 1] — windows are "
+             "mined once at this floor and online queries may only tighten "
+             "it — got "
+          << min_support_floor;
+    return error.str();
+  }
+  if (!(min_confidence_floor >= 0.0 && min_confidence_floor <= 1.0)) {
+    error << "Options::min_confidence_floor must be in [0, 1] — got "
+          << min_confidence_floor;
+    return error.str();
+  }
+  if (max_itemset_size == 1) {
+    error << "Options::max_itemset_size of 1 admits no rules (a rule needs "
+             ">= 2 items); use 0 for unlimited or a cap >= 2";
+    return error.str();
+  }
+  return std::nullopt;
+}
+
+const WindowSegment& KnowledgeBaseSnapshot::segment(WindowId w) const {
+  TARA_CHECK_LT(w, segments_.size()) << "bad window id";
+  return *segments_[w];
+}
+
+size_t KnowledgeBaseSnapshot::IndexBytes() const {
+  size_t bytes = 0;
+  for (const auto& segment : segments_) {
+    bytes += segment->index.ApproximateBytes();
+  }
+  return bytes;
+}
+
+std::optional<QueryError> KnowledgeBaseSnapshot::ValidateSetting(
+    const ParameterSetting& setting) const {
+  if (setting.min_support + 1e-12 < options_.min_support_floor) {
+    std::ostringstream message;
+    message << "min_support " << setting.min_support
+            << " is below the generation floor "
+            << options_.min_support_floor
+            << " — rules under the floor were never mined";
+    return QueryError{QueryError::Code::kSupportBelowFloor, message.str()};
+  }
+  if (setting.min_confidence + 1e-12 < options_.min_confidence_floor) {
+    std::ostringstream message;
+    message << "min_confidence " << setting.min_confidence
+            << " is below the generation floor "
+            << options_.min_confidence_floor
+            << " — rules under the floor were never derived";
+    return QueryError{QueryError::Code::kConfidenceBelowFloor, message.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<QueryError> KnowledgeBaseSnapshot::ValidateWindow(
+    WindowId w) const {
+  if (w < segments_.size()) return std::nullopt;
+  std::ostringstream message;
+  message << "window " << w << " does not exist (snapshot generation "
+          << generation_ << " has " << segments_.size() << " windows)";
+  return QueryError{QueryError::Code::kBadWindow, message.str()};
+}
+
+std::optional<QueryError> KnowledgeBaseSnapshot::ValidateWindows(
+    const WindowSet& windows) const {
+  if (windows.empty()) {
+    return QueryError{QueryError::Code::kEmptyWindowSet,
+                      "the window set is empty — the operation needs at "
+                      "least one window"};
+  }
+  if (windows.required_window_count() > segments_.size()) {
+    std::ostringstream message;
+    message << "WindowSet refers to window "
+            << windows.required_window_count() - 1
+            << " but this snapshot has only " << segments_.size()
+            << " windows (set built for a newer generation or a different "
+               "engine?)";
+    return QueryError{QueryError::Code::kWindowSetMismatch, message.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<QueryError> KnowledgeBaseSnapshot::ValidateRule(
+    RuleId rule) const {
+  if (rule < rule_count_) return std::nullopt;
+  std::ostringstream message;
+  message << "rule " << rule << " is not part of this snapshot (generation "
+          << generation_ << " has " << rule_count_ << " rules)";
+  return QueryError{QueryError::Code::kUnknownRule, message.str()};
+}
+
+std::vector<RuleId> KnowledgeBaseSnapshot::CollectWindow(
+    WindowId w, const ParameterSetting& setting) const {
+  std::vector<RuleId> out;
+  segments_[w]->index.CollectRules(setting.min_support,
+                                   setting.min_confidence, &out);
+  return out;
+}
+
+Expected<std::vector<RuleId>, QueryError> KnowledgeBaseSnapshot::MineWindow(
+    WindowId w, const ParameterSetting& setting) const {
+  if (auto error = ValidateWindow(w)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  return CollectWindow(w, setting);
+}
+
+std::vector<RuleId> KnowledgeBaseSnapshot::MineWindowsUnchecked(
+    const WindowSet& windows, const ParameterSetting& setting,
+    MatchMode mode) const {
+  std::vector<RuleId> combined;
+  bool first = true;
+  for (WindowId w : windows) {
+    std::vector<RuleId> rules = CollectWindow(w, setting);
+    std::sort(rules.begin(), rules.end());
+    if (first) {
+      combined = std::move(rules);
+      first = false;
+      continue;
+    }
+    std::vector<RuleId> merged;
+    if (mode == MatchMode::kSingle) {
+      std::set_union(combined.begin(), combined.end(), rules.begin(),
+                     rules.end(), std::back_inserter(merged));
+    } else {
+      std::set_intersection(combined.begin(), combined.end(), rules.begin(),
+                            rules.end(), std::back_inserter(merged));
+    }
+    combined = std::move(merged);
+  }
+  return combined;
+}
+
+Expected<std::vector<RuleId>, QueryError> KnowledgeBaseSnapshot::MineWindows(
+    const WindowSet& windows, const ParameterSetting& setting,
+    MatchMode mode) const {
+  if (auto error = ValidateWindows(windows)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  return MineWindowsUnchecked(windows, setting, mode);
+}
+
+Expected<TrajectoryQueryResult, QueryError>
+KnowledgeBaseSnapshot::TrajectoryQuery(WindowId anchor,
+                                       const ParameterSetting& setting,
+                                       const WindowSet& horizon) const {
+  if (auto error = ValidateWindow(anchor)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  if (auto error = ValidateWindows(horizon)) return *std::move(error);
+  TrajectoryQueryResult result;
+  result.rules = CollectWindow(anchor, setting);
+  result.trajectories.reserve(result.rules.size());
+  for (RuleId rule : result.rules) {
+    result.trajectories.push_back(
+        BuildTrajectory(*archive_, rule, horizon.ids()));
+  }
+  return result;
+}
+
+Expected<RulesetDiff, QueryError> KnowledgeBaseSnapshot::CompareSettings(
+    const ParameterSetting& first, const ParameterSetting& second,
+    const WindowSet& windows, MatchMode mode) const {
+  if (auto error = ValidateWindows(windows)) return *std::move(error);
+  if (auto error = ValidateSetting(first)) return *std::move(error);
+  if (auto error = ValidateSetting(second)) return *std::move(error);
+  const std::vector<RuleId> a = MineWindowsUnchecked(windows, first, mode);
+  const std::vector<RuleId> b = MineWindowsUnchecked(windows, second, mode);
+  RulesetDiff diff;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(diff.only_first));
+  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
+                      std::back_inserter(diff.only_second));
+  return diff;
+}
+
+Expected<RegionInfo, QueryError> KnowledgeBaseSnapshot::RecommendRegion(
+    WindowId w, const ParameterSetting& setting) const {
+  if (auto error = ValidateWindow(w)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  return segments_[w]->index.Locate(setting.min_support,
+                                    setting.min_confidence);
+}
+
+Expected<TrajectoryMeasures, QueryError> KnowledgeBaseSnapshot::RuleMeasures(
+    RuleId rule, const WindowSet& windows) const {
+  if (auto error = ValidateRule(rule)) return *std::move(error);
+  if (auto error = ValidateWindows(windows)) return *std::move(error);
+  return ComputeMeasures(BuildTrajectory(*archive_, rule, windows.ids()));
+}
+
+Expected<std::vector<RuleId>, QueryError> KnowledgeBaseSnapshot::ContentQuery(
+    WindowId w, const Itemset& items, const ParameterSetting& setting) const {
+  if (!options_.build_content_index) {
+    return QueryError{QueryError::Code::kNoContentIndex,
+                      "content queries need an engine built with "
+                      "Options::build_content_index (the TARA-S variant)"};
+  }
+  if (auto error = ValidateWindow(w)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  std::vector<RuleId> out;
+  segments_[w]->index.ContentQuery(items, setting.min_support,
+                                   setting.min_confidence, &out);
+  return out;
+}
+
+Expected<std::unordered_map<ItemId, std::vector<RuleId>>, QueryError>
+KnowledgeBaseSnapshot::ContentView(WindowId w,
+                                   const ParameterSetting& setting) const {
+  if (auto error = ValidateWindow(w)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  std::unordered_map<ItemId, std::vector<RuleId>> view;
+  for (RuleId rule : CollectWindow(w, setting)) {
+    const Rule& r = catalog_->rule(rule);
+    for (ItemId item : r.antecedent) view[item].push_back(rule);
+    for (ItemId item : r.consequent) view[item].push_back(rule);
+  }
+  for (auto& [item, rules] : view) std::sort(rules.begin(), rules.end());
+  return view;
+}
+
+Expected<RollUpBound, QueryError> KnowledgeBaseSnapshot::RollUpRule(
+    RuleId rule, const WindowSet& windows) const {
+  if (auto error = ValidateRule(rule)) return *std::move(error);
+  if (auto error = ValidateWindows(windows)) return *std::move(error);
+  return archive_->RollUp(rule, windows.ids());
+}
+
+Expected<RolledUpRules, QueryError> KnowledgeBaseSnapshot::MineRolledUp(
+    const WindowSet& windows, const ParameterSetting& setting) const {
+  if (auto error = ValidateWindows(windows)) return *std::move(error);
+  if (auto error = ValidateSetting(setting)) return *std::move(error);
+  // Candidates: every rule present in at least one of the windows.
+  std::vector<RuleId> candidates;
+  for (WindowId w : windows) {
+    for (const WindowIndex::Entry& e : segments_[w]->entries) {
+      candidates.push_back(e.rule);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  RolledUpRules result;
+  for (RuleId rule : candidates) {
+    const RollUpBound bound = archive_->RollUp(rule, windows.ids());
+    const bool certain = bound.support_lo + 1e-12 >= setting.min_support &&
+                         bound.confidence_lo + 1e-12 >= setting.min_confidence;
+    const bool possible = bound.support_hi + 1e-12 >= setting.min_support &&
+                          bound.confidence_hi + 1e-12 >= setting.min_confidence;
+    if (certain) {
+      result.certain.push_back(rule);
+    } else if (possible) {
+      result.possible.push_back(rule);
+    }
+  }
+  return result;
+}
+
+}  // namespace tara

@@ -1,0 +1,584 @@
+#include "core/kb_storage.h"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/varint.h"
+
+namespace tara {
+namespace {
+
+constexpr char kManifestMagic[] = "TARAKB2";
+constexpr size_t kManifestMagicLen = sizeof(kManifestMagic) - 1;
+constexpr char kSegmentMagic[] = "TSEG";
+constexpr size_t kSegmentMagicLen = sizeof(kSegmentMagic) - 1;
+constexpr char kManifestFile[] = "manifest.tarakb";
+
+/// Same mixing as HashSpan, over raw bytes.
+uint64_t HashBytes(const uint8_t* data, size_t size) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < size; ++i) h = HashCombine(h, data[i]);
+  return h;
+}
+
+std::string SegmentFileName(WindowId window) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "window-%06u.seg", window);
+  return name;
+}
+
+class ByteWriter {
+ public:
+  void Magic(const char* magic, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(magic[i]));
+    }
+  }
+  void U64(uint64_t v) { varint::EncodeU64(v, &bytes_); }
+  void Raw64(uint64_t bits) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+    }
+  }
+  void F64(double v) { Raw64(std::bit_cast<uint64_t>(v)); }
+  void Items(const Itemset& items) {
+    U64(items.size());
+    // Delta-encode the sorted item ids.
+    ItemId previous = 0;
+    for (ItemId item : items) {
+      U64(item - previous);
+      previous = item;
+    }
+  }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Abort-free cursor over untrusted bytes; every getter reports
+/// truncation instead of CHECK-failing.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool Magic(const char* magic, size_t len) {
+    if (pos_ + len > size_) return false;
+    if (std::memcmp(data_ + pos_, magic, len) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool U64(uint64_t* out) {
+    return varint::TryDecodeU64(data_, size_, &pos_, out);
+  }
+  bool Raw64(uint64_t* out) {
+    if (pos_ + 8 > size_) return false;
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    *out = bits;
+    return true;
+  }
+  bool F64(double* out) {
+    uint64_t bits = 0;
+    if (!Raw64(&bits)) return false;
+    *out = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool Items(Itemset* out) {
+    uint64_t n = 0;
+    if (!U64(&n)) return false;
+    if (n > remaining()) return false;  // each item takes >= 1 byte
+    out->clear();
+    out->reserve(n);
+    ItemId previous = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t delta = 0;
+      if (!U64(&delta)) return false;
+      previous += static_cast<ItemId>(delta);
+      out->push_back(previous);
+    }
+    return true;
+  }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// One manifest row describing a window and its segment blob.
+struct ManifestRow {
+  uint64_t total_transactions = 0;
+  uint64_t rule_watermark = 0;
+  uint64_t entry_count = 0;
+  uint64_t segment_bytes = 0;
+  uint64_t segment_hash = 0;
+};
+
+struct Manifest {
+  double min_support_floor = 0;
+  double min_confidence_floor = 0;
+  uint64_t max_itemset_size = 0;
+  bool build_content_index = false;
+  std::vector<ManifestRow> rows;
+};
+
+LoadError Err(LoadError::Code code, std::string message) {
+  return LoadError{code, std::move(message)};
+}
+
+std::vector<uint8_t> EncodeSegmentBytes(const KnowledgeBaseSnapshot& snapshot,
+                                        WindowId window) {
+  const WindowSegment& segment = snapshot.segment(window);
+  const RuleId first_rule =
+      window == 0 ? 0 : snapshot.segment(window - 1).rule_watermark;
+  ByteWriter w;
+  w.Magic(kSegmentMagic, kSegmentMagicLen);
+  w.U64(window);
+  w.U64(first_rule);
+  w.U64(segment.rule_watermark - first_rule);
+  for (RuleId id = first_rule; id < segment.rule_watermark; ++id) {
+    const Rule& rule = snapshot.catalog().rule(id);
+    w.Items(rule.antecedent);
+    w.Items(rule.consequent);
+  }
+  w.U64(segment.entries.size());
+  for (const WindowIndex::Entry& e : segment.entries) {
+    w.U64(e.rule);
+    w.U64(e.rule_count);
+    w.U64(e.antecedent_count - e.rule_count);  // delta, always >= 0
+  }
+  return w.bytes();
+}
+
+ManifestRow RowFor(const KnowledgeBaseSnapshot& snapshot, WindowId window,
+                   const std::vector<uint8_t>& segment_bytes) {
+  const WindowSegment& segment = snapshot.segment(window);
+  ManifestRow row;
+  row.total_transactions = segment.total_transactions;
+  row.rule_watermark = segment.rule_watermark;
+  row.entry_count = segment.entries.size();
+  row.segment_bytes = segment_bytes.size();
+  row.segment_hash = HashBytes(segment_bytes.data(), segment_bytes.size());
+  return row;
+}
+
+std::vector<uint8_t> EncodeManifestBytes(const Manifest& manifest) {
+  ByteWriter w;
+  w.Magic(kManifestMagic, kManifestMagicLen);
+  w.F64(manifest.min_support_floor);
+  w.F64(manifest.min_confidence_floor);
+  w.U64(manifest.max_itemset_size);
+  w.U64(manifest.build_content_index ? 1 : 0);
+  w.U64(manifest.rows.size());
+  for (const ManifestRow& row : manifest.rows) {
+    w.U64(row.total_transactions);
+    w.U64(row.rule_watermark);
+    w.U64(row.entry_count);
+    w.U64(row.segment_bytes);
+    w.Raw64(row.segment_hash);
+  }
+  return w.bytes();
+}
+
+Manifest ManifestFor(const KnowledgeBaseSnapshot& snapshot) {
+  const KbOptions& options = snapshot.options();
+  Manifest manifest;
+  manifest.min_support_floor = options.min_support_floor;
+  manifest.min_confidence_floor = options.min_confidence_floor;
+  manifest.max_itemset_size = options.max_itemset_size;
+  manifest.build_content_index = options.build_content_index;
+  return manifest;
+}
+
+/// Parses a manifest from `reader`; on success the cursor rests on the
+/// first byte after it (the first segment, in the stream format).
+std::optional<LoadError> DecodeManifest(ByteReader* reader,
+                                        Manifest* manifest) {
+  if (!reader->Magic(kManifestMagic, kManifestMagicLen)) {
+    // Distinguish a stale format from arbitrary bytes for a better
+    // operator message.
+    ByteReader probe(*reader);
+    if (probe.Magic("TARAKB", 6)) {
+      return Err(LoadError::Code::kBadVersion,
+                 "stream is a different TARA knowledge-base format version "
+                 "(expected TARAKB2); re-serialize with this build");
+    }
+    return Err(LoadError::Code::kBadMagic,
+               "not a TARA knowledge base (TARAKB2 magic missing)");
+  }
+  uint64_t content_index = 0;
+  uint64_t window_count = 0;
+  if (!reader->F64(&manifest->min_support_floor) ||
+      !reader->F64(&manifest->min_confidence_floor) ||
+      !reader->U64(&manifest->max_itemset_size) ||
+      !reader->U64(&content_index) || !reader->U64(&window_count)) {
+    return Err(LoadError::Code::kTruncated,
+               "manifest ended mid-header (truncated stream?)");
+  }
+  if (content_index > 1) {
+    return Err(LoadError::Code::kBadManifest,
+               "manifest content-index flag is neither 0 nor 1");
+  }
+  manifest->build_content_index = content_index != 0;
+  KbOptions options;
+  options.min_support_floor = manifest->min_support_floor;
+  options.min_confidence_floor = manifest->min_confidence_floor;
+  options.max_itemset_size =
+      static_cast<uint32_t>(manifest->max_itemset_size);
+  if (options.max_itemset_size != manifest->max_itemset_size ||
+      options.Validate().has_value()) {
+    return Err(LoadError::Code::kBadManifest,
+               "manifest options are outside the valid ranges: " +
+                   options.Validate().value_or("itemset cap overflows"));
+  }
+  manifest->rows.reserve(window_count <= 4096 ? window_count : 0);
+  uint64_t previous_watermark = 0;
+  for (uint64_t i = 0; i < window_count; ++i) {
+    ManifestRow row;
+    if (!reader->U64(&row.total_transactions) ||
+        !reader->U64(&row.rule_watermark) || !reader->U64(&row.entry_count) ||
+        !reader->U64(&row.segment_bytes) || !reader->Raw64(&row.segment_hash)) {
+      std::ostringstream message;
+      message << "manifest ended inside window row " << i << " of "
+              << window_count;
+      return Err(LoadError::Code::kTruncated, message.str());
+    }
+    if (row.rule_watermark < previous_watermark) {
+      std::ostringstream message;
+      message << "manifest watermarks decrease at window " << i << " ("
+              << previous_watermark << " -> " << row.rule_watermark
+              << ") — watermarks count cumulative interned rules";
+      return Err(LoadError::Code::kBadManifest, message.str());
+    }
+    if (row.entry_count < row.rule_watermark - previous_watermark) {
+      std::ostringstream message;
+      message << "manifest window " << i << " claims "
+              << row.rule_watermark - previous_watermark
+              << " first-seen rules but only " << row.entry_count
+              << " entries";
+      return Err(LoadError::Code::kBadManifest, message.str());
+    }
+    previous_watermark = row.rule_watermark;
+    manifest->rows.push_back(row);
+  }
+  return std::nullopt;
+}
+
+/// Decodes one window's segment blob and appends it to `engine`,
+/// cross-checking every claim against the manifest row. `rules` is the
+/// catalog replay: rule contents accumulated from all prior segments,
+/// indexed by RuleId.
+std::optional<LoadError> DecodeSegmentInto(const uint8_t* data, size_t size,
+                                           const ManifestRow& row,
+                                           WindowId window,
+                                           std::vector<Rule>* rules,
+                                           TaraEngine* engine) {
+  const auto corrupt = [window](const std::string& what) {
+    std::ostringstream message;
+    message << "segment of window " << window << " is corrupt: " << what;
+    return Err(LoadError::Code::kCorruptSegment, message.str());
+  };
+  if (HashBytes(data, size) != row.segment_hash) {
+    return corrupt("checksum does not match the manifest");
+  }
+  ByteReader r(data, size);
+  if (!r.Magic(kSegmentMagic, kSegmentMagicLen)) {
+    return corrupt("TSEG magic missing");
+  }
+  uint64_t stored_window = 0, first_rule = 0, new_rule_count = 0;
+  if (!r.U64(&stored_window) || !r.U64(&first_rule) ||
+      !r.U64(&new_rule_count)) {
+    return corrupt("truncated segment header");
+  }
+  if (stored_window != window) {
+    return corrupt("segment belongs to a different window");
+  }
+  if (first_rule != rules->size() ||
+      first_rule + new_rule_count != row.rule_watermark) {
+    return corrupt("rule id range disagrees with the manifest watermark");
+  }
+  for (uint64_t i = 0; i < new_rule_count; ++i) {
+    Rule rule;
+    if (!r.Items(&rule.antecedent) || !r.Items(&rule.consequent)) {
+      return corrupt("truncated rule contents");
+    }
+    rules->push_back(std::move(rule));
+  }
+  uint64_t entry_count = 0;
+  if (!r.U64(&entry_count)) return corrupt("truncated entry count");
+  if (entry_count != row.entry_count) {
+    return corrupt("entry count disagrees with the manifest");
+  }
+  std::vector<TaraEngine::PrecomputedRule> precomputed;
+  precomputed.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    uint64_t id = 0, rule_count = 0, antecedent_delta = 0;
+    if (!r.U64(&id) || !r.U64(&rule_count) || !r.U64(&antecedent_delta)) {
+      return corrupt("truncated entry list");
+    }
+    if (id >= row.rule_watermark) {
+      return corrupt("entry references a rule past the window's watermark");
+    }
+    TaraEngine::PrecomputedRule p;
+    p.rule = (*rules)[id];
+    p.rule_count = rule_count;
+    p.antecedent_count = rule_count + antecedent_delta;
+    precomputed.push_back(std::move(p));
+  }
+  if (r.remaining() != 0) return corrupt("trailing bytes after the entries");
+  engine->AppendPrecomputedWindow(row.total_transactions, precomputed);
+  if (engine->catalog().size() != row.rule_watermark) {
+    return corrupt(
+        "re-interning the entries did not reproduce the manifest watermark "
+        "(duplicate or out-of-order rule contents)");
+  }
+  return std::nullopt;
+}
+
+TaraEngine EngineFor(const Manifest& manifest, obs::MetricsRegistry* metrics) {
+  KbOptions options;
+  options.min_support_floor = manifest.min_support_floor;
+  options.min_confidence_floor = manifest.min_confidence_floor;
+  options.max_itemset_size = static_cast<uint32_t>(manifest.max_itemset_size);
+  options.build_content_index = manifest.build_content_index;
+  options.metrics = metrics;
+  return TaraEngine(options);
+}
+
+std::optional<LoadError> ReadFileBytes(const std::filesystem::path& path,
+                                       std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Err(LoadError::Code::kIoError,
+               "cannot open " + path.string() + " for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Err(LoadError::Code::kIoError, "read failed on " + path.string());
+  }
+  const std::string& data = buffer.str();
+  out->assign(data.begin(), data.end());
+  return std::nullopt;
+}
+
+std::optional<LoadError> WriteFileBytes(const std::filesystem::path& path,
+                                        const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Err(LoadError::Code::kIoError,
+               "cannot open " + path.string() + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    return Err(LoadError::Code::kIoError, "write failed on " + path.string());
+  }
+  return std::nullopt;
+}
+
+/// Checks that manifest `rows` describe a prefix of `snapshot`'s windows.
+/// Metadata-level check (transactions, watermark, entry count): cheap, and
+/// sufficient because segment bytes are a deterministic function of the
+/// window sequence.
+std::optional<LoadError> CheckPrefix(const KnowledgeBaseSnapshot& snapshot,
+                                     const std::vector<ManifestRow>& rows) {
+  if (rows.size() > snapshot.window_count()) {
+    std::ostringstream message;
+    message << "directory holds " << rows.size()
+            << " windows but the snapshot has only "
+            << snapshot.window_count()
+            << " — appending cannot rewind a knowledge base";
+    return Err(LoadError::Code::kBadManifest, message.str());
+  }
+  for (size_t w = 0; w < rows.size(); ++w) {
+    const WindowSegment& segment =
+        snapshot.segment(static_cast<WindowId>(w));
+    if (rows[w].total_transactions != segment.total_transactions ||
+        rows[w].rule_watermark != segment.rule_watermark ||
+        rows[w].entry_count != segment.entries.size()) {
+      std::ostringstream message;
+      message << "window " << w
+              << " on disk does not match the snapshot (different data or "
+                 "floors?) — refusing to append; save to a fresh directory";
+      return Err(LoadError::Code::kBadManifest, message.str());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<LoadError> CheckOptionsMatch(
+    const KnowledgeBaseSnapshot& snapshot, const Manifest& manifest) {
+  const KbOptions& options = snapshot.options();
+  if (manifest.min_support_floor != options.min_support_floor ||
+      manifest.min_confidence_floor != options.min_confidence_floor ||
+      manifest.max_itemset_size != options.max_itemset_size ||
+      manifest.build_content_index != options.build_content_index) {
+    return Err(LoadError::Code::kBadManifest,
+               "directory was written with different construction options "
+               "(floors/itemset cap/content index) — refusing to append");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string EncodeKnowledgeBase(const KnowledgeBaseSnapshot& snapshot) {
+  Manifest manifest = ManifestFor(snapshot);
+  std::vector<std::vector<uint8_t>> segments;
+  segments.reserve(snapshot.window_count());
+  for (WindowId w = 0; w < snapshot.window_count(); ++w) {
+    segments.push_back(EncodeSegmentBytes(snapshot, w));
+    manifest.rows.push_back(RowFor(snapshot, w, segments.back()));
+  }
+  const std::vector<uint8_t> header = EncodeManifestBytes(manifest);
+  std::string out(header.begin(), header.end());
+  for (const std::vector<uint8_t>& segment : segments) {
+    out.append(segment.begin(), segment.end());
+  }
+  return out;
+}
+
+Expected<TaraEngine, LoadError> DecodeKnowledgeBase(
+    std::string_view bytes, obs::MetricsRegistry* metrics) {
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  ByteReader reader(data, bytes.size());
+  Manifest manifest;
+  if (auto error = DecodeManifest(&reader, &manifest)) return *std::move(error);
+
+  TaraEngine engine = EngineFor(manifest, metrics);
+  std::vector<Rule> rules;
+  size_t pos = reader.pos();
+  for (size_t w = 0; w < manifest.rows.size(); ++w) {
+    const ManifestRow& row = manifest.rows[w];
+    if (bytes.size() - pos < row.segment_bytes) {
+      std::ostringstream message;
+      message << "stream ends inside the segment of window " << w
+              << " (manifest promises " << row.segment_bytes << " bytes, "
+              << bytes.size() - pos << " remain)";
+      return Err(LoadError::Code::kTruncated, message.str());
+    }
+    if (auto error =
+            DecodeSegmentInto(data + pos, row.segment_bytes, row,
+                              static_cast<WindowId>(w), &rules, &engine)) {
+      return *std::move(error);
+    }
+    pos += row.segment_bytes;
+  }
+  if (pos != bytes.size()) {
+    std::ostringstream message;
+    message << bytes.size() - pos
+            << " trailing bytes after the last window segment";
+    return Err(LoadError::Code::kTrailingBytes, message.str());
+  }
+  return engine;
+}
+
+std::optional<LoadError> SaveKnowledgeBaseDir(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Err(LoadError::Code::kIoError,
+               "cannot create directory " + dir + ": " + ec.message());
+  }
+  const std::filesystem::path root(dir);
+  Manifest manifest = ManifestFor(snapshot);
+  for (WindowId w = 0; w < snapshot.window_count(); ++w) {
+    const std::vector<uint8_t> segment = EncodeSegmentBytes(snapshot, w);
+    manifest.rows.push_back(RowFor(snapshot, w, segment));
+    if (auto error = WriteFileBytes(root / SegmentFileName(w), segment)) {
+      return error;
+    }
+  }
+  return WriteFileBytes(root / kManifestFile, EncodeManifestBytes(manifest));
+}
+
+std::optional<LoadError> AppendKnowledgeBaseDir(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir) {
+  const std::filesystem::path root(dir);
+  if (!std::filesystem::exists(root / kManifestFile)) {
+    return SaveKnowledgeBaseDir(snapshot, dir);
+  }
+  std::vector<uint8_t> manifest_bytes;
+  if (auto error = ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
+    return error;
+  }
+  ByteReader reader(manifest_bytes.data(), manifest_bytes.size());
+  Manifest on_disk;
+  if (auto error = DecodeManifest(&reader, &on_disk)) return error;
+  if (reader.remaining() != 0) {
+    return Err(LoadError::Code::kTrailingBytes,
+               "trailing bytes after the manifest in " +
+                   (root / kManifestFile).string());
+  }
+  if (auto error = CheckOptionsMatch(snapshot, on_disk)) return error;
+  if (auto error = CheckPrefix(snapshot, on_disk.rows)) return error;
+
+  // Only the new windows' segments are encoded and written; the manifest
+  // keeps the on-disk rows for the untouched prefix.
+  Manifest updated = ManifestFor(snapshot);
+  updated.rows = on_disk.rows;
+  for (WindowId w = static_cast<WindowId>(on_disk.rows.size());
+       w < snapshot.window_count(); ++w) {
+    const std::vector<uint8_t> segment = EncodeSegmentBytes(snapshot, w);
+    updated.rows.push_back(RowFor(snapshot, w, segment));
+    if (auto error = WriteFileBytes(root / SegmentFileName(w), segment)) {
+      return error;
+    }
+  }
+  return WriteFileBytes(root / kManifestFile, EncodeManifestBytes(updated));
+}
+
+Expected<TaraEngine, LoadError> LoadKnowledgeBaseDir(
+    const std::string& dir, obs::MetricsRegistry* metrics) {
+  const std::filesystem::path root(dir);
+  std::vector<uint8_t> manifest_bytes;
+  if (auto error = ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
+    return *std::move(error);
+  }
+  ByteReader reader(manifest_bytes.data(), manifest_bytes.size());
+  Manifest manifest;
+  if (auto error = DecodeManifest(&reader, &manifest)) return *std::move(error);
+  if (reader.remaining() != 0) {
+    return Err(LoadError::Code::kTrailingBytes,
+               "trailing bytes after the manifest in " +
+                   (root / kManifestFile).string());
+  }
+
+  TaraEngine engine = EngineFor(manifest, metrics);
+  std::vector<Rule> rules;
+  for (size_t w = 0; w < manifest.rows.size(); ++w) {
+    const ManifestRow& row = manifest.rows[w];
+    const std::filesystem::path path =
+        root / SegmentFileName(static_cast<WindowId>(w));
+    std::vector<uint8_t> segment;
+    if (auto error = ReadFileBytes(path, &segment)) return *std::move(error);
+    if (segment.size() != row.segment_bytes) {
+      std::ostringstream message;
+      message << path.string() << " is " << segment.size()
+              << " bytes but the manifest promises " << row.segment_bytes;
+      return Err(LoadError::Code::kCorruptSegment, message.str());
+    }
+    if (auto error =
+            DecodeSegmentInto(segment.data(), segment.size(), row,
+                              static_cast<WindowId>(w), &rules, &engine)) {
+      return *std::move(error);
+    }
+  }
+  return engine;
+}
+
+}  // namespace tara

@@ -1,0 +1,76 @@
+#ifndef TARA_CORE_KB_STORAGE_H_
+#define TARA_CORE_KB_STORAGE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/expected.h"
+#include "core/load_error.h"
+#include "core/tara_engine.h"
+
+namespace tara {
+
+/// Segmented binary persistence of a TARA knowledge base (format TARAKB2).
+///
+/// The serialized knowledge base is a **manifest** plus one **window
+/// segment** per committed window:
+///
+/// - The manifest holds the construction options (the serialized subset:
+///   floors, itemset cap, content-index flag) and, per window, its
+///   transaction count, rule-count watermark, entry count, and the byte
+///   size + checksum of its segment.
+/// - A window's segment holds the contents of the rules that window
+///   interned first (ids [previous watermark, watermark) — contiguous by
+///   the commit-order invariant) and the window's (rule, counts) entries.
+///
+/// Segments are immutable once written, mirroring the in-memory
+/// WindowSegment sharing: appending a window to a knowledge-base
+/// directory writes ONE new segment file plus the manifest — O(new
+/// window), not O(knowledge base). The single-stream format
+/// (serialization.h) is the same manifest and segments concatenated.
+///
+/// Integers are LEB128 varints, doubles and checksums are 8-byte
+/// little-endian; itemsets are delta-encoded. Loaders treat all input as
+/// untrusted and return LoadError instead of aborting.
+
+/// Serializes one pinned generation: manifest followed by every window
+/// segment. Deterministic — byte-identical for the same window sequence
+/// regardless of build parallelism or whether windows arrived via
+/// BuildAll or live appends.
+std::string EncodeKnowledgeBase(const KnowledgeBaseSnapshot& snapshot);
+
+/// Parses bytes produced by EncodeKnowledgeBase (or the stream helpers in
+/// serialization.h). `metrics` becomes the loaded engine's
+/// Options::metrics — runtime knobs are not serialized state.
+Expected<TaraEngine, LoadError> DecodeKnowledgeBase(
+    std::string_view bytes, obs::MetricsRegistry* metrics = nullptr);
+
+/// --- Directory-backed persistence ----------------------------------------
+/// Layout: `<dir>/manifest.tarakb` plus `<dir>/window-NNNNNN.seg`, one per
+/// window. Segment files are written before the manifest, so a crash
+/// mid-save leaves the previous manifest consistent (extra .seg files are
+/// ignored by the loader).
+
+/// Writes the full knowledge base of `snapshot` into `dir` (created if
+/// missing). Returns nullopt on success.
+std::optional<LoadError> SaveKnowledgeBaseDir(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir);
+
+/// Incremental save: verifies the manifest already in `dir` describes a
+/// prefix of `snapshot`'s windows (same options; per-window transaction
+/// counts, watermarks, and entry counts match), then writes only the NEW
+/// windows' segment files and the updated manifest. Existing segment
+/// files are never rewritten. Falls back to a full SaveKnowledgeBaseDir
+/// when `dir` has no manifest yet.
+std::optional<LoadError> AppendKnowledgeBaseDir(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir);
+
+/// Loads a knowledge base saved by Save/AppendKnowledgeBaseDir,
+/// verifying every segment's size and checksum against the manifest.
+Expected<TaraEngine, LoadError> LoadKnowledgeBaseDir(
+    const std::string& dir, obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace tara
+
+#endif  // TARA_CORE_KB_STORAGE_H_

@@ -1,0 +1,30 @@
+#include "core/load_error.h"
+
+namespace tara {
+
+std::string_view LoadErrorCodeName(LoadError::Code code) {
+  switch (code) {
+    case LoadError::Code::kIoError:
+      return "io_error";
+    case LoadError::Code::kBadMagic:
+      return "bad_magic";
+    case LoadError::Code::kBadVersion:
+      return "bad_version";
+    case LoadError::Code::kTruncated:
+      return "truncated";
+    case LoadError::Code::kBadManifest:
+      return "bad_manifest";
+    case LoadError::Code::kCorruptSegment:
+      return "corrupt_segment";
+    case LoadError::Code::kTrailingBytes:
+      return "trailing_bytes";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& out, const LoadError& error) {
+  return out << "LoadError[" << LoadErrorCodeName(error.code) << "]: "
+             << error.message;
+}
+
+}  // namespace tara

@@ -1,175 +1,43 @@
 #include "core/serialization.h"
 
-#include <bit>
-#include <cstring>
 #include <istream>
 #include <ostream>
 #include <sstream>
-#include <vector>
-
-#include "common/logging.h"
-#include "common/varint.h"
 
 namespace tara {
-namespace {
 
-constexpr char kMagic[] = "TARAKB1";
-
-class Writer {
- public:
-  void U64(uint64_t v) { varint::EncodeU64(v, &bytes_); }
-  void F64(double v) {
-    const uint64_t bits = std::bit_cast<uint64_t>(v);
-    for (int i = 0; i < 8; ++i) {
-      bytes_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
-    }
-  }
-  void Items(const Itemset& items) {
-    U64(items.size());
-    // Delta-encode the sorted item ids.
-    ItemId previous = 0;
-    for (ItemId item : items) {
-      U64(item - previous);
-      previous = item;
-    }
-  }
-  void Flush(std::ostream* out) {
-    out->write(kMagic, sizeof(kMagic) - 1);
-    out->write(reinterpret_cast<const char*>(bytes_.data()),
-               static_cast<std::streamsize>(bytes_.size()));
-  }
-
- private:
-  std::vector<uint8_t> bytes_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::istream* in) {
-    char magic[sizeof(kMagic) - 1];
-    in->read(magic, sizeof(magic));
-    TARA_CHECK(in->gcount() == sizeof(magic) &&
-               std::memcmp(magic, kMagic, sizeof(magic)) == 0)
-        << "not a TARA knowledge base stream";
-    std::ostringstream rest;
-    rest << in->rdbuf();
-    const std::string data = rest.str();
-    bytes_.assign(data.begin(), data.end());
-  }
-
-  uint64_t U64() { return varint::DecodeU64(bytes_.data(), bytes_.size(),
-                                            &pos_); }
-  double F64() {
-    TARA_CHECK(pos_ + 8 <= bytes_.size()) << "truncated stream";
-    uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      bits |= static_cast<uint64_t>(bytes_[pos_++]) << (8 * i);
-    }
-    return std::bit_cast<double>(bits);
-  }
-  Itemset Items() {
-    const uint64_t n = U64();
-    Itemset items;
-    items.reserve(n);
-    ItemId previous = 0;
-    for (uint64_t i = 0; i < n; ++i) {
-      previous += static_cast<ItemId>(U64());
-      items.push_back(previous);
-    }
-    return items;
-  }
-  bool Done() const { return pos_ == bytes_.size(); }
-
- private:
-  std::vector<uint8_t> bytes_;
-  size_t pos_ = 0;
-};
-
-}  // namespace
-
-void SaveKnowledgeBase(const TaraEngine& engine, std::ostream* out) {
-  Writer w;
-  const TaraEngine::Options& options = engine.options();
-  w.F64(options.min_support_floor);
-  w.F64(options.min_confidence_floor);
-  w.U64(options.max_itemset_size);
-  w.U64(options.build_content_index ? 1 : 0);
-
-  // Catalog: every interned rule, id order.
-  w.U64(engine.catalog().size());
-  for (RuleId id = 0; id < engine.catalog().size(); ++id) {
-    const Rule& rule = engine.catalog().rule(id);
-    w.Items(rule.antecedent);
-    w.Items(rule.consequent);
-  }
-
-  // Windows: size plus the (rule, counts) entries.
-  w.U64(engine.window_count());
-  for (WindowId window = 0; window < engine.window_count(); ++window) {
-    w.U64(engine.archive().window_size(window));
-    const auto& entries = engine.window_entries(window);
-    w.U64(entries.size());
-    for (const WindowIndex::Entry& e : entries) {
-      w.U64(e.rule);
-      w.U64(e.rule_count);
-      w.U64(e.antecedent_count - e.rule_count);  // delta, always >= 0
-    }
-  }
-  w.Flush(out);
+void SaveKnowledgeBase(const KnowledgeBaseSnapshot& snapshot,
+                       std::ostream* out) {
+  const std::string bytes = EncodeKnowledgeBase(snapshot);
+  out->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
 }
 
-TaraEngine LoadKnowledgeBase(std::istream* in,
-                             obs::MetricsRegistry* metrics) {
-  Reader r(in);
-  TaraEngine::Options options;
-  options.min_support_floor = r.F64();
-  options.min_confidence_floor = r.F64();
-  options.max_itemset_size = static_cast<uint32_t>(r.U64());
-  options.build_content_index = r.U64() != 0;
-  options.metrics = metrics;
-  TaraEngine engine(options);
+void SaveKnowledgeBase(const TaraEngine& engine, std::ostream* out) {
+  SaveKnowledgeBase(*engine.Snapshot(), out);
+}
 
-  const uint64_t rule_count = r.U64();
-  std::vector<Rule> rules;
-  rules.reserve(rule_count);
-  for (uint64_t i = 0; i < rule_count; ++i) {
-    Rule rule;
-    rule.antecedent = r.Items();
-    rule.consequent = r.Items();
-    rules.push_back(std::move(rule));
+Expected<TaraEngine, LoadError> LoadKnowledgeBase(
+    std::istream* in, obs::MetricsRegistry* metrics) {
+  std::ostringstream buffer;
+  buffer << in->rdbuf();
+  if (in->bad()) {
+    return LoadError{LoadError::Code::kIoError,
+                     "read failed on the knowledge base stream"};
   }
-
-  const uint64_t windows = r.U64();
-  for (uint64_t window = 0; window < windows; ++window) {
-    const uint64_t total = r.U64();
-    const uint64_t entries = r.U64();
-    std::vector<TaraEngine::PrecomputedRule> precomputed;
-    precomputed.reserve(entries);
-    for (uint64_t i = 0; i < entries; ++i) {
-      TaraEngine::PrecomputedRule p;
-      const uint64_t id = r.U64();
-      TARA_CHECK_LT(id, rules.size()) << "rule id out of range";
-      p.rule = rules[id];
-      p.rule_count = r.U64();
-      p.antecedent_count = p.rule_count + r.U64();
-      precomputed.push_back(std::move(p));
-    }
-    engine.AppendPrecomputedWindow(total, precomputed);
-  }
-  TARA_CHECK(r.Done()) << "trailing bytes in knowledge base stream";
-  return engine;
+  return DecodeKnowledgeBase(buffer.str(), metrics);
 }
 
 std::string KnowledgeBaseToString(const TaraEngine& engine) {
-  std::ostringstream out;
-  SaveKnowledgeBase(engine, &out);
-  return out.str();
+  return EncodeKnowledgeBase(*engine.Snapshot());
 }
 
-TaraEngine KnowledgeBaseFromString(const std::string& bytes,
-                                   obs::MetricsRegistry* metrics) {
-  std::istringstream in(bytes);
-  return LoadKnowledgeBase(&in, metrics);
+std::string KnowledgeBaseToString(const KnowledgeBaseSnapshot& snapshot) {
+  return EncodeKnowledgeBase(snapshot);
+}
+
+Expected<TaraEngine, LoadError> KnowledgeBaseFromString(
+    const std::string& bytes, obs::MetricsRegistry* metrics) {
+  return DecodeKnowledgeBase(bytes, metrics);
 }
 
 }  // namespace tara

@@ -4,35 +4,44 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/kb_storage.h"
 #include "core/tara_engine.h"
 
 namespace tara {
 
-/// Binary serialization of a TARA knowledge base (options, catalog, and
-/// per-window rule counts). The offline phase can thus run once — on a
-/// beefier machine or a schedule — and the interactive explorer reloads
-/// the index in milliseconds, which is how a deployment of the paper's
-/// Figure 2 architecture would separate its two halves.
+/// Stream-level serialization of a TARA knowledge base: the segmented
+/// TARAKB2 format of kb_storage.h (manifest + per-window segments) as one
+/// contiguous stream. The offline phase can thus run once — on a beefier
+/// machine or a schedule — and the interactive explorer reloads the index
+/// in milliseconds, which is how a deployment of the paper's Figure 2
+/// architecture would separate its two halves.
 ///
-/// Format: magic + version, options, window metadata, interned rules, and
-/// per-window (rule, counts) entries; integers are LEB128 varints, doubles
-/// are 8-byte little-endian IEEE 754.
+/// Output is deterministic: byte-identical for the same window sequence
+/// regardless of build parallelism or whether windows arrived via
+/// BuildAll or live AppendWindow calls. For incremental on-disk
+/// persistence (append = one new segment file + manifest) use the
+/// directory API in kb_storage.h.
 
-/// Writes the knowledge base of `engine` to `out`.
+/// Writes the knowledge base of `snapshot` to `out`.
+void SaveKnowledgeBase(const KnowledgeBaseSnapshot& snapshot,
+                       std::ostream* out);
+
+/// Writes `engine`'s current generation to `out`.
 void SaveKnowledgeBase(const TaraEngine& engine, std::ostream* out);
 
-/// Reads a knowledge base written by SaveKnowledgeBase. Aborts on a
-/// malformed stream (wrong magic/version or truncation). `metrics`
-/// becomes the loaded engine's Options::metrics — runtime knobs are not
-/// part of the serialized state, so the deployment attaches its registry
-/// here (nullptr = null sink).
-TaraEngine LoadKnowledgeBase(std::istream* in,
-                             obs::MetricsRegistry* metrics = nullptr);
+/// Reads a knowledge base written by SaveKnowledgeBase. The stream is
+/// untrusted input: wrong magic, truncation, or corruption yields a
+/// LoadError, never an abort. `metrics` becomes the loaded engine's
+/// Options::metrics — runtime knobs are not part of the serialized state,
+/// so the deployment attaches its registry here (nullptr = null sink).
+Expected<TaraEngine, LoadError> LoadKnowledgeBase(
+    std::istream* in, obs::MetricsRegistry* metrics = nullptr);
 
 /// Convenience string round-trip helpers.
 std::string KnowledgeBaseToString(const TaraEngine& engine);
-TaraEngine KnowledgeBaseFromString(const std::string& bytes,
-                                   obs::MetricsRegistry* metrics = nullptr);
+std::string KnowledgeBaseToString(const KnowledgeBaseSnapshot& snapshot);
+Expected<TaraEngine, LoadError> KnowledgeBaseFromString(
+    const std::string& bytes, obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace tara
 

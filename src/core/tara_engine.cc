@@ -1,27 +1,8 @@
 #include "core/tara_engine.h"
 
-#include <algorithm>
-#include <deque>
-#include <sstream>
-#include <thread>
 #include <utility>
 
-#include "common/logging.h"
-#include "common/stopwatch.h"
-#include "mining/fp_growth.h"
-#include "mining/rule_generation.h"
-
 namespace tara {
-namespace {
-
-/// Resolves Options::parallelism (0 = hardware concurrency) to a concrete
-/// worker count.
-uint32_t EffectiveParallelism(uint32_t requested) {
-  if (requested != 0) return requested;
-  return std::max(1u, std::thread::hardware_concurrency());
-}
-
-}  // namespace
 
 std::string_view QueryKindName(QueryKind kind) {
   switch (kind) {
@@ -49,38 +30,12 @@ std::string_view QueryKindName(QueryKind kind) {
   return "unknown";
 }
 
-std::optional<std::string> TaraEngine::Options::Validate() const {
-  std::ostringstream error;
-  if (!(min_support_floor > 0.0 && min_support_floor <= 1.0)) {
-    error << "Options::min_support_floor must be in (0, 1] — windows are "
-             "mined once at this floor and online queries may only tighten "
-             "it — got "
-          << min_support_floor;
-    return error.str();
-  }
-  if (!(min_confidence_floor >= 0.0 && min_confidence_floor <= 1.0)) {
-    error << "Options::min_confidence_floor must be in [0, 1] — got "
-          << min_confidence_floor;
-    return error.str();
-  }
-  if (max_itemset_size == 1) {
-    error << "Options::max_itemset_size of 1 admits no rules (a rule needs "
-             ">= 2 items); use 0 for unlimited or a cap >= 2";
-    return error.str();
-  }
-  return std::nullopt;
+TaraEngine::TaraEngine(const Options& options)
+    : builder_(std::make_unique<KbBuilder>(options)) {
+  RegisterMetrics(options.metrics);
 }
 
-TaraEngine::TaraEngine(const Options& options) : options_(options) {
-  const std::optional<std::string> error = options_.Validate();
-  TARA_CHECK(!error.has_value()) << *error;
-  const uint32_t parallelism = EffectiveParallelism(options_.parallelism);
-  if (parallelism > 1) pool_ = std::make_unique<ThreadPool>(parallelism);
-  RegisterMetrics();
-}
-
-void TaraEngine::RegisterMetrics() {
-  obs::MetricsRegistry* registry = options_.metrics;
+void TaraEngine::RegisterMetrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) return;
   for (int k = 0; k < kQueryKindCount; ++k) {
     const std::string name =
@@ -90,536 +45,84 @@ void TaraEngine::RegisterMetrics() {
   }
   metrics_.ok = registry->GetCounter("tara.query.ok");
   metrics_.rejected = registry->GetCounter("tara.query.rejected");
-  metrics_.build_itemset_seconds =
-      registry->GetGauge("tara.build.itemset_seconds");
-  metrics_.build_rule_seconds = registry->GetGauge("tara.build.rule_seconds");
-  metrics_.build_archive_seconds =
-      registry->GetGauge("tara.build.archive_seconds");
-  metrics_.build_index_seconds =
-      registry->GetGauge("tara.build.index_seconds");
-  metrics_.build_windows = registry->GetGauge("tara.build.windows");
-  metrics_.build_rules = registry->GetGauge("tara.build.rules");
-  metrics_.build_regions = registry->GetGauge("tara.build.regions");
-  metrics_.archive_payload_bytes =
-      registry->GetGauge("tara.archive.payload_bytes");
-  metrics_.archive_entries = registry->GetGauge("tara.archive.entries");
-  metrics_.index_bytes = registry->GetGauge("tara.index.bytes");
-}
-
-void TaraEngine::UpdateBuildMetrics() {
-  if (options_.metrics == nullptr) return;
-  double itemset = 0, rule = 0, archive = 0, index = 0;
-  double regions = 0;
-  for (const WindowBuildStats& s : stats_) {
-    itemset += s.itemset_seconds;
-    rule += s.rule_seconds;
-    archive += s.archive_seconds;
-    index += s.index_seconds;
-    regions += static_cast<double>(s.region_count);
-  }
-  metrics_.build_itemset_seconds->Set(itemset);
-  metrics_.build_rule_seconds->Set(rule);
-  metrics_.build_archive_seconds->Set(archive);
-  metrics_.build_index_seconds->Set(index);
-  metrics_.build_windows->Set(static_cast<double>(windows_.size()));
-  metrics_.build_rules->Set(static_cast<double>(catalog_.size()));
-  metrics_.build_regions->Set(regions);
-  metrics_.archive_payload_bytes->Set(
-      static_cast<double>(archive_.payload_bytes()));
-  metrics_.archive_entries->Set(static_cast<double>(archive_.entry_count()));
-  metrics_.index_bytes->Set(static_cast<double>(IndexBytes()));
-}
-
-TaraEngine::MinedWindow TaraEngine::MineWindowSlice(
-    const TransactionDatabase& db, size_t begin, size_t end,
-    ThreadPool* intra_pool) const {
-  MinedWindow mined;
-  mined.total_transactions = end - begin;
-
-  // (1) Frequent itemset generation at the floor support.
-  Stopwatch timer;
-  FpGrowthMiner miner;
-  FrequentItemsetMiner::Options mine_options;
-  mine_options.min_count =
-      MinCountForSupport(options_.min_support_floor, mined.total_transactions);
-  mine_options.max_size = options_.max_itemset_size;
-  mined.floor_count = mine_options.min_count;
-  const std::vector<FrequentItemset> frequent =
-      miner.Mine(db, begin, end, mine_options);
-  mined.itemset_seconds = timer.ElapsedSeconds();
-  mined.itemset_count = frequent.size();
-
-  // (2) Rule derivation at the floor confidence.
-  timer.Restart();
-  mined.rules =
-      GenerateRules(frequent, options_.min_confidence_floor, intra_pool);
-  mined.rule_seconds = timer.ElapsedSeconds();
-  return mined;
-}
-
-std::vector<WindowIndex::Entry> TaraEngine::InternAndArchive(
-    WindowId window, const std::vector<MinedRule>& rules) {
-  std::vector<WindowIndex::Entry> entries;
-  entries.reserve(rules.size());
-  for (const MinedRule& r : rules) {
-    const RuleId id = catalog_.Intern(Rule{r.antecedent, r.consequent});
-    archive_.Add(id, window, r.rule_count, r.antecedent_count);
-    entries.push_back(
-        WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
-  }
-  return entries;
-}
-
-WindowId TaraEngine::CommitWindow(MinedWindow mined) {
-  const WindowId window = static_cast<WindowId>(windows_.size());
-  WindowBuildStats stats;
-  stats.window = window;
-  stats.itemset_seconds = mined.itemset_seconds;
-  stats.rule_seconds = mined.rule_seconds;
-  stats.itemset_count = mined.itemset_count;
-  stats.rule_count = mined.rules.size();
-
-  // (3) Archive append.
-  Stopwatch timer;
-  archive_.RegisterWindow(window, mined.total_transactions, mined.floor_count,
-                          options_.min_confidence_floor);
-  std::vector<WindowIndex::Entry> entries =
-      InternAndArchive(window, mined.rules);
-  stats.archive_seconds = timer.ElapsedSeconds();
-
-  // (4) EPS slice (stable region index) build.
-  timer.Restart();
-  windows_.emplace_back();
-  windows_.back().Build(entries, mined.total_transactions,
-                        options_.build_content_index, catalog_, pool_.get());
-  stats.index_seconds = timer.ElapsedSeconds();
-  stats.location_count = windows_.back().location_count();
-  stats.region_count = windows_.back().region_count();
-
-  window_entries_.push_back(std::move(entries));
-  stats_.push_back(stats);
-  UpdateBuildMetrics();
-  return window;
 }
 
 WindowId TaraEngine::AppendWindow(const TransactionDatabase& db, size_t begin,
                                   size_t end) {
-  return CommitWindow(MineWindowSlice(db, begin, end, pool_.get()));
+  return builder_->AppendWindow(db, begin, end);
 }
 
 WindowId TaraEngine::AppendPrecomputedWindow(
-    uint64_t total_transactions,
-    const std::vector<PrecomputedRule>& rules) {
-  const WindowId window = static_cast<WindowId>(windows_.size());
-  const uint64_t floor =
-      MinCountForSupport(options_.min_support_floor, total_transactions);
-  archive_.RegisterWindow(window, total_transactions, floor,
-                          options_.min_confidence_floor);
-  std::vector<WindowIndex::Entry> entries;
-  entries.reserve(rules.size());
-  for (const PrecomputedRule& r : rules) {
-    const RuleId id = catalog_.Intern(r.rule);
-    archive_.Add(id, window, r.rule_count, r.antecedent_count);
-    entries.push_back(
-        WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
-  }
-  windows_.emplace_back();
-  windows_.back().Build(entries, total_transactions,
-                        options_.build_content_index, catalog_, pool_.get());
-  WindowBuildStats stats;
-  stats.window = window;
-  stats.rule_count = rules.size();
-  stats.location_count = windows_.back().location_count();
-  stats.region_count = windows_.back().region_count();
-  window_entries_.push_back(std::move(entries));
-  stats_.push_back(stats);
-  UpdateBuildMetrics();
-  return window;
+    uint64_t total_transactions, const std::vector<PrecomputedRule>& rules) {
+  return builder_->AppendPrecomputedWindow(total_transactions, rules);
 }
 
 void TaraEngine::BuildAll(const EvolvingDatabase& data) {
-  const uint32_t n = data.window_count();
-  ThreadPool* pool = pool_.get();
-  if (pool == nullptr || n <= 1) {
-    for (WindowId w = 0; w < n; ++w) {
-      const WindowInfo& info = data.window(w);
-      AppendWindow(data.database(), info.begin, info.end);
-    }
-    return;
-  }
-
-  // Parallel pipeline. Windows are independent by construction (the iPARAS
-  // increment never revisits prior windows), so:
-  //   stage 1 (fan-out):  mine itemsets + derive rules per window;
-  //   stage 2 (serial):   intern rules + append archive counts, strictly
-  //                       in window order — RuleIds and the archive byte
-  //                       stream come out identical to a sequential build;
-  //   stage 3 (fan-out):  build each committed window's EPS slice.
-  const TransactionDatabase& db = data.database();
-  const size_t base = windows_.size();
-  windows_.resize(base + n);
-  window_entries_.resize(base + n);
-  stats_.resize(base + n);
-
-  // Keep only a few windows of mined-but-uncommitted rules in memory.
-  const uint32_t max_ahead = pool->size() + 2;
-  std::deque<std::future<MinedWindow>> in_flight;
-  WindowId next_to_mine = 0;
-  const auto submit_next_mine = [&] {
-    if (next_to_mine >= n) return;
-    const WindowInfo info = data.window(next_to_mine);
-    in_flight.push_back(pool->Submit([this, &db, info] {
-      // Intra-window loops stay sequential here: the window fan-out
-      // already keeps every worker busy.
-      return MineWindowSlice(db, info.begin, info.end, nullptr);
-    }));
-    ++next_to_mine;
-  };
-  while (next_to_mine < n && next_to_mine < max_ahead) submit_next_mine();
-
-  std::vector<std::future<void>> eps_builds;
-  eps_builds.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    MinedWindow mined = in_flight.front().get();
-    in_flight.pop_front();
-    submit_next_mine();
-
-    const WindowId window = static_cast<WindowId>(base + i);
-    WindowBuildStats& stats = stats_[window];
-    stats.window = window;
-    stats.itemset_seconds = mined.itemset_seconds;
-    stats.rule_seconds = mined.rule_seconds;
-    stats.itemset_count = mined.itemset_count;
-    stats.rule_count = mined.rules.size();
-
-    Stopwatch timer;
-    archive_.RegisterWindow(window, mined.total_transactions,
-                            mined.floor_count,
-                            options_.min_confidence_floor);
-    window_entries_[window] = InternAndArchive(window, mined.rules);
-    stats.archive_seconds = timer.ElapsedSeconds();
-
-    // Stage 3 reads the catalog (content index only) while later windows
-    // intern — safe: RuleCatalog readers lock shared against the writer.
-    const uint64_t total = mined.total_transactions;
-    eps_builds.push_back(pool->Submit([this, window, total] {
-      Stopwatch index_timer;
-      windows_[window].Build(window_entries_[window], total,
-                             options_.build_content_index, catalog_, nullptr);
-      WindowBuildStats& slot = stats_[window];
-      slot.index_seconds = index_timer.ElapsedSeconds();
-      slot.location_count = windows_[window].location_count();
-      slot.region_count = windows_[window].region_count();
-    }));
-  }
-  for (std::future<void>& f : eps_builds) f.get();
-  // Gauges refresh after the fan-out joins: stage-3 workers write stats_
-  // slots, so the totals are only stable here.
-  UpdateBuildMetrics();
-}
-
-std::optional<QueryError> TaraEngine::ValidateSetting(
-    const ParameterSetting& setting) const {
-  if (setting.min_support + 1e-12 < options_.min_support_floor) {
-    std::ostringstream message;
-    message << "min_support " << setting.min_support
-            << " is below the generation floor "
-            << options_.min_support_floor
-            << " — rules under the floor were never mined";
-    return QueryError{QueryError::Code::kSupportBelowFloor, message.str()};
-  }
-  if (setting.min_confidence + 1e-12 < options_.min_confidence_floor) {
-    std::ostringstream message;
-    message << "min_confidence " << setting.min_confidence
-            << " is below the generation floor "
-            << options_.min_confidence_floor
-            << " — rules under the floor were never derived";
-    return QueryError{QueryError::Code::kConfidenceBelowFloor, message.str()};
-  }
-  return std::nullopt;
-}
-
-std::optional<QueryError> TaraEngine::ValidateWindow(WindowId w) const {
-  if (w < windows_.size()) return std::nullopt;
-  std::ostringstream message;
-  message << "window " << w << " does not exist (engine has "
-          << windows_.size() << " windows)";
-  return QueryError{QueryError::Code::kBadWindow, message.str()};
-}
-
-std::optional<QueryError> TaraEngine::ValidateWindows(
-    const WindowSet& windows) const {
-  if (windows.empty()) {
-    return QueryError{QueryError::Code::kEmptyWindowSet,
-                      "the window set is empty — the operation needs at "
-                      "least one window"};
-  }
-  if (windows.required_window_count() > windows_.size()) {
-    std::ostringstream message;
-    message << "WindowSet refers to window "
-            << windows.required_window_count() - 1
-            << " but this engine has only " << windows_.size()
-            << " windows (set built for a different engine?)";
-    return QueryError{QueryError::Code::kWindowSetMismatch, message.str()};
-  }
-  return std::nullopt;
-}
-
-std::optional<QueryError> TaraEngine::ValidateRule(RuleId rule) const {
-  if (rule < catalog_.size()) return std::nullopt;
-  std::ostringstream message;
-  message << "rule " << rule << " was never interned (catalog has "
-          << catalog_.size() << " rules)";
-  return QueryError{QueryError::Code::kUnknownRule, message.str()};
-}
-
-QueryError TaraEngine::Reject(obs::QuerySpan* span, QueryError error) const {
-  span->Cancel();
-  if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
-  return error;
-}
-
-void TaraEngine::CountOk() const {
-  if (metrics_.ok != nullptr) metrics_.ok->Increment();
-}
-
-std::vector<RuleId> TaraEngine::CollectWindow(
-    WindowId w, const ParameterSetting& setting) const {
-  std::vector<RuleId> out;
-  windows_[w].CollectRules(setting.min_support, setting.min_confidence, &out);
-  return out;
+  builder_->BuildAll(data);
 }
 
 Expected<std::vector<RuleId>, QueryError> TaraEngine::MineWindow(
     WindowId w, const ParameterSetting& setting) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kMineWindow)]);
-  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  CountOk();
-  return CollectWindow(w, setting);
-}
-
-std::vector<RuleId> TaraEngine::MineWindowsUnchecked(
-    const WindowSet& windows, const ParameterSetting& setting,
-    MatchMode mode) const {
-  std::vector<RuleId> combined;
-  bool first = true;
-  for (WindowId w : windows) {
-    std::vector<RuleId> rules = CollectWindow(w, setting);
-    std::sort(rules.begin(), rules.end());
-    if (first) {
-      combined = std::move(rules);
-      first = false;
-      continue;
-    }
-    std::vector<RuleId> merged;
-    if (mode == MatchMode::kSingle) {
-      std::set_union(combined.begin(), combined.end(), rules.begin(),
-                     rules.end(), std::back_inserter(merged));
-    } else {
-      std::set_intersection(combined.begin(), combined.end(), rules.begin(),
-                            rules.end(), std::back_inserter(merged));
-    }
-    combined = std::move(merged);
-  }
-  return combined;
+  obs::QuerySpan span = Span(QueryKind::kMineWindow);
+  return Finish(&span, Snapshot()->MineWindow(w, setting));
 }
 
 Expected<std::vector<RuleId>, QueryError> TaraEngine::MineWindows(
     const WindowSet& windows, const ParameterSetting& setting,
     MatchMode mode) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kMineWindows)]);
-  if (auto error = ValidateWindows(windows)) {
-    return Reject(&span, *std::move(error));
-  }
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  CountOk();
-  return MineWindowsUnchecked(windows, setting, mode);
+  obs::QuerySpan span = Span(QueryKind::kMineWindows);
+  return Finish(&span, Snapshot()->MineWindows(windows, setting, mode));
 }
 
 Expected<TaraEngine::TrajectoryQueryResult, QueryError>
 TaraEngine::TrajectoryQuery(WindowId anchor, const ParameterSetting& setting,
                             const WindowSet& horizon) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kTrajectory)]);
-  if (auto error = ValidateWindow(anchor)) {
-    return Reject(&span, *std::move(error));
-  }
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  if (auto error = ValidateWindows(horizon)) {
-    return Reject(&span, *std::move(error));
-  }
-  TrajectoryQueryResult result;
-  result.rules = CollectWindow(anchor, setting);
-  result.trajectories.reserve(result.rules.size());
-  for (RuleId rule : result.rules) {
-    result.trajectories.push_back(
-        BuildTrajectory(archive_, rule, horizon.ids()));
-  }
-  CountOk();
-  return result;
+  obs::QuerySpan span = Span(QueryKind::kTrajectory);
+  return Finish(&span, Snapshot()->TrajectoryQuery(anchor, setting, horizon));
 }
 
 Expected<TaraEngine::RulesetDiff, QueryError> TaraEngine::CompareSettings(
     const ParameterSetting& first, const ParameterSetting& second,
     const WindowSet& windows, MatchMode mode) const {
-  obs::QuerySpan span(metrics_.latency[static_cast<int>(QueryKind::kCompare)]);
-  if (auto error = ValidateWindows(windows)) {
-    return Reject(&span, *std::move(error));
-  }
-  if (auto error = ValidateSetting(first)) {
-    return Reject(&span, *std::move(error));
-  }
-  if (auto error = ValidateSetting(second)) {
-    return Reject(&span, *std::move(error));
-  }
-  const std::vector<RuleId> a = MineWindowsUnchecked(windows, first, mode);
-  const std::vector<RuleId> b = MineWindowsUnchecked(windows, second, mode);
-  RulesetDiff diff;
-  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
-                      std::back_inserter(diff.only_first));
-  std::set_difference(b.begin(), b.end(), a.begin(), a.end(),
-                      std::back_inserter(diff.only_second));
-  CountOk();
-  return diff;
+  obs::QuerySpan span = Span(QueryKind::kCompare);
+  return Finish(&span,
+                Snapshot()->CompareSettings(first, second, windows, mode));
 }
 
 Expected<RegionInfo, QueryError> TaraEngine::RecommendRegion(
     WindowId w, const ParameterSetting& setting) const {
-  obs::QuerySpan span(metrics_.latency[static_cast<int>(QueryKind::kRegion)]);
-  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  CountOk();
-  return windows_[w].Locate(setting.min_support, setting.min_confidence);
+  obs::QuerySpan span = Span(QueryKind::kRegion);
+  return Finish(&span, Snapshot()->RecommendRegion(w, setting));
 }
 
 Expected<TrajectoryMeasures, QueryError> TaraEngine::RuleMeasures(
     RuleId rule, const WindowSet& windows) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kMeasures)]);
-  if (auto error = ValidateRule(rule)) return Reject(&span, *std::move(error));
-  if (auto error = ValidateWindows(windows)) {
-    return Reject(&span, *std::move(error));
-  }
-  CountOk();
-  return ComputeMeasures(BuildTrajectory(archive_, rule, windows.ids()));
+  obs::QuerySpan span = Span(QueryKind::kMeasures);
+  return Finish(&span, Snapshot()->RuleMeasures(rule, windows));
 }
 
 Expected<std::vector<RuleId>, QueryError> TaraEngine::ContentQuery(
     WindowId w, const Itemset& items, const ParameterSetting& setting) const {
-  obs::QuerySpan span(metrics_.latency[static_cast<int>(QueryKind::kContent)]);
-  if (!options_.build_content_index) {
-    return Reject(&span,
-                  QueryError{QueryError::Code::kNoContentIndex,
-                             "content queries need an engine built with "
-                             "Options::build_content_index (the TARA-S "
-                             "variant)"});
-  }
-  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  std::vector<RuleId> out;
-  windows_[w].ContentQuery(items, setting.min_support, setting.min_confidence,
-                           &out);
-  CountOk();
-  return out;
+  obs::QuerySpan span = Span(QueryKind::kContent);
+  return Finish(&span, Snapshot()->ContentQuery(w, items, setting));
 }
 
 Expected<std::unordered_map<ItemId, std::vector<RuleId>>, QueryError>
 TaraEngine::ContentView(WindowId w, const ParameterSetting& setting) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kContentView)]);
-  if (auto error = ValidateWindow(w)) return Reject(&span, *std::move(error));
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  std::unordered_map<ItemId, std::vector<RuleId>> view;
-  for (RuleId rule : CollectWindow(w, setting)) {
-    const Rule& r = catalog_.rule(rule);
-    for (ItemId item : r.antecedent) view[item].push_back(rule);
-    for (ItemId item : r.consequent) view[item].push_back(rule);
-  }
-  for (auto& [item, rules] : view) std::sort(rules.begin(), rules.end());
-  CountOk();
-  return view;
+  obs::QuerySpan span = Span(QueryKind::kContentView);
+  return Finish(&span, Snapshot()->ContentView(w, setting));
 }
 
 Expected<RollUpBound, QueryError> TaraEngine::RollUpRule(
     RuleId rule, const WindowSet& windows) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kRollUpRule)]);
-  if (auto error = ValidateRule(rule)) return Reject(&span, *std::move(error));
-  if (auto error = ValidateWindows(windows)) {
-    return Reject(&span, *std::move(error));
-  }
-  CountOk();
-  return archive_.RollUp(rule, windows.ids());
+  obs::QuerySpan span = Span(QueryKind::kRollUpRule);
+  return Finish(&span, Snapshot()->RollUpRule(rule, windows));
 }
 
 Expected<TaraEngine::RolledUpRules, QueryError> TaraEngine::MineRolledUp(
     const WindowSet& windows, const ParameterSetting& setting) const {
-  obs::QuerySpan span(
-      metrics_.latency[static_cast<int>(QueryKind::kRollUpMine)]);
-  if (auto error = ValidateWindows(windows)) {
-    return Reject(&span, *std::move(error));
-  }
-  if (auto error = ValidateSetting(setting)) {
-    return Reject(&span, *std::move(error));
-  }
-  // Candidates: every rule present in at least one of the windows.
-  std::vector<RuleId> candidates;
-  for (WindowId w : windows) {
-    for (const WindowIndex::Entry& e : window_entries_[w]) {
-      candidates.push_back(e.rule);
-    }
-  }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
-
-  RolledUpRules result;
-  for (RuleId rule : candidates) {
-    const RollUpBound bound = archive_.RollUp(rule, windows.ids());
-    const bool certain = bound.support_lo + 1e-12 >= setting.min_support &&
-                         bound.confidence_lo + 1e-12 >= setting.min_confidence;
-    const bool possible = bound.support_hi + 1e-12 >= setting.min_support &&
-                          bound.confidence_hi + 1e-12 >= setting.min_confidence;
-    if (certain) {
-      result.certain.push_back(rule);
-    } else if (possible) {
-      result.possible.push_back(rule);
-    }
-  }
-  CountOk();
-  return result;
-}
-
-const WindowIndex& TaraEngine::window_index(WindowId w) const {
-  TARA_CHECK_LT(w, windows_.size()) << "bad window id";
-  return windows_[w];
-}
-
-const std::vector<WindowIndex::Entry>& TaraEngine::window_entries(
-    WindowId w) const {
-  TARA_CHECK_LT(w, window_entries_.size()) << "bad window id";
-  return window_entries_[w];
-}
-
-size_t TaraEngine::IndexBytes() const {
-  size_t bytes = 0;
-  for (const WindowIndex& w : windows_) bytes += w.ApproximateBytes();
-  return bytes;
+  obs::QuerySpan span = Span(QueryKind::kRollUpMine);
+  return Finish(&span, Snapshot()->MineRolledUp(windows, setting));
 }
 
 }  // namespace tara

@@ -11,32 +11,19 @@
 #include <vector>
 
 #include "common/expected.h"
-#include "common/thread_pool.h"
+#include "core/kb_builder.h"
+#include "core/kb_snapshot.h"
 #include "core/query_error.h"
 #include "core/rule_catalog.h"
 #include "core/stable_region_index.h"
 #include "core/tar_archive.h"
 #include "core/trajectory.h"
 #include "core/window_set.h"
-#include "mining/frequent_itemset.h"
-#include "mining/rule_generation.h"
 #include "obs/metrics.h"
 #include "obs/query_span.h"
 #include "txdb/evolving_database.h"
 
 namespace tara {
-
-/// A (minimum support, minimum confidence) query setting.
-struct ParameterSetting {
-  double min_support = 0.0;
-  double min_confidence = 0.0;
-};
-
-/// How a multi-window predicate combines per-window validity.
-enum class MatchMode {
-  kSingle,  ///< valid in at least one of the windows (union)
-  kExact,   ///< valid in every window (intersection)
-};
 
 /// Label of an online operation, used for per-kind latency series
 /// ("tara.query.<name>.latency_ns") and per-kind result typing.
@@ -62,11 +49,20 @@ std::string_view QueryKindName(QueryKind kind);
 /// Generator + Knowledge Base Constructor of Figure 2) plus the online
 /// explorer operations (Q1-Q5, roll-up/drill-down).
 ///
-/// Offline, each arriving window is mined once with the floor thresholds;
-/// the produced rules are interned in the RuleCatalog, their counts
-/// archived in the TarArchive, and the window's EPS slice built as a
-/// WindowIndex. Online queries touch only these structures — never the raw
-/// data — with thresholds at or above the floors.
+/// The engine is a thin facade over two layers:
+///
+/// - a **KbBuilder** (the write side) that mines arriving windows,
+///   interns their rules, appends the TAR Archive, builds each window's
+///   EPS slice, and publishes every new generation of the knowledge base
+///   with one atomic pointer swap;
+/// - immutable **KnowledgeBaseSnapshot** values (the read side) that all
+///   query code runs against. Every query method pins the current
+///   generation for its duration; Snapshot() hands the same pin to
+///   callers that want several queries answered from one consistent view.
+///
+/// The facade's own contribution is the observability layer (per-kind
+/// latency spans, ok/rejected counters) and API stability: its public
+/// surface predates the split and is preserved verbatim.
 ///
 /// ## Error contract
 ///
@@ -83,125 +79,58 @@ std::string_view QueryKindName(QueryKind kind);
 /// ## Observability
 ///
 /// When Options::metrics names a registry, the engine registers per-kind
-/// query latency histograms, ok/rejected counters, and build/size gauges
-/// (see DESIGN.md, "Observability"). All recording is relaxed-atomic and
-/// allocation-free; with metrics == nullptr every instrument pointer is
-/// null and spans skip the clock read entirely (the null sink).
+/// query latency histograms, ok/rejected counters, build/size gauges, and
+/// the snapshot instruments `tara.kb.generation` (gauge) and
+/// `tara.kb.swaps` (publication counter) — see DESIGN.md,
+/// "Observability". All recording is relaxed-atomic and allocation-free;
+/// with metrics == nullptr every instrument pointer is null and spans
+/// skip the clock read entirely (the null sink).
 ///
 /// ## Threading model
 ///
-/// The engine has two phases with different rules (see DESIGN.md,
-/// "Threading model"):
+/// Readers and the writer are decoupled by snapshot publication (see
+/// DESIGN.md, "Threading model"):
 ///
-/// - **Build phase** (AppendWindow / AppendPrecomputedWindow / BuildAll):
-///   single external caller. With Options::parallelism > 1 the engine
-///   parallelizes internally — independent windows are mined and EPS-indexed
-///   on a private thread pool while catalog interning and archive appends go
-///   through a serialized, window-ordered commit stage, so RuleIds and the
-///   serialized knowledge base are byte-identical to a sequential build.
-/// - **Query phase**: once the build calls have returned, every const
-///   method (MineWindow(s), TrajectoryQuery, CompareSettings,
-///   RecommendRegion, RuleMeasures, ContentQuery, ContentView, RollUpRule,
-///   MineRolledUp, and all accessors) is safe for any number of concurrent
-///   callers. None of them mutates engine state — metric recording goes to
-///   relaxed atomics only, there is no lazy caching on the const path, and
-///   this is enforced by the concurrent-query stress test run under
-///   ThreadSanitizer (with metrics enabled).
-///
-/// Interleaving build calls with queries from other threads is NOT
-/// supported.
+/// - **Ingestion** (AppendWindow / AppendPrecomputedWindow / BuildAll):
+///   one writer at a time (concurrent writer calls serialize on an
+///   internal commit mutex). With Options::parallelism > 1 the builder
+///   parallelizes internally — independent windows are mined and
+///   EPS-indexed on a private thread pool while catalog interning and
+///   archive appends go through a serialized, window-ordered commit
+///   stage, so RuleIds and the serialized knowledge base are
+///   byte-identical to a sequential build, on the bulk and the live path
+///   alike.
+/// - **Queries**: every const method (MineWindow(s), TrajectoryQuery,
+///   CompareSettings, RecommendRegion, RuleMeasures, ContentQuery,
+///   ContentView, RollUpRule, MineRolledUp) is safe for any number of
+///   concurrent callers **at any time — including while ingestion is
+///   running**. Each call pins the generation current at its start and
+///   answers entirely from that immutable snapshot; a window committed
+///   mid-query becomes visible to the *next* call. This is enforced by
+///   the live-ingestion stress test (tests/test_live_ingestion.cc) run
+///   under ThreadSanitizer.
+/// - **Accessors** (catalog(), archive(), window_index(),
+///   window_entries(), build_stats()): quiescent views of the builder's
+///   working state for offline tooling. They are NOT synchronized with a
+///   concurrent writer — under live ingestion, obtain a Snapshot() and
+///   use its equivalents instead.
 class TaraEngine {
  public:
-  struct Options {
-    /// Generation floors (Table 4): the per-window offline mining
-    /// thresholds. Each window is mined exactly once at these floors, so
-    /// they bound the online parameter space from below: every online
-    /// query must use minsupp/minconf at or above them (checked per
-    /// query), and the roll-up interval bounds widen by at most one floor
-    /// count per missing window. Valid ranges: min_support_floor in
-    /// (0, 1], min_confidence_floor in [0, 1].
-    double min_support_floor = 0.001;
-    double min_confidence_floor = 0.1;
-    /// Cap on frequent-itemset cardinality (0 = unlimited, otherwise
-    /// >= 2; a cap of 1 would admit no rules at all).
-    uint32_t max_itemset_size = 0;
-    /// Build per-window item→rule inverted indexes (the TARA-S variant)
-    /// enabling Q5 content queries at extra build cost.
-    bool build_content_index = false;
-    /// Worker threads for the offline build: BuildAll overlaps whole
-    /// windows, AppendWindow parallelizes its intra-window hot loops
-    /// (rule derivation, stable-region sort). 1 = fully sequential
-    /// (default), 0 = use the hardware concurrency. Any value yields a
-    /// byte-identical serialized knowledge base; this is an execution
-    /// knob, not knowledge-base state, and is not serialized.
-    uint32_t parallelism = 1;
-    /// Destination for the engine's instruments, or nullptr for the null
-    /// sink (no clocks, no atomics on the query path). The registry must
-    /// outlive the engine. Like parallelism this is a runtime knob, not
-    /// knowledge-base state, and is not serialized. Engines sharing a
-    /// registry aggregate into the same named series.
-    obs::MetricsRegistry* metrics = nullptr;
-
-    /// Returns an actionable description of the first invalid field, or
-    /// nullopt when the options are usable. The TaraEngine constructor
-    /// calls this and aborts with the returned message, replacing what
-    /// used to be scattered CHECK failures at first use.
-    std::optional<std::string> Validate() const;
-  };
-
-  /// Per-window offline timing/size breakdown (Figure 9's stacked tasks).
-  struct WindowBuildStats {
-    WindowId window = 0;
-    double itemset_seconds = 0;  ///< frequent itemset generation
-    double rule_seconds = 0;     ///< rule derivation
-    double archive_seconds = 0;  ///< TAR Archive append
-    double index_seconds = 0;    ///< EPS (stable region) index build
-    size_t itemset_count = 0;
-    size_t rule_count = 0;
-    size_t location_count = 0;
-    size_t region_count = 0;
-
-    double total_seconds() const {
-      return itemset_seconds + rule_seconds + archive_seconds + index_seconds;
-    }
-  };
-
-  /// Result of the Q1 trajectory query: the rules matching the anchor
-  /// setting plus each rule's trajectory over the horizon windows.
-  struct TrajectoryQueryResult {
-    std::vector<RuleId> rules;
-    std::vector<Trajectory> trajectories;
-  };
-
-  /// Result of the Q2 ruleset comparison.
-  struct RulesetDiff {
-    std::vector<RuleId> only_first;
-    std::vector<RuleId> only_second;
-  };
-
-  /// Result of mining over a rolled-up window union: rules certainly valid
-  /// (interval lower bounds pass) and rules whose validity depends on the
-  /// sub-floor windows (only upper bounds pass).
-  struct RolledUpRules {
-    std::vector<RuleId> certain;
-    std::vector<RuleId> possible;
-  };
+  using Options = KbOptions;
+  using WindowBuildStats = tara::WindowBuildStats;
+  using PrecomputedRule = tara::PrecomputedRule;
+  using TrajectoryQueryResult = tara::TrajectoryQueryResult;
+  using RulesetDiff = tara::RulesetDiff;
+  using RolledUpRules = tara::RolledUpRules;
 
   explicit TaraEngine(const Options& options);
 
   /// Mines and indexes transactions [begin, end) of `db` as the next
-  /// window. Returns the new window id. This is the incremental (iPARAS)
-  /// build step: prior windows are never revisited.
+  /// window and publishes the new generation. Returns the new window id.
+  /// This is the incremental (iPARAS) build step: prior windows are never
+  /// revisited. May run while any number of queries are in flight.
   WindowId AppendWindow(const TransactionDatabase& db, size_t begin,
                         size_t end);
-
-  /// A rule with counts produced outside the engine (an external miner, or
-  /// the serialization loader).
-  struct PrecomputedRule {
-    Rule rule;
-    uint64_t rule_count = 0;
-    uint64_t antecedent_count = 0;
-  };
 
   /// Installs a window whose rules were mined elsewhere. The caller
   /// guarantees the rules are exactly those passing this engine's floors
@@ -212,12 +141,23 @@ class TaraEngine {
 
   /// Appends every window of an evolving database. With
   /// Options::parallelism > 1, independent windows are mined and
-  /// EPS-indexed concurrently and committed in window order.
+  /// EPS-indexed concurrently and committed in window order. All new
+  /// windows are published together as one new generation.
   void BuildAll(const EvolvingDatabase& data);
 
-  uint32_t window_count() const {
-    return static_cast<uint32_t>(windows_.size());
+  /// Pins and returns the current knowledge-base generation: an immutable
+  /// view offering the same query API (minus metric spans). Use this to
+  /// answer several queries from one consistent state while ingestion
+  /// continues, or to hold a generation alive across an append.
+  std::shared_ptr<const KnowledgeBaseSnapshot> Snapshot() const {
+    return builder_->snapshot();
   }
+
+  /// The published generation number (0 = empty engine; each publication
+  /// increments it).
+  uint64_t generation() const { return builder_->generation(); }
+
+  uint32_t window_count() const { return Snapshot()->window_count(); }
 
   /// --- WindowSet construction --------------------------------------------
 
@@ -239,7 +179,8 @@ class TaraEngine {
   /// --- Online operations -------------------------------------------------
   /// All of these validate the request and return a QueryError (never
   /// abort) on invalid thresholds, window ids, empty window sets, or
-  /// unknown rules — see the class-level error contract.
+  /// unknown rules — see the class-level error contract. Each pins the
+  /// current snapshot for its duration.
 
   /// Rules valid in window `w` under `setting`.
   Expected<std::vector<RuleId>, QueryError> MineWindow(
@@ -295,100 +236,62 @@ class TaraEngine {
   Expected<RolledUpRules, QueryError> MineRolledUp(
       const WindowSet& windows, const ParameterSetting& setting) const;
 
-  /// --- Accessors ----------------------------------------------------------
+  /// --- Quiescent accessors ------------------------------------------------
+  /// Views of the builder's working state. NOT synchronized with a
+  /// concurrent writer; under live ingestion use Snapshot() instead.
 
-  const RuleCatalog& catalog() const { return catalog_; }
-  const TarArchive& archive() const { return archive_; }
-  const WindowIndex& window_index(WindowId w) const;
+  const RuleCatalog& catalog() const { return builder_->catalog(); }
+  const TarArchive& archive() const { return builder_->archive(); }
+  const WindowIndex& window_index(WindowId w) const {
+    return builder_->segment(w).index;
+  }
   /// The build inputs of a window (used by roll-up and serialization).
-  const std::vector<WindowIndex::Entry>& window_entries(WindowId w) const;
-  const std::vector<WindowBuildStats>& build_stats() const { return stats_; }
-  const Options& options() const { return options_; }
+  const std::vector<WindowIndex::Entry>& window_entries(WindowId w) const {
+    return builder_->segment(w).entries;
+  }
+  const std::vector<WindowBuildStats>& build_stats() const {
+    return builder_->build_stats();
+  }
+  const Options& options() const { return builder_->options(); }
 
   /// Approximate bytes of all EPS window indexes (Figure 12 bookkeeping).
-  size_t IndexBytes() const;
+  size_t IndexBytes() const { return builder_->IndexBytes(); }
 
  private:
-  /// Instrument pointers, all null when Options::metrics is null (the
-  /// null sink). Raw pointers into the registry; registration happens
-  /// once in the constructor.
+  /// Query-side instrument pointers, all null when Options::metrics is
+  /// null (the null sink). Raw pointers into the registry; registration
+  /// happens once in the constructor.
   struct EngineMetrics {
     std::array<obs::Histogram*, kQueryKindCount> latency{};
     obs::Counter* ok = nullptr;
     obs::Counter* rejected = nullptr;
-    obs::Gauge* build_itemset_seconds = nullptr;
-    obs::Gauge* build_rule_seconds = nullptr;
-    obs::Gauge* build_archive_seconds = nullptr;
-    obs::Gauge* build_index_seconds = nullptr;
-    obs::Gauge* build_windows = nullptr;
-    obs::Gauge* build_rules = nullptr;
-    obs::Gauge* build_regions = nullptr;
-    obs::Gauge* archive_payload_bytes = nullptr;
-    obs::Gauge* archive_entries = nullptr;
-    obs::Gauge* index_bytes = nullptr;
   };
 
-  /// One window's mining output, produced off-thread by the parallel build
-  /// and handed to the ordered commit stage.
-  struct MinedWindow {
-    uint64_t total_transactions = 0;
-    uint64_t floor_count = 0;
-    std::vector<MinedRule> rules;
-    double itemset_seconds = 0;
-    double rule_seconds = 0;
-    size_t itemset_count = 0;
-  };
+  /// Books the span/counters for a finished query: cancels the latency
+  /// span and bumps `rejected` on an error, bumps `ok` otherwise, and
+  /// forwards the result unchanged.
+  template <typename T>
+  Expected<T, QueryError> Finish(obs::QuerySpan* span,
+                                 Expected<T, QueryError> result) const {
+    if (result.has_value()) {
+      if (metrics_.ok != nullptr) metrics_.ok->Increment();
+    } else {
+      span->Cancel();
+      if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
+    }
+    return result;
+  }
 
-  /// Stage 1: mines transactions [begin, end) at the floors. Touches no
-  /// engine state besides (immutable) options, so any thread may run it.
-  MinedWindow MineWindowSlice(const TransactionDatabase& db, size_t begin,
-                              size_t end, ThreadPool* intra_pool) const;
+  obs::QuerySpan Span(QueryKind kind) const {
+    return obs::QuerySpan(metrics_.latency[static_cast<int>(kind)]);
+  }
 
-  /// Stage 2 core: interns `rules` and appends their counts to the archive
-  /// for `window`. Must run serialized, in window order — this is what
-  /// keeps RuleIds deterministic.
-  std::vector<WindowIndex::Entry> InternAndArchive(
-      WindowId window, const std::vector<MinedRule>& rules);
+  /// Registers query instruments in options.metrics (no-op when null).
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 
-  /// Stages 2+3 for the sequential path: commit `mined` as the next window
-  /// and build its EPS slice inline.
-  WindowId CommitWindow(MinedWindow mined);
-
-  /// --- Request validation (each returns the error, or nullopt) ----------
-  std::optional<QueryError> ValidateSetting(
-      const ParameterSetting& setting) const;
-  std::optional<QueryError> ValidateWindow(WindowId w) const;
-  std::optional<QueryError> ValidateWindows(const WindowSet& windows) const;
-  std::optional<QueryError> ValidateRule(RuleId rule) const;
-
-  /// Books a rejected request: cancels the latency span, bumps the
-  /// rejected counter, and forwards the error for returning.
-  QueryError Reject(obs::QuerySpan* span, QueryError error) const;
-  void CountOk() const;
-
-  /// Unvalidated single-window collect shared by the public entrypoints.
-  std::vector<RuleId> CollectWindow(WindowId w,
-                                    const ParameterSetting& setting) const;
-  /// Unvalidated multi-window merge (the old MineWindows body).
-  std::vector<RuleId> MineWindowsUnchecked(const WindowSet& windows,
-                                           const ParameterSetting& setting,
-                                           MatchMode mode) const;
-
-  /// Registers instruments in options_.metrics (no-op when null).
-  void RegisterMetrics();
-  /// Refreshes the build/size gauges from stats_/archive_/windows_.
-  void UpdateBuildMetrics();
-
-  Options options_;
-  /// Non-null iff the effective parallelism is > 1; owns the build worker
-  /// threads. Queries never touch it.
-  std::unique_ptr<ThreadPool> pool_;
-  RuleCatalog catalog_;
-  TarArchive archive_;
-  std::vector<WindowIndex> windows_;
-  /// Per-window build inputs kept for roll-up candidate enumeration.
-  std::vector<std::vector<WindowIndex::Entry>> window_entries_;
-  std::vector<WindowBuildStats> stats_;
+  /// unique_ptr so the engine stays movable (the builder holds mutexes
+  /// and the atomic publication slot).
+  std::unique_ptr<KbBuilder> builder_;
   EngineMetrics metrics_;
 };
 

@@ -42,7 +42,7 @@ TEST(IntegrationTest, RetailPipelineEndToEnd) {
   engine.BuildAll(data);
 
   const TaraEngine reloaded =
-      KnowledgeBaseFromString(KnowledgeBaseToString(engine));
+      KnowledgeBaseFromString(KnowledgeBaseToString(engine)).value();
   const DctarBaseline scratch(&data, 4);
 
   const ParameterSetting setting{0.006, 0.3};

@@ -34,7 +34,7 @@ TEST(SerializationTest, RoundTripPreservesEveryQueryAnswer) {
   const EvolvingDatabase data = MakeData(60);
   const TaraEngine original = BuildEngine(data, false);
   const TaraEngine loaded =
-      KnowledgeBaseFromString(KnowledgeBaseToString(original));
+      KnowledgeBaseFromString(KnowledgeBaseToString(original)).value();
 
   ASSERT_EQ(loaded.window_count(), original.window_count());
   ASSERT_EQ(loaded.catalog().size(), original.catalog().size());
@@ -81,7 +81,7 @@ TEST(SerializationTest, PreservesOptionsAndContentIndex) {
   const EvolvingDatabase data = MakeData(61);
   const TaraEngine original = BuildEngine(data, true);
   const TaraEngine loaded =
-      KnowledgeBaseFromString(KnowledgeBaseToString(original));
+      KnowledgeBaseFromString(KnowledgeBaseToString(original)).value();
   EXPECT_DOUBLE_EQ(loaded.options().min_support_floor, 0.01);
   EXPECT_DOUBLE_EQ(loaded.options().min_confidence_floor, 0.1);
   EXPECT_EQ(loaded.options().max_itemset_size, 5u);
@@ -100,7 +100,7 @@ TEST(SerializationTest, LoadedEngineKeepsEvolving) {
   const EvolvingDatabase data = MakeData(62);
   const TaraEngine original = BuildEngine(data, false);
   TaraEngine loaded =
-      KnowledgeBaseFromString(KnowledgeBaseToString(original));
+      KnowledgeBaseFromString(KnowledgeBaseToString(original)).value();
 
   // A new batch can be appended to the reloaded base.
   const EvolvingDatabase more = MakeData(63);
@@ -112,9 +112,31 @@ TEST(SerializationTest, LoadedEngineKeepsEvolving) {
       loaded.MineWindow(w, ParameterSetting{0.02, 0.2}).value().empty());
 }
 
-TEST(SerializationDeathTest, RejectsGarbageStreams) {
-  EXPECT_DEATH(KnowledgeBaseFromString("not a knowledge base"),
-               "not a TARA knowledge base");
+TEST(SerializationTest, RejectsGarbageStreamsAsValues) {
+  // The loader treats its input as untrusted bytes: garbage comes back as
+  // a LoadError value, never a crash.
+  const auto garbage = KnowledgeBaseFromString("not a knowledge base");
+  ASSERT_FALSE(garbage.has_value());
+  EXPECT_EQ(garbage.error().code, LoadError::Code::kBadMagic);
+
+  // An old-format magic is distinguished for a better operator message.
+  const auto stale = KnowledgeBaseFromString("TARAKB1 leftover bytes");
+  ASSERT_FALSE(stale.has_value());
+  EXPECT_EQ(stale.error().code, LoadError::Code::kBadVersion);
+
+  const TaraEngine original = BuildEngine(MakeData(64), false);
+  const std::string bytes = KnowledgeBaseToString(original);
+
+  // Truncation anywhere is reported, not CHECK-aborted.
+  for (size_t keep : {size_t{3}, bytes.size() / 2, bytes.size() - 1}) {
+    const auto truncated = KnowledgeBaseFromString(bytes.substr(0, keep));
+    ASSERT_FALSE(truncated.has_value()) << "kept " << keep << " bytes";
+  }
+
+  // Trailing bytes after a well-formed knowledge base are flagged too.
+  const auto trailing = KnowledgeBaseFromString(bytes + "x");
+  ASSERT_FALSE(trailing.has_value());
+  EXPECT_EQ(trailing.error().code, LoadError::Code::kTrailingBytes);
 }
 
 TEST(SerializationTest, EmptyEngineRoundTrips) {
@@ -122,7 +144,7 @@ TEST(SerializationTest, EmptyEngineRoundTrips) {
   options.min_support_floor = 0.05;
   const TaraEngine empty(options);
   const TaraEngine loaded =
-      KnowledgeBaseFromString(KnowledgeBaseToString(empty));
+      KnowledgeBaseFromString(KnowledgeBaseToString(empty)).value();
   EXPECT_EQ(loaded.window_count(), 0u);
   EXPECT_EQ(loaded.catalog().size(), 0u);
 }

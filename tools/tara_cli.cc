@@ -12,7 +12,10 @@
 //   traj 0.02 0.5               # Q1 from the newest window
 //   top stable 5                # exploration service
 //   metrics [json]              # engine instrument snapshot
-//   save kb.bin / loadkb kb.bin # knowledge-base persistence
+//   save kb.bin / loadkb kb.bin # knowledge-base persistence (one stream)
+//   savedir kb/ / loaddir kb/   # segmented persistence (one file/window)
+//   ingest day9.txt             # live-append a window; persists only the
+//                               # new segment when a directory is attached
 //   help / quit
 //
 // With --metrics, a text snapshot of every instrument (per-query-kind
@@ -87,6 +90,12 @@ class Session {
       SaveKb(in);
     } else if (command == "loadkb") {
       LoadKb(in);
+    } else if (command == "savedir") {
+      SaveDir(in);
+    } else if (command == "loaddir") {
+      LoadDir(in);
+    } else if (command == "ingest") {
+      Ingest(in);
     } else {
       std::printf("unknown command '%s' (try: help)\n", command.c_str());
     }
@@ -106,7 +115,10 @@ class Session {
         "  traj SUPP CONF        Q1 from the newest window\n"
         "  top stable|emerging|fading|periodic K\n"
         "  metrics [json]        instrument snapshot (text or JSON)\n"
-        "  save FILE | loadkb FILE   knowledge-base persistence\n"
+        "  save FILE | loadkb FILE   knowledge-base persistence (stream)\n"
+        "  savedir DIR | loaddir DIR  segmented persistence (attaches DIR)\n"
+        "  ingest FILE           append FILE as a new window; persists only\n"
+        "                        the new segment when a DIR is attached\n"
         "  quit\n");
   }
 
@@ -118,6 +130,16 @@ class Session {
     std::ostringstream out;
     out << result.error();
     std::printf("rejected: %s\n", out.str().c_str());
+    return false;
+  }
+
+  /// Same pattern for persistence: prints the LoadError (if any) and
+  /// returns true when the operation succeeded.
+  bool StoreOk(const std::optional<LoadError>& error) {
+    if (!error.has_value()) return true;
+    std::ostringstream out;
+    out << *error;
+    std::printf("failed: %s\n", out.str().c_str());
     return false;
   }
 
@@ -134,7 +156,7 @@ class Session {
     }
     db_ = ReadDatabase(&file);
     data_.reset();
-    engine_.reset();
+    ResetEngine();
     std::printf("loaded %zu transactions, %zu distinct items\n", db_->size(),
                 db_->distinct_item_count());
   }
@@ -161,7 +183,7 @@ class Session {
       return;
     }
     data_.reset();
-    engine_.reset();
+    ResetEngine();
     std::printf("generated %zu transactions (%s)\n", db_->size(),
                 kind.c_str());
   }
@@ -173,7 +195,7 @@ class Session {
       return;
     }
     data_ = EvolvingDatabase::PartitionIntoBatches(*db_, k);
-    engine_.reset();
+    ResetEngine();
     std::printf("partitioned into %u windows of ~%zu transactions\n", k,
                 db_->size() / k);
   }
@@ -191,6 +213,7 @@ class Session {
     options.max_itemset_size = 5;
     options.build_content_index = true;
     options.metrics = &Registry();
+    ResetEngine();
     engine_ = std::make_unique<TaraEngine>(options);
     engine_->BuildAll(*data_);
     double seconds = 0;
@@ -327,15 +350,90 @@ class Session {
       std::printf("cannot open %s\n", path.c_str());
       return;
     }
-    engine_ = std::make_unique<TaraEngine>(
-        LoadKnowledgeBase(&file, &Registry()));
+    Expected<TaraEngine, LoadError> loaded =
+        LoadKnowledgeBase(&file, &Registry());
+    if (!loaded.has_value()) {
+      std::ostringstream out;
+      out << loaded.error();
+      std::printf("failed: %s\n", out.str().c_str());
+      return;
+    }
+    ResetEngine();
+    engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
     std::printf("loaded knowledge base: %u windows, %zu rules\n",
                 engine_->window_count(), engine_->catalog().size());
+  }
+
+  void SaveDir(std::istringstream& in) {
+    std::string dir;
+    if (!(in >> dir) || !Ready()) return;
+    // Incremental by design: an already-saved prefix is left untouched.
+    if (!StoreOk(AppendKnowledgeBaseDir(*engine_->Snapshot(), dir))) return;
+    attached_dir_ = dir;
+    std::printf("saved knowledge base into %s (%u windows, attached)\n",
+                dir.c_str(), engine_->window_count());
+  }
+
+  void LoadDir(std::istringstream& in) {
+    std::string dir;
+    if (!(in >> dir)) {
+      std::printf("usage: loaddir DIR\n");
+      return;
+    }
+    Expected<TaraEngine, LoadError> loaded =
+        LoadKnowledgeBaseDir(dir, &Registry());
+    if (!loaded.has_value()) {
+      std::ostringstream out;
+      out << loaded.error();
+      std::printf("failed: %s\n", out.str().c_str());
+      return;
+    }
+    ResetEngine();
+    engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
+    attached_dir_ = dir;
+    std::printf("loaded knowledge base from %s: %u windows, %zu rules "
+                "(attached)\n",
+                dir.c_str(), engine_->window_count(),
+                engine_->catalog().size());
+  }
+
+  void Ingest(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path) || !Ready()) return;
+    std::ifstream file(path);
+    if (!file) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    const TransactionDatabase batch = ReadDatabase(&file);
+    if (batch.size() == 0) {
+      std::printf("no transactions in %s\n", path.c_str());
+      return;
+    }
+    const WindowId window = engine_->AppendWindow(batch, 0, batch.size());
+    std::printf("ingested %zu transactions as window %u (generation %llu)\n",
+                batch.size(), window,
+                static_cast<unsigned long long>(engine_->generation()));
+    if (attached_dir_.empty()) return;
+    // Persists only the new window's segment plus the manifest.
+    if (StoreOk(AppendKnowledgeBaseDir(*engine_->Snapshot(),
+                                       attached_dir_))) {
+      std::printf("persisted new segment into %s\n", attached_dir_.c_str());
+    }
+  }
+
+  /// Drops the engine and any attached knowledge-base directory (the dir
+  /// describes the old engine's windows, not the next one's).
+  void ResetEngine() {
+    engine_.reset();
+    attached_dir_.clear();
   }
 
   std::optional<TransactionDatabase> db_;
   std::optional<EvolvingDatabase> data_;
   std::unique_ptr<TaraEngine> engine_;
+  /// Segmented knowledge-base directory that `ingest` appends to.
+  std::string attached_dir_;
 };
 
 }  // namespace
