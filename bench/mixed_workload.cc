@@ -9,6 +9,12 @@
 // The interesting columns are the read p50/p99 deltas between the phases
 // (readers never block on the writer; they only pin snapshots) and the
 // per-append publication latency.
+// Phases 3-5 exercise the generation-pinned query cache on a fixed
+// repeated request set: repeat_nocache (baseline, cache off),
+// repeat_cache (same series, cache on — p50 must drop and the hit rate
+// approach 1), and cache_live_append (cache on under a live appender:
+// every publication bumps the generation, so each new generation re-misses
+// the set once and then hits again).
 //
 // Writes BENCH_mixed_workload.json (schema of bench_report.h) with a full
 // metrics-registry snapshot attached, including the snapshot instruments
@@ -33,9 +39,12 @@ namespace {
 
 constexpr uint32_t kBaseWindows = 6;
 constexpr uint32_t kLiveWindows = 6;
+constexpr uint32_t kCacheLiveWindows = 4;
 constexpr uint32_t kTxPerWindow = 2000;
 constexpr int kReaders = 4;
 constexpr double kReadOnlySeconds = 2.0;
+constexpr double kRepeatSeconds = 1.5;
+constexpr size_t kCacheBudgetBytes = 64ull << 20;
 
 EvolvingDatabase MakeData(uint32_t windows) {
   BasketGenerator::Params params = BasketGenerator::RetailPreset();
@@ -98,26 +107,40 @@ void ReaderLoop(const TaraEngine& engine, const ParameterSetting& setting,
   }
 }
 
+/// One reader's loop for the cache phases: cycles a fixed request series
+/// through the uniform Execute entrypoint (which consults the cache when
+/// one is configured). Readers start at different offsets so the first
+/// pass over the series is spread across them.
+void RepeatLoop(const TaraEngine& engine,
+                const std::vector<QueryRequest>& requests, size_t offset,
+                const std::atomic<bool>& stop,
+                std::vector<uint64_t>* latencies_ns) {
+  size_t i = offset;
+  while (!stop.load(std::memory_order_acquire)) {
+    const QueryRequest& request = requests[i++ % requests.size()];
+    const uint64_t start = NowNs();
+    (void)engine.Execute(request);
+    latencies_ns->push_back(NowNs() - start);
+  }
+}
+
 struct PhaseResult {
   std::vector<uint64_t> latencies_ns;
   double seconds = 0;
 };
 
 /// Runs `kReaders` reader threads around `writer` (which runs on this
-/// thread and flips the stop flag when it returns).
-template <typename Writer>
-PhaseResult RunPhase(const TaraEngine& engine,
-                     const ParameterSetting& setting, RuleId probe,
-                     const Itemset& probe_items, Writer&& writer) {
+/// thread and flips the stop flag when it returns). `reader` is invoked
+/// as reader(thread_index, stop, &latencies).
+template <typename Reader, typename Writer>
+PhaseResult RunPhase(Reader&& reader, Writer&& writer) {
   std::atomic<bool> stop{false};
   std::vector<std::vector<uint64_t>> per_thread(kReaders);
   std::vector<std::thread> threads;
   threads.reserve(kReaders);
   for (int r = 0; r < kReaders; ++r) {
     per_thread[r].reserve(1 << 16);
-    threads.emplace_back([&, r] {
-      ReaderLoop(engine, setting, probe, probe_items, stop, &per_thread[r]);
-    });
+    threads.emplace_back([&, r] { reader(r, stop, &per_thread[r]); });
   }
   const auto start = std::chrono::steady_clock::now();
   writer();
@@ -136,19 +159,23 @@ PhaseResult RunPhase(const TaraEngine& engine,
 }
 
 void ReportPhase(bench::BenchReport* report, const char* phase,
-                 PhaseResult result, uint64_t appends,
-                 double append_seconds) {
+                 PhaseResult result, uint64_t appends, double append_seconds,
+                 const QueryCache::Stats& cache = {}) {
   const size_t queries = result.latencies_ns.size();
   const double qps =
       result.seconds > 0 ? static_cast<double>(queries) / result.seconds : 0;
   const double p50 = PercentileUs(&result.latencies_ns, 0.50);
   const double p99 = PercentileUs(&result.latencies_ns, 0.99);
-  std::printf("%-12s %10zu queries %10.0f q/s  p50 %8.1fus  p99 %8.1fus",
+  std::printf("%-16s %10zu queries %10.0f q/s  p50 %8.1fus  p99 %8.1fus",
               phase, queries, qps, p50, p99);
   if (appends > 0) {
     std::printf("  (%llu appends, %.3fs/append)",
                 static_cast<unsigned long long>(appends),
                 append_seconds / static_cast<double>(appends));
+  }
+  if (cache.hits + cache.misses > 0) {
+    std::printf("  (cache hit rate %.3f, %llu evictions)", cache.hit_rate(),
+                static_cast<unsigned long long>(cache.evictions));
   }
   std::printf("\n");
   report->AddRow()
@@ -159,7 +186,54 @@ void ReportPhase(bench::BenchReport* report, const char* phase,
       .Set("read_p50_us", p50)
       .Set("read_p99_us", p99)
       .Set("appends", appends)
-      .Set("append_seconds_total", append_seconds);
+      .Set("append_seconds_total", append_seconds)
+      .Set("cache_hits", cache.hits)
+      .Set("cache_misses", cache.misses)
+      .Set("cache_evictions", cache.evictions)
+      .Set("cache_bytes", cache.bytes)
+      .Set("hit_rate", cache.hit_rate());
+}
+
+/// The fixed repeated series the cache phases cycle: every window's
+/// trajectory, region, and content view, plus multi-window roll-ups and
+/// comparisons — the expensive, repeat-heavy queries an interactive
+/// session reissues as the analyst pans and zooms.
+std::vector<QueryRequest> MakeRepeatedRequests(uint32_t windows, RuleId probe,
+                                               const Itemset& probe_items,
+                                               const ParameterSetting& base) {
+  std::vector<WindowId> all;
+  all.reserve(windows);
+  for (WindowId w = 0; w < windows; ++w) all.push_back(w);
+  std::vector<QueryRequest> requests;
+  for (WindowId w = 0; w < windows; ++w) {
+    requests.push_back(QueryRequest::Trajectory(w, base, all));
+    requests.push_back(QueryRequest::Region(w, base));
+    requests.push_back(QueryRequest::ContentView(w, base));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const ParameterSetting setting{base.min_support +
+                                       0.002 * static_cast<double>(i),
+                                   base.min_confidence};
+    requests.push_back(QueryRequest::RollUpMine(all, setting));
+    requests.push_back(QueryRequest::Compare(
+        setting,
+        ParameterSetting{setting.min_support + 0.004, setting.min_confidence},
+        all, MatchMode::kExact));
+  }
+  requests.push_back(QueryRequest::Measures(probe, all));
+  requests.push_back(QueryRequest::RollUpRule(probe, all));
+  requests.push_back(QueryRequest::Content(0, probe_items, base));
+  return requests;
+}
+
+QueryCache::Stats StatsDelta(const TaraEngine& engine,
+                             const QueryCache::Stats& before) {
+  if (engine.query_cache() == nullptr) return {};
+  QueryCache::Stats now = engine.query_cache()->stats();
+  now.hits -= before.hits;
+  now.misses -= before.misses;
+  now.evictions -= before.evictions;
+  return now;
 }
 
 int Run() {
@@ -169,7 +243,8 @@ int Run() {
       kReaders, kBaseWindows, kLiveWindows, kTxPerWindow,
       std::thread::hardware_concurrency());
 
-  const EvolvingDatabase data = MakeData(kBaseWindows + kLiveWindows);
+  const EvolvingDatabase data =
+      MakeData(kBaseWindows + kLiveWindows + kCacheLiveWindows);
   obs::MetricsRegistry registry;
   TaraEngine::Options options;
   options.min_support_floor = 0.004;
@@ -194,33 +269,78 @@ int Run() {
 
   bench::BenchReport report("mixed_workload");
 
+  const auto mixed_reader = [&](int, const std::atomic<bool>& stop,
+                                std::vector<uint64_t>* latencies) {
+    ReaderLoop(engine, setting, probe, probe_items, stop, latencies);
+  };
+  const auto sleep_writer = [] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(kReadOnlySeconds));
+  };
+  const auto append_writer = [&](uint32_t begin, uint32_t end,
+                                 double* seconds) {
+    for (uint32_t w = begin; w < end; ++w) {
+      const WindowInfo& info = data.window(w);
+      const auto start = std::chrono::steady_clock::now();
+      engine.AppendWindow(data.database(), info.begin, info.end);
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      *seconds += elapsed.count();
+    }
+  };
+
   // Phase 1: pure reads against the finished base.
-  PhaseResult read_only =
-      RunPhase(engine, setting, probe, probe_items, [] {
-        std::this_thread::sleep_for(std::chrono::duration<double>(
-            kReadOnlySeconds));
-      });
+  PhaseResult read_only = RunPhase(mixed_reader, sleep_writer);
   ReportPhase(&report, "read_only", std::move(read_only), 0, 0);
 
   // Phase 2: the same readers while windows are appended live.
   double append_seconds = 0;
-  PhaseResult live = RunPhase(
-      engine, setting, probe, probe_items, [&] {
-        for (uint32_t w = kBaseWindows; w < kBaseWindows + kLiveWindows;
-             ++w) {
-          const WindowInfo& info = data.window(w);
-          const auto start = std::chrono::steady_clock::now();
-          engine.AppendWindow(data.database(), info.begin, info.end);
-          const std::chrono::duration<double> elapsed =
-              std::chrono::steady_clock::now() - start;
-          append_seconds += elapsed.count();
-        }
-      });
+  PhaseResult live = RunPhase(mixed_reader, [&] {
+    append_writer(kBaseWindows, kBaseWindows + kLiveWindows,
+                  &append_seconds);
+  });
   ReportPhase(&report, "live_append", std::move(live), kLiveWindows,
               append_seconds);
 
-  if (engine.window_count() != kBaseWindows + kLiveWindows ||
-      engine.generation() != kBaseWindows + kLiveWindows) {
+  // Phases 3-5: a fixed repeated request series through Execute — first
+  // with the cache off (baseline), then on (hits dominate), then on with
+  // a live appender bumping the generation out from under it.
+  const std::vector<QueryRequest> repeated = MakeRepeatedRequests(
+      engine.window_count(), probe, probe_items, setting);
+  const auto repeat_reader = [&](int r, const std::atomic<bool>& stop,
+                                 std::vector<uint64_t>* latencies) {
+    RepeatLoop(engine, repeated,
+               static_cast<size_t>(r) * repeated.size() / kReaders, stop,
+               latencies);
+  };
+  const auto sleep_repeat = [] {
+    std::this_thread::sleep_for(std::chrono::duration<double>(kRepeatSeconds));
+  };
+
+  PhaseResult repeat_nocache = RunPhase(repeat_reader, sleep_repeat);
+  ReportPhase(&report, "repeat_nocache", std::move(repeat_nocache), 0, 0);
+
+  engine.SetQueryCacheBytes(kCacheBudgetBytes);
+  QueryCache::Stats before = engine.query_cache()->stats();
+  PhaseResult repeat_cache = RunPhase(repeat_reader, sleep_repeat);
+  ReportPhase(&report, "repeat_cache", std::move(repeat_cache), 0, 0,
+              StatsDelta(engine, before));
+
+  before = engine.query_cache()->stats();
+  double cache_append_seconds = 0;
+  PhaseResult cache_live = RunPhase(repeat_reader, [&] {
+    append_writer(kBaseWindows + kLiveWindows,
+                  kBaseWindows + kLiveWindows + kCacheLiveWindows,
+                  &cache_append_seconds);
+  });
+  ReportPhase(&report, "cache_live_append", std::move(cache_live),
+              kCacheLiveWindows, cache_append_seconds,
+              StatsDelta(engine, before));
+
+  constexpr uint32_t kAllWindows =
+      kBaseWindows + kLiveWindows + kCacheLiveWindows;
+  if (engine.window_count() != kAllWindows ||
+      engine.generation() != kAllWindows) {
     std::fprintf(stderr, "generation bookkeeping is off: %u windows, "
                  "generation %llu\n",
                  engine.window_count(),

@@ -66,6 +66,12 @@ struct KbOptions {
   /// knowledge-base state, and is not serialized. Engines sharing a
   /// registry aggregate into the same named series.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Memory budget for the generation-pinned query cache serving
+  /// TaraEngine::Execute / ExecuteBatch, in bytes. 0 (default) disables
+  /// caching entirely — no hashing, no serialization on the query path.
+  /// A runtime knob like parallelism/metrics: not serialized, and
+  /// adjustable after construction via TaraEngine::SetQueryCacheBytes.
+  size_t query_cache_bytes = 0;
 
   /// Returns an actionable description of the first invalid field, or
   /// nullopt when the options are usable. The KbBuilder (and therefore

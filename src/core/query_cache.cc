@@ -1,0 +1,133 @@
+#include "core/query_cache.h"
+
+#include <utility>
+
+#include "common/hash.h"
+
+namespace tara {
+
+QueryCache::QueryCache(size_t max_bytes, obs::MetricsRegistry* registry)
+    : max_bytes_(max_bytes), shard_budget_(max_bytes / kShardCount) {
+  if (registry == nullptr) return;
+  hits_counter_ = registry->GetCounter("tara.cache.hits");
+  misses_counter_ = registry->GetCounter("tara.cache.misses");
+  evictions_counter_ = registry->GetCounter("tara.cache.evictions");
+  bytes_gauge_ = registry->GetGauge("tara.cache.bytes");
+}
+
+std::string QueryCache::MakeKey(uint64_t generation, QueryKind kind,
+                                std::string_view request) {
+  std::string key;
+  key.reserve(9 + request.size());
+  for (int i = 0; i < 8; ++i) {
+    key.push_back(static_cast<char>((generation >> (8 * i)) & 0xff));
+  }
+  key.push_back(static_cast<char>(kind));
+  key.append(request);
+  return key;
+}
+
+QueryCache::Shard& QueryCache::ShardFor(std::string_view key) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const char c : key) {
+    h = HashCombine(h, static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  }
+  return shards_[h % kShardCount];
+}
+
+void QueryCache::UpdateBytesGauge() {
+  if (bytes_gauge_ != nullptr) {
+    bytes_gauge_->Set(
+        static_cast<double>(bytes_.load(std::memory_order_relaxed)));
+  }
+}
+
+std::optional<std::string> QueryCache::Get(uint64_t generation, QueryKind kind,
+                                           std::string_view request) {
+  const std::string key = MakeKey(generation, kind, request);
+  Shard& shard = ShardFor(key);
+  std::optional<std::string> result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      result = it->second->value;
+    }
+  }
+  if (result.has_value()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_counter_ != nullptr) hits_counter_->Increment();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
+  }
+  return result;
+}
+
+void QueryCache::Put(uint64_t generation, QueryKind kind,
+                     std::string_view request, std::string result) {
+  std::string key = MakeKey(generation, kind, request);
+  const size_t cost = key.size() + result.size() + kEntryOverhead;
+  // An entry that cannot fit within one shard's budget is never cached:
+  // admitting it would flush the whole shard for one value.
+  if (cost > shard_budget_) return;
+  Shard& shard = ShardFor(key);
+  uint64_t evicted = 0;
+  int64_t byte_delta = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Refresh in place (same key implies same deterministic value, but
+      // replace anyway so the accounting never drifts).
+      byte_delta -= static_cast<int64_t>(it->second->value.size());
+      byte_delta += static_cast<int64_t>(result.size());
+      shard.bytes = static_cast<size_t>(
+          static_cast<int64_t>(shard.bytes) + byte_delta);
+      it->second->value = std::move(result);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      while (shard.bytes + cost > shard_budget_ && !shard.lru.empty()) {
+        const Entry& victim = shard.lru.back();
+        const size_t victim_cost =
+            victim.key.size() + victim.value.size() + kEntryOverhead;
+        shard.index.erase(std::string_view(victim.key));
+        shard.lru.pop_back();
+        shard.bytes -= victim_cost;
+        byte_delta -= static_cast<int64_t>(victim_cost);
+        ++evicted;
+      }
+      shard.lru.push_front(Entry{std::move(key), std::move(result)});
+      shard.index.emplace(std::string_view(shard.lru.front().key),
+                          shard.lru.begin());
+      shard.bytes += cost;
+      byte_delta += static_cast<int64_t>(cost);
+    }
+  }
+  if (evicted > 0) {
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+    if (evictions_counter_ != nullptr) evictions_counter_->Increment(evicted);
+  }
+  if (byte_delta != 0) {
+    if (byte_delta > 0) {
+      bytes_.fetch_add(static_cast<uint64_t>(byte_delta),
+                       std::memory_order_relaxed);
+    } else {
+      bytes_.fetch_sub(static_cast<uint64_t>(-byte_delta),
+                       std::memory_order_relaxed);
+    }
+    UpdateBytesGauge();
+  }
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace tara

@@ -1,0 +1,131 @@
+#ifndef TARA_CORE_QUERY_CACHE_H_
+#define TARA_CORE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/query_kind.h"
+#include "obs/metrics.h"
+
+namespace tara {
+
+/// A sharded, memory-bounded LRU cache of serialized query results,
+/// keyed by (generation, QueryKind, canonical request bytes).
+///
+/// ## Why generation-pinned keying needs no invalidation
+///
+/// Every online query answers from one immutable KnowledgeBaseSnapshot,
+/// and every append publishes a NEW generation — existing generations are
+/// never mutated (the RCU design of DESIGN.md, "Threading model"). A
+/// result cached under generation G is therefore correct for as long as
+/// the process lives: a query against a newer generation G+1 simply has a
+/// different key and misses. Stale generations age out through the LRU
+/// policy as traffic moves to new keys; there is no explicit invalidation
+/// path, and none is needed. This mirrors the PARAS/iPARAS reuse argument
+/// the offline phase is built on: precomputed answers stay valid because
+/// the structure they were computed from is never edited in place.
+///
+/// ## Memory bound and sharding
+///
+/// The budget is split evenly across a fixed number of shards, each an
+/// independent (mutex, hash map, LRU list). A Put that would exceed its
+/// shard's budget evicts least-recently-used entries first; an entry
+/// larger than a whole shard's budget is not cached at all. Charged cost
+/// is key + value bytes plus a fixed per-entry overhead estimate, so the
+/// configured bound approximates real heap use rather than entry count.
+///
+/// Thread-safety: Get/Put are safe from any number of threads; the shard
+/// mutexes are uncontended unless two concurrent queries hash to the same
+/// shard. Stats counters are relaxed atomics, mirrored into the
+/// `tara.cache.{hits,misses,evictions}` counters and `tara.cache.bytes`
+/// gauge when a MetricsRegistry is attached.
+class QueryCache {
+ public:
+  /// Point-in-time counters (hit_rate() is a convenience on top).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;
+
+    double hit_rate() const {
+      const uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(hits) /
+                                static_cast<double>(lookups);
+    }
+  };
+
+  /// `max_bytes` bounds the total charged size across all shards.
+  /// `registry` may be null (stats stay available through stats()).
+  explicit QueryCache(size_t max_bytes,
+                      obs::MetricsRegistry* registry = nullptr);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns the serialized result cached for this exact (generation,
+  /// kind, request) key, refreshing its recency; nullopt on a miss.
+  std::optional<std::string> Get(uint64_t generation, QueryKind kind,
+                                 std::string_view request);
+
+  /// Inserts (or refreshes) the serialized result for a key, evicting
+  /// LRU entries of the same shard as needed to stay within budget.
+  void Put(uint64_t generation, QueryKind kind, std::string_view request,
+           std::string result);
+
+  size_t max_bytes() const { return max_bytes_; }
+
+  Stats stats() const;
+
+ private:
+  static constexpr size_t kShardCount = 16;
+  /// Charged per entry on top of key+value bytes: rough cost of the list
+  /// node, map slot, and string headers.
+  static constexpr size_t kEntryOverhead = 96;
+
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  struct Shard {
+    std::mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+  };
+
+  /// One flat key: generation + kind + canonical request bytes.
+  static std::string MakeKey(uint64_t generation, QueryKind kind,
+                             std::string_view request);
+  Shard& ShardFor(std::string_view key);
+  void UpdateBytesGauge();
+
+  const size_t max_bytes_;
+  const size_t shard_budget_;
+  Shard shards_[kShardCount];
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> bytes_{0};
+
+  /// Registry instruments, all null without a registry (the null sink).
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+};
+
+}  // namespace tara
+
+#endif  // TARA_CORE_QUERY_CACHE_H_

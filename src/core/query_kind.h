@@ -1,0 +1,56 @@
+#ifndef TARA_CORE_QUERY_KIND_H_
+#define TARA_CORE_QUERY_KIND_H_
+
+#include <string_view>
+
+namespace tara {
+
+/// Label of an online operation, used for per-kind latency series
+/// ("tara.query.<name>.latency_ns"), per-kind result typing, and the
+/// query-cache key. The numeric values are part of the cache key and the
+/// batch-script grammar — append new kinds, never renumber.
+enum class QueryKind : int {
+  kMineWindow = 0,  ///< single-window mining
+  kMineWindows,     ///< multi-window mining (union/intersection)
+  kTrajectory,      ///< Q1 trajectory query
+  kCompare,         ///< Q2 ruleset comparison
+  kRegion,          ///< Q3 stable-region recommendation
+  kMeasures,        ///< Q4 evolving-behavior measures
+  kContent,         ///< Q5 content query
+  kContentView,     ///< TARA-S merged item→rules view
+  kRollUpRule,      ///< roll-up of a single rule
+  kRollUpMine,      ///< roll-up mining over a window union
+};
+
+inline constexpr int kQueryKindCount = 10;
+
+/// The metric label of a query kind ("mine_window", "trajectory", ...).
+constexpr std::string_view QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kMineWindow:
+      return "mine_window";
+    case QueryKind::kMineWindows:
+      return "mine_windows";
+    case QueryKind::kTrajectory:
+      return "trajectory";
+    case QueryKind::kCompare:
+      return "compare";
+    case QueryKind::kRegion:
+      return "region";
+    case QueryKind::kMeasures:
+      return "measures";
+    case QueryKind::kContent:
+      return "content";
+    case QueryKind::kContentView:
+      return "content_view";
+    case QueryKind::kRollUpRule:
+      return "rollup_rule";
+    case QueryKind::kRollUpMine:
+      return "rollup_mine";
+  }
+  return "unknown";
+}
+
+}  // namespace tara
+
+#endif  // TARA_CORE_QUERY_KIND_H_

@@ -1,38 +1,21 @@
 #include "core/tara_engine.h"
 
+#include <thread>
 #include <utility>
 
 namespace tara {
 
-std::string_view QueryKindName(QueryKind kind) {
-  switch (kind) {
-    case QueryKind::kMineWindow:
-      return "mine_window";
-    case QueryKind::kMineWindows:
-      return "mine_windows";
-    case QueryKind::kTrajectory:
-      return "trajectory";
-    case QueryKind::kCompare:
-      return "compare";
-    case QueryKind::kRegion:
-      return "region";
-    case QueryKind::kMeasures:
-      return "measures";
-    case QueryKind::kContent:
-      return "content";
-    case QueryKind::kContentView:
-      return "content_view";
-    case QueryKind::kRollUpRule:
-      return "rollup_rule";
-    case QueryKind::kRollUpMine:
-      return "rollup_mine";
-  }
-  return "unknown";
-}
-
 TaraEngine::TaraEngine(const Options& options)
     : builder_(std::make_unique<KbBuilder>(options)) {
   RegisterMetrics(options.metrics);
+  if (options.query_cache_bytes > 0) {
+    cache_ = std::make_unique<QueryCache>(options.query_cache_bytes,
+                                          options.metrics);
+  }
+  const uint32_t parallelism =
+      options.parallelism == 0 ? std::thread::hardware_concurrency()
+                               : options.parallelism;
+  if (parallelism > 1) query_pool_ = std::make_unique<ThreadPool>(parallelism);
 }
 
 void TaraEngine::RegisterMetrics(obs::MetricsRegistry* registry) {
@@ -123,6 +106,123 @@ Expected<TaraEngine::RolledUpRules, QueryError> TaraEngine::MineRolledUp(
     const WindowSet& windows, const ParameterSetting& setting) const {
   obs::QuerySpan span = Span(QueryKind::kRollUpMine);
   return Finish(&span, Snapshot()->MineRolledUp(windows, setting));
+}
+
+Expected<QueryResult, QueryError> TaraEngine::Execute(
+    const QueryRequest& request) const {
+  obs::QuerySpan span = Span(request.kind);
+  const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot = Snapshot();
+  if (cache_ == nullptr) {
+    return Finish(&span, ExecuteQuery(*snapshot, request));
+  }
+  const std::string key = EncodeQueryRequest(request);
+  if (std::optional<std::string> hit =
+          cache_->Get(snapshot->generation(), request.kind, key)) {
+    if (std::optional<QueryResult> decoded =
+            DecodeQueryResult(request.kind, *hit)) {
+      return Finish(&span, Expected<QueryResult, QueryError>(
+                               *std::move(decoded)));
+    }
+  }
+  Expected<QueryResult, QueryError> result = ExecuteQuery(*snapshot, request);
+  if (result.has_value()) {
+    cache_->Put(snapshot->generation(), request.kind, key,
+                EncodeQueryResult(request.kind, result.value()));
+  }
+  return Finish(&span, std::move(result));
+}
+
+std::vector<Expected<QueryResult, QueryError>> TaraEngine::ExecuteBatch(
+    std::span<const QueryRequest> requests) const {
+  // One snapshot for the whole batch: every request — hit or miss — is
+  // answered from the same generation.
+  const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot = Snapshot();
+  if (cache_ == nullptr) {
+    auto results = ExecuteQueryBatch(*snapshot, requests, query_pool_.get());
+    for (const auto& result : results) {
+      if (result.has_value()) {
+        if (metrics_.ok != nullptr) metrics_.ok->Increment();
+      } else {
+        if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
+      }
+    }
+    return results;
+  }
+
+  // Dedup by canonical request bytes, then partition into cache hits and
+  // misses; only the misses execute (in parallel when a pool exists).
+  const uint64_t generation = snapshot->generation();
+  std::unordered_map<std::string, size_t> unique_index;
+  std::vector<const QueryRequest*> unique_requests;
+  std::vector<std::string> unique_keys;
+  std::vector<size_t> request_to_unique(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::string key = EncodeQueryRequest(requests[i]);
+    const auto [it, inserted] =
+        unique_index.try_emplace(std::move(key), unique_requests.size());
+    if (inserted) {
+      unique_requests.push_back(&requests[i]);
+      unique_keys.push_back(it->first);
+    }
+    request_to_unique[i] = it->second;
+  }
+
+  std::vector<std::optional<Expected<QueryResult, QueryError>>> unique_results(
+      unique_requests.size());
+  std::vector<size_t> miss_indexes;
+  for (size_t u = 0; u < unique_requests.size(); ++u) {
+    const QueryKind kind = unique_requests[u]->kind;
+    if (std::optional<std::string> hit =
+            cache_->Get(generation, kind, unique_keys[u])) {
+      if (std::optional<QueryResult> decoded =
+              DecodeQueryResult(kind, *hit)) {
+        unique_results[u] = Expected<QueryResult, QueryError>(
+            *std::move(decoded));
+        continue;
+      }
+    }
+    miss_indexes.push_back(u);
+  }
+
+  const auto execute_miss = [&](size_t u) {
+    const QueryRequest& request = *unique_requests[u];
+    Expected<QueryResult, QueryError> result =
+        ExecuteQuery(*snapshot, request);
+    if (result.has_value()) {
+      cache_->Put(generation, request.kind, unique_keys[u],
+                  EncodeQueryResult(request.kind, result.value()));
+    }
+    unique_results[u] = std::move(result);
+  };
+  if (query_pool_ != nullptr && miss_indexes.size() > 1) {
+    query_pool_->ParallelFor(miss_indexes.size(),
+                             [&](size_t, size_t begin, size_t end) {
+                               for (size_t m = begin; m < end; ++m) {
+                                 execute_miss(miss_indexes[m]);
+                               }
+                             });
+  } else {
+    for (const size_t u : miss_indexes) execute_miss(u);
+  }
+
+  std::vector<Expected<QueryResult, QueryError>> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const auto& result = *unique_results[request_to_unique[i]];
+    if (result.has_value()) {
+      if (metrics_.ok != nullptr) metrics_.ok->Increment();
+    } else {
+      if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
+    }
+    results.push_back(result);
+  }
+  return results;
+}
+
+void TaraEngine::SetQueryCacheBytes(size_t bytes) {
+  cache_ = bytes == 0 ? nullptr
+                      : std::make_unique<QueryCache>(
+                            bytes, builder_->options().metrics);
 }
 
 }  // namespace tara

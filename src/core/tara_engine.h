@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -13,7 +14,10 @@
 #include "common/expected.h"
 #include "core/kb_builder.h"
 #include "core/kb_snapshot.h"
+#include "core/query_cache.h"
 #include "core/query_error.h"
+#include "core/query_kind.h"
+#include "core/query_request.h"
 #include "core/rule_catalog.h"
 #include "core/stable_region_index.h"
 #include "core/tar_archive.h"
@@ -24,26 +28,6 @@
 #include "txdb/evolving_database.h"
 
 namespace tara {
-
-/// Label of an online operation, used for per-kind latency series
-/// ("tara.query.<name>.latency_ns") and per-kind result typing.
-enum class QueryKind : int {
-  kMineWindow = 0,  ///< single-window mining
-  kMineWindows,     ///< multi-window mining (union/intersection)
-  kTrajectory,      ///< Q1 trajectory query
-  kCompare,         ///< Q2 ruleset comparison
-  kRegion,          ///< Q3 stable-region recommendation
-  kMeasures,        ///< Q4 evolving-behavior measures
-  kContent,         ///< Q5 content query
-  kContentView,     ///< TARA-S merged item→rules view
-  kRollUpRule,      ///< roll-up of a single rule
-  kRollUpMine,      ///< roll-up mining over a window union
-};
-
-inline constexpr int kQueryKindCount = 10;
-
-/// The metric label of a query kind ("mine_window", "trajectory", ...).
-std::string_view QueryKindName(QueryKind kind);
 
 /// The TARA framework: offline knowledge-base construction (Association
 /// Generator + Knowledge Base Constructor of Figure 2) plus the online
@@ -82,7 +66,9 @@ std::string_view QueryKindName(QueryKind kind);
 /// query latency histograms, ok/rejected counters, build/size gauges, and
 /// the snapshot instruments `tara.kb.generation` (gauge) and
 /// `tara.kb.swaps` (publication counter) — see DESIGN.md,
-/// "Observability". All recording is relaxed-atomic and allocation-free;
+/// "Observability". With a query cache enabled the cache adds
+/// `tara.cache.{hits,misses,evictions}` counters and a `tara.cache.bytes`
+/// gauge. All recording is relaxed-atomic and allocation-free;
 /// with metrics == nullptr every instrument pointer is null and spans
 /// skip the clock read entirely (the null sink).
 ///
@@ -236,6 +222,39 @@ class TaraEngine {
   Expected<RolledUpRules, QueryError> MineRolledUp(
       const WindowSet& windows, const ParameterSetting& setting) const;
 
+  /// --- Uniform execution, batching, and the query cache -------------------
+  /// Execute/ExecuteBatch are the serving fast path: the only entrypoints
+  /// that consult the generation-pinned query cache (see query_cache.h).
+  /// With Options::query_cache_bytes == 0 they behave exactly like the
+  /// typed methods above (same validation, same QueryError codes) — the
+  /// differential harness in tests/test_query_cache.cc enforces that the
+  /// cached, batched, and uncached paths return byte-identical serialized
+  /// results at every generation.
+
+  /// Executes one request against the current generation, answering from
+  /// the cache when enabled. Safe for any number of concurrent callers,
+  /// including while ingestion runs.
+  Expected<QueryResult, QueryError> Execute(const QueryRequest& request) const;
+
+  /// Executes a batch against ONE pinned snapshot (every request sees the
+  /// same generation, even if appends land mid-batch). Identical requests
+  /// (by canonical bytes) are executed once; cache misses fan out across
+  /// the engine's thread pool when Options::parallelism != 1. Results are
+  /// positionally aligned with `requests`.
+  std::vector<Expected<QueryResult, QueryError>> ExecuteBatch(
+      std::span<const QueryRequest> requests) const;
+
+  /// Resizes (or disables, with 0) the query cache, dropping all cached
+  /// entries. NOT safe concurrently with in-flight Execute/ExecuteBatch
+  /// calls — a serving process sizes the cache at construction via
+  /// Options::query_cache_bytes; this setter exists for tools that load a
+  /// knowledge base first and opt into caching afterwards.
+  void SetQueryCacheBytes(size_t bytes);
+
+  /// The cache, or nullptr when disabled. Exposed for stats reporting
+  /// (hit rate, bytes); never needed for correctness.
+  const QueryCache* query_cache() const { return cache_.get(); }
+
   /// --- Quiescent accessors ------------------------------------------------
   /// Views of the builder's working state. NOT synchronized with a
   /// concurrent writer; under live ingestion use Snapshot() instead.
@@ -293,6 +312,13 @@ class TaraEngine {
   /// and the atomic publication slot).
   std::unique_ptr<KbBuilder> builder_;
   EngineMetrics metrics_;
+  /// Generation-pinned result cache; null when Options::query_cache_bytes
+  /// is 0. unique_ptr keeps the engine movable (the cache holds mutexes).
+  std::unique_ptr<QueryCache> cache_;
+  /// Read-side pool for ExecuteBatch fan-out; created when the effective
+  /// parallelism is > 1. Separate from the builder's pool so batch reads
+  /// never queue behind mining tasks during live ingestion.
+  std::unique_ptr<ThreadPool> query_pool_;
 };
 
 }  // namespace tara

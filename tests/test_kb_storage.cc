@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/kb_storage.h"
 #include "core/serialization.h"
 #include "core/tara_engine.h"
@@ -217,6 +218,77 @@ TEST_F(KbStorageTest, RejectsTruncatedOrGarbageManifest) {
   loaded = LoadKnowledgeBaseDir(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kTrailingBytes);
+}
+
+// Corruption fuzz smoke: seeded single-byte flips and truncations of a
+// valid serialized knowledge base. Every mutation must come back as a
+// loaded engine or a typed LoadError — never a crash, hang, or (under
+// the ASan preset) a leak. A flipped byte may land somewhere the decoder
+// legitimately tolerates (a rule's count, say), so a successful load is
+// acceptable; an abort is not.
+TEST(KbStorageFuzz, SingleByteFlipsNeverCrashTheStreamLoader) {
+  const TaraEngine engine = BuildEngine(MakeData(2));
+  const std::string valid = KnowledgeBaseToString(engine);
+  ASSERT_GT(valid.size(), 256u);
+  ASSERT_TRUE(KnowledgeBaseFromString(valid).has_value());
+
+  Rng rng(0xF00DF00D);
+  int rejected = 0;
+  constexpr int kFlips = 150;
+  for (int i = 0; i < kFlips; ++i) {
+    std::string mutated = valid;
+    const size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<char>(1 + rng.NextBounded(255));
+    const auto loaded = KnowledgeBaseFromString(mutated);
+    if (!loaded.has_value()) {
+      ++rejected;
+      EXPECT_FALSE(loaded.error().message.empty());
+    }
+  }
+  // The format is dense: the vast majority of flips must be detected.
+  EXPECT_GT(rejected, kFlips / 2);
+}
+
+TEST(KbStorageFuzz, TruncationsNeverCrashTheStreamLoader) {
+  const TaraEngine engine = BuildEngine(MakeData(2));
+  const std::string valid = KnowledgeBaseToString(engine);
+
+  Rng rng(0xBADC0FFE);
+  for (int i = 0; i < 50; ++i) {
+    const auto loaded =
+        KnowledgeBaseFromString(valid.substr(0, rng.NextBounded(valid.size())));
+    // A strict prefix can never be a whole knowledge base.
+    ASSERT_FALSE(loaded.has_value());
+    EXPECT_FALSE(loaded.error().message.empty());
+  }
+  // Every exact-boundary truncation near the tail as well.
+  for (size_t cut = valid.size() - 16; cut < valid.size(); ++cut) {
+    ASSERT_FALSE(KnowledgeBaseFromString(valid.substr(0, cut)).has_value());
+  }
+}
+
+TEST_F(KbStorageTest, ManifestByteFlipsNeverCrashTheDirectoryLoader) {
+  const TaraEngine engine = BuildEngine(MakeData(2));
+  ASSERT_FALSE(
+      SaveKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
+  const fs::path manifest = dir_ / "manifest.tarakb";
+  const std::string valid = ReadFile(manifest);
+
+  Rng rng(0xD15EA5E);
+  int rejected = 0;
+  constexpr int kFlips = 50;
+  for (int i = 0; i < kFlips; ++i) {
+    std::string mutated = valid;
+    const size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<char>(1 + rng.NextBounded(255));
+    WriteFile(manifest, mutated);
+    if (!LoadKnowledgeBaseDir(dir_.string()).has_value()) ++rejected;
+  }
+  EXPECT_GT(rejected, kFlips / 2);
+
+  // Restored manifest loads again: the fuzz loop left no side effects.
+  WriteFile(manifest, valid);
+  EXPECT_TRUE(LoadKnowledgeBaseDir(dir_.string()).has_value());
 }
 
 TEST_F(KbStorageTest, RejectsMissingPieces) {

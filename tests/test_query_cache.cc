@@ -1,0 +1,371 @@
+// Differential oracle for the generation-pinned query cache: a cache-on
+// engine and a cache-off oracle receive the same randomized Q1-Q5 /
+// roll-up request stream (seeded Rng, heavy request reuse so the cache
+// actually serves hits), interleaved with live AppendWindow calls on
+// both. Every answer must match byte-for-byte under the canonical result
+// serialization — or carry the same error code — including the queries
+// issued right after an append, which proves generation keying never
+// serves a stale generation's answer.
+//
+// Also here: QueryCache unit tests (generation keying, LRU eviction
+// within the byte budget, oversized-entry refusal, stats counters) and a
+// TSan-targeted stress test racing Execute/ExecuteBatch against a live
+// appender. Run under both sanitizer presets (tools/run_asan.sh,
+// tools/run_tsan.sh).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/query_cache.h"
+#include "core/query_request.h"
+#include "core/tara_engine.h"
+#include "datagen/basket_generators.h"
+#include "txdb/evolving_database.h"
+
+namespace tara {
+namespace {
+
+constexpr uint32_t kBaseWindows = 3;
+constexpr uint32_t kLiveWindows = 3;
+constexpr uint32_t kTxPerWindow = 800;
+constexpr double kSupportFloor = 0.005;
+constexpr double kConfidenceFloor = 0.1;
+
+EvolvingDatabase MakeData() {
+  BasketGenerator::Params params = BasketGenerator::RetailPreset();
+  params.num_transactions = kTxPerWindow;
+  params.num_items = 150;
+  const BasketGenerator gen(params);
+  EvolvingDatabase data;
+  for (uint32_t w = 0; w < kBaseWindows + kLiveWindows; ++w) {
+    data.AppendBatch(gen.GenerateBatch(w, w * kTxPerWindow).transactions());
+  }
+  return data;
+}
+
+TaraEngine::Options MakeOptions(size_t cache_bytes) {
+  TaraEngine::Options options;
+  options.min_support_floor = kSupportFloor;
+  options.min_confidence_floor = kConfidenceFloor;
+  options.max_itemset_size = 4;
+  options.build_content_index = true;
+  options.query_cache_bytes = cache_bytes;
+  return options;
+}
+
+void AppendWindowTo(TaraEngine* engine, const EvolvingDatabase& data,
+                    uint32_t w) {
+  const WindowInfo& info = data.window(w);
+  engine->AppendWindow(data.database(), info.begin, info.end);
+}
+
+/// A random request of any kind. Window ids may run past the engine's
+/// count and settings may dip below the floors, so the stream exercises
+/// every QueryError path as well as every result alternative.
+QueryRequest RandomRequest(Rng* rng, uint32_t window_count) {
+  const auto setting = [&]() -> ParameterSetting {
+    if (rng->NextBool(0.08)) return {kSupportFloor / 10, kConfidenceFloor};
+    return {kSupportFloor + rng->NextDouble() * 0.02,
+            kConfidenceFloor + rng->NextDouble() * 0.4};
+  };
+  const auto window = [&]() -> WindowId {
+    return static_cast<WindowId>(
+        rng->NextBounded(window_count + (rng->NextBool(0.08) ? 2 : 0)));
+  };
+  const auto windows = [&]() -> std::vector<WindowId> {
+    std::vector<WindowId> ids;
+    const uint64_t n = 1 + rng->NextBounded(window_count);
+    for (uint64_t i = 0; i < n; ++i) ids.push_back(window());
+    return ids;
+  };
+  const auto rule = [&]() -> RuleId {
+    return static_cast<RuleId>(rng->NextBounded(4000));
+  };
+  const MatchMode mode =
+      rng->NextBool(0.5) ? MatchMode::kSingle : MatchMode::kExact;
+  switch (static_cast<QueryKind>(rng->NextBounded(kQueryKindCount))) {
+    case QueryKind::kMineWindow:
+      return QueryRequest::MineWindow(window(), setting());
+    case QueryKind::kMineWindows:
+      return QueryRequest::MineWindows(windows(), setting(), mode);
+    case QueryKind::kTrajectory:
+      return QueryRequest::Trajectory(window(), setting(), windows());
+    case QueryKind::kCompare:
+      return QueryRequest::Compare(setting(), setting(), windows(), mode);
+    case QueryKind::kRegion:
+      return QueryRequest::Region(window(), setting());
+    case QueryKind::kMeasures:
+      return QueryRequest::Measures(rule(), windows());
+    case QueryKind::kContent: {
+      Itemset items;
+      const uint64_t n = 1 + rng->NextBounded(2);
+      for (uint64_t i = 0; i < n; ++i) {
+        items.push_back(static_cast<ItemId>(rng->NextBounded(150)));
+      }
+      return QueryRequest::Content(window(), std::move(items), setting());
+    }
+    case QueryKind::kContentView:
+      return QueryRequest::ContentView(window(), setting());
+    case QueryKind::kRollUpRule:
+      return QueryRequest::RollUpRule(rule(), windows());
+    case QueryKind::kRollUpMine:
+      return QueryRequest::RollUpMine(windows(), setting());
+  }
+  return QueryRequest::MineWindow(0, setting());
+}
+
+/// Both engines must give byte-identical serialized results, or the same
+/// error code. Returns true when they do (so callers can count).
+::testing::AssertionResult SameAnswer(
+    const QueryRequest& request,
+    const Expected<QueryResult, QueryError>& oracle,
+    const Expected<QueryResult, QueryError>& cached) {
+  if (oracle.has_value() != cached.has_value()) {
+    return ::testing::AssertionFailure()
+           << QueryKindName(request.kind) << ": oracle "
+           << (oracle.has_value() ? "succeeded" : "failed") << ", cached "
+           << (cached.has_value() ? "succeeded" : "failed");
+  }
+  if (!oracle.has_value()) {
+    if (oracle.error().code != cached.error().code) {
+      return ::testing::AssertionFailure()
+             << QueryKindName(request.kind) << ": error codes differ";
+    }
+    return ::testing::AssertionSuccess();
+  }
+  const std::string oracle_bytes =
+      EncodeQueryResult(request.kind, oracle.value());
+  const std::string cached_bytes =
+      EncodeQueryResult(request.kind, cached.value());
+  if (oracle_bytes != cached_bytes) {
+    return ::testing::AssertionFailure()
+           << QueryKindName(request.kind) << ": serialized results differ ("
+           << oracle_bytes.size() << " vs " << cached_bytes.size()
+           << " bytes)";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(QueryCacheDifferential, CachedEqualsOracleAcrossGenerations) {
+  const EvolvingDatabase data = MakeData();
+  TaraEngine oracle(MakeOptions(0));
+  TaraEngine cached(MakeOptions(8u << 20));
+  for (uint32_t w = 0; w < kBaseWindows; ++w) {
+    AppendWindowTo(&oracle, data, w);
+    AppendWindowTo(&cached, data, w);
+  }
+
+  Rng rng(20260806);
+  std::vector<QueryRequest> history;
+  uint32_t appended = kBaseWindows;
+  constexpr int kSteps = 450;
+  constexpr int kStepsPerAppend = 120;
+  for (int step = 0; step < kSteps; ++step) {
+    if (step > 0 && step % kStepsPerAppend == 0 &&
+        appended < kBaseWindows + kLiveWindows) {
+      // Live append on BOTH engines: the next queries run against the
+      // new generation, and the cache must never answer them from the
+      // old one (its entries for older generations stay valid and
+      // merely age out).
+      AppendWindowTo(&oracle, data, appended);
+      AppendWindowTo(&cached, data, appended);
+      ++appended;
+      ASSERT_EQ(oracle.generation(), cached.generation());
+      // Replay everything seen so far immediately after the publication:
+      // every replayed request hits the cache-on engine's warm entries
+      // only if they were stored under the *new* generation — which they
+      // were not — so each must recompute and still match the oracle.
+      for (const QueryRequest& request : history) {
+        ASSERT_TRUE(SameAnswer(request, oracle.Execute(request),
+                               cached.Execute(request)));
+      }
+    }
+    // Heavy reuse: half the stream re-issues an earlier request so the
+    // cached engine serves real hits, not just first-time fills.
+    const QueryRequest request =
+        !history.empty() && rng.NextBool(0.5)
+            ? history[rng.NextBounded(history.size())]
+            : RandomRequest(&rng, appended);
+    if (history.size() < 64) history.push_back(request);
+    ASSERT_TRUE(SameAnswer(request, oracle.Execute(request),
+                           cached.Execute(request)));
+  }
+
+  ASSERT_EQ(appended, kBaseWindows + kLiveWindows);
+  ASSERT_NE(cached.query_cache(), nullptr);
+  const QueryCache::Stats stats = cached.query_cache()->stats();
+  // The reuse-heavy stream must have produced real hits, and the oracle
+  // (cache off) must have none of the cache machinery attached.
+  EXPECT_GT(stats.hits, 100u);
+  EXPECT_GT(stats.misses, 0u);
+  EXPECT_EQ(oracle.query_cache(), nullptr);
+}
+
+TEST(QueryCacheDifferential, BatchMatchesOracleAndDedups) {
+  const EvolvingDatabase data = MakeData();
+  TaraEngine oracle(MakeOptions(0));
+  TaraEngine cached(MakeOptions(8u << 20));
+  for (uint32_t w = 0; w < kBaseWindows; ++w) {
+    AppendWindowTo(&oracle, data, w);
+    AppendWindowTo(&cached, data, w);
+  }
+
+  Rng rng(424242);
+  std::vector<QueryRequest> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back(RandomRequest(&rng, kBaseWindows));
+  }
+  // Duplicates (executed once, answered everywhere) and an argument-order
+  // variant (ids are canonicalized, so it shares the duplicate's entry).
+  requests.push_back(requests[0]);
+  requests.push_back(requests[5]);
+  requests.push_back(QueryRequest::Trajectory(0, {0.01, 0.3}, {2, 0, 1, 1}));
+  requests.push_back(QueryRequest::Trajectory(0, {0.01, 0.3}, {0, 1, 2}));
+
+  const auto oracle_results = oracle.ExecuteBatch(requests);
+  const auto cached_results = cached.ExecuteBatch(requests);
+  ASSERT_EQ(oracle_results.size(), requests.size());
+  ASSERT_EQ(cached_results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(
+        SameAnswer(requests[i], oracle_results[i], cached_results[i]))
+        << "at batch position " << i;
+  }
+
+  // Re-running the identical batch is answered fully from cache for the
+  // successful requests; rejected ones are never cached (errors are
+  // cheap to recompute and must stay loud), so each unique failed
+  // request re-misses exactly once per batch.
+  std::unordered_set<std::string> failed_keys;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    if (!cached_results[i].has_value()) {
+      failed_keys.insert(EncodeQueryRequest(requests[i]));
+    }
+  }
+  const QueryCache::Stats before = cached.query_cache()->stats();
+  const auto replay = cached.ExecuteBatch(requests);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(SameAnswer(requests[i], oracle_results[i], replay[i]));
+  }
+  const QueryCache::Stats after = cached.query_cache()->stats();
+  EXPECT_EQ(after.misses, before.misses + failed_keys.size());
+  EXPECT_GT(after.hits, before.hits);
+}
+
+TEST(QueryCacheUnit, KeysIncludeGenerationAndKind) {
+  QueryCache cache(1u << 20);
+  cache.Put(1, QueryKind::kMineWindow, "req", "result");
+  EXPECT_EQ(cache.Get(1, QueryKind::kMineWindow, "req"), "result");
+  // Different generation, kind, or request bytes: all distinct keys.
+  EXPECT_FALSE(cache.Get(2, QueryKind::kMineWindow, "req").has_value());
+  EXPECT_FALSE(cache.Get(1, QueryKind::kRegion, "req").has_value());
+  EXPECT_FALSE(cache.Get(1, QueryKind::kMineWindow, "req2").has_value());
+  const QueryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.25);
+}
+
+TEST(QueryCacheUnit, EvictsLruToStayWithinBudget) {
+  constexpr size_t kBudget = 8 * 1024;
+  QueryCache cache(kBudget);
+  const std::string value(256, 'v');
+  for (uint64_t g = 0; g < 200; ++g) {
+    cache.Put(g, QueryKind::kMineWindow, "req", value);
+    EXPECT_LE(cache.stats().bytes, kBudget);
+  }
+  const QueryCache::Stats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+  // The newest insertion is its shard's MRU entry and must survive.
+  EXPECT_TRUE(cache.Get(199, QueryKind::kMineWindow, "req").has_value());
+}
+
+TEST(QueryCacheUnit, RefusesEntriesLargerThanAShard) {
+  QueryCache cache(1024);  // 64 bytes per shard: nothing below fits
+  cache.Put(1, QueryKind::kMineWindow, "req", std::string(512, 'v'));
+  EXPECT_FALSE(cache.Get(1, QueryKind::kMineWindow, "req").has_value());
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(QueryCacheUnit, PutRefreshesInPlace) {
+  QueryCache cache(1u << 20);
+  cache.Put(1, QueryKind::kMineWindow, "req", "old");
+  const uint64_t bytes_once = cache.stats().bytes;
+  cache.Put(1, QueryKind::kMineWindow, "req", "new");
+  EXPECT_EQ(cache.Get(1, QueryKind::kMineWindow, "req"), "new");
+  EXPECT_EQ(cache.stats().bytes, bytes_once);
+}
+
+// TSan target: Execute and ExecuteBatch race a live appender. Window 0's
+// content never changes across generations, so every answer — cached
+// under any generation, or computed fresh — must equal the baseline
+// taken before the race started.
+TEST(QueryCacheConcurrency, ExecuteRacesWithLiveAppends) {
+  const EvolvingDatabase data = MakeData();
+  TaraEngine engine(MakeOptions(8u << 20));
+  for (uint32_t w = 0; w < kBaseWindows; ++w) {
+    AppendWindowTo(&engine, data, w);
+  }
+
+  const std::vector<QueryRequest> fixed = {
+      QueryRequest::MineWindow(0, {0.01, 0.3}),
+      QueryRequest::Trajectory(0, {0.01, 0.3}, {0, 1, 2}),
+      QueryRequest::Region(0, {0.01, 0.3}),
+      QueryRequest::RollUpMine({0, 1, 2}, {0.01, 0.3}),
+  };
+  std::vector<std::string> baselines;
+  for (const QueryRequest& request : fixed) {
+    const auto result = engine.Execute(request);
+    ASSERT_TRUE(result.has_value());
+    baselines.push_back(EncodeQueryResult(request.kind, result.value()));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  auto reader = [&](size_t offset) {
+    size_t i = offset;
+    while (!stop.load(std::memory_order_acquire)) {
+      const size_t pick = i++ % (fixed.size() + 1);
+      if (pick == fixed.size()) {
+        const auto batch = engine.ExecuteBatch(fixed);
+        for (size_t q = 0; q < fixed.size(); ++q) {
+          if (!batch[q].has_value() ||
+              EncodeQueryResult(fixed[q].kind, batch[q].value()) !=
+                  baselines[q]) {
+            failures.fetch_add(1);
+          }
+        }
+        continue;
+      }
+      const auto result = engine.Execute(fixed[pick]);
+      if (!result.has_value() ||
+          EncodeQueryResult(fixed[pick].kind, result.value()) !=
+              baselines[pick]) {
+        failures.fetch_add(1);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) threads.emplace_back(reader, t);
+  for (uint32_t w = kBaseWindows; w < kBaseWindows + kLiveWindows; ++w) {
+    AppendWindowTo(&engine, data, w);
+  }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.generation(), kBaseWindows + kLiveWindows);
+  EXPECT_GT(engine.query_cache()->stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace tara

@@ -94,6 +94,102 @@ TEST(TarArchiveTest, RollUpBoundsWidenForMissingWindows) {
   EXPECT_LE(bound.confidence_lo, bound.confidence_hi);
 }
 
+TEST(TarArchiveTest, RollUpOfRuleAbsentEverywhereIsPureSlack) {
+  TarArchive archive;
+  archive.RegisterWindow(0, 100, 5, 0.0);
+  archive.RegisterWindow(1, 100, 5, 0.0);
+  archive.Add(0, 0, 10, 20);  // some other rule exists; 9 was never added
+  const RollUpBound bound = archive.RollUp(9, {0, 1});
+  EXPECT_EQ(bound.missing_windows, 2u);
+  // Nothing known: lower bounds collapse to zero, upper bounds are pure
+  // floor slack — at most floor-1 = 4 undetected occurrences per window.
+  EXPECT_DOUBLE_EQ(bound.support_lo, 0.0);
+  EXPECT_DOUBLE_EQ(bound.support_hi, 8.0 / 200.0);
+  EXPECT_DOUBLE_EQ(bound.confidence_lo, 0.0);
+  // Best case: every undetected occurrence is also the whole antecedent.
+  EXPECT_DOUBLE_EQ(bound.confidence_hi, 1.0);
+}
+
+TEST(TarArchiveTest, RollUpSlackStaysStrictlyBelowTheFloor) {
+  // A rule observed at EXACTLY the floor count is archived and exact; an
+  // absent window contributes at most floor-1 — so a missing window can
+  // never account for a rule that actually met the floor there.
+  TarArchive archive;
+  archive.RegisterWindow(0, 100, 5, 0.0);
+  archive.RegisterWindow(1, 100, 5, 0.0);
+  archive.Add(0, 0, 5, 10);  // at the floor: present, not slack
+  archive.Add(0, 1, 5, 10);
+  archive.Add(1, 0, 5, 10);  // same counts, but absent from window 1
+  const RollUpBound at_floor = archive.RollUp(0, {0, 1});
+  EXPECT_EQ(at_floor.missing_windows, 0u);
+  EXPECT_DOUBLE_EQ(at_floor.support_lo, 10.0 / 200.0);
+  EXPECT_DOUBLE_EQ(at_floor.support_hi, 10.0 / 200.0);
+
+  const RollUpBound missing_one = archive.RollUp(1, {0, 1});
+  EXPECT_EQ(missing_one.missing_windows, 1u);
+  EXPECT_DOUBLE_EQ(missing_one.support_hi, 9.0 / 200.0);
+  EXPECT_LT(missing_one.support_hi, at_floor.support_hi);
+}
+
+TEST(TarArchiveTest, RollUpOverASingleWindowSet) {
+  TarArchive archive;
+  archive.RegisterWindow(0, 100, 5, 0.2);
+  archive.Add(3, 0, 25, 50);
+  // Present in the only window: a single-window roll-up is exact and
+  // degenerates to that window's point measures.
+  const RollUpBound present = archive.RollUp(3, {0});
+  EXPECT_EQ(present.missing_windows, 0u);
+  EXPECT_DOUBLE_EQ(present.support_lo, 0.25);
+  EXPECT_DOUBLE_EQ(present.support_hi, 0.25);
+  EXPECT_DOUBLE_EQ(present.confidence_lo, 0.5);
+  EXPECT_DOUBLE_EQ(present.confidence_hi, 0.5);
+
+  // Absent from the only window, with a confidence floor that dominates
+  // the count floor: slack = max(5-1, 0.2 * 100) = 20.
+  const RollUpBound absent = archive.RollUp(4, {0});
+  EXPECT_EQ(absent.missing_windows, 1u);
+  EXPECT_DOUBLE_EQ(absent.support_lo, 0.0);
+  EXPECT_DOUBLE_EQ(absent.support_hi, 20.0 / 100.0);
+  EXPECT_DOUBLE_EQ(absent.confidence_lo, 0.0);
+  EXPECT_DOUBLE_EQ(absent.confidence_hi, 1.0);
+}
+
+TEST(TarArchiveTest, RollUpBoundsAreNeverInverted) {
+  Rng rng(2026);
+  TarArchive archive;
+  const uint32_t windows = 8;
+  for (WindowId w = 0; w < windows; ++w) {
+    archive.RegisterWindow(w, 200 + rng.NextBounded(800),
+                           1 + rng.NextBounded(10),
+                           rng.NextDouble() * 0.3);
+  }
+  constexpr RuleId kRules = 50;
+  for (WindowId w = 0; w < windows; ++w) {
+    for (RuleId r = 0; r < kRules; ++r) {
+      if (rng.NextBool(0.5)) continue;
+      const uint64_t count = 1 + rng.NextBounded(100);
+      archive.Add(r, w, count, count + rng.NextBounded(100));
+    }
+  }
+  for (RuleId r = 0; r < kRules; ++r) {
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<WindowId> subset;
+      for (WindowId w = 0; w < windows; ++w) {
+        if (rng.NextBool(0.5)) subset.push_back(w);
+      }
+      if (subset.empty()) subset.push_back(0);
+      const RollUpBound bound = archive.RollUp(r, subset);
+      EXPECT_LE(bound.support_lo, bound.support_hi) << "rule " << r;
+      EXPECT_LE(bound.confidence_lo, bound.confidence_hi) << "rule " << r;
+      EXPECT_GE(bound.support_lo, 0.0);
+      EXPECT_LE(bound.support_hi, 1.0);
+      EXPECT_GE(bound.confidence_lo, 0.0);
+      EXPECT_LE(bound.confidence_hi, 1.0);
+      EXPECT_LE(bound.missing_windows, subset.size());
+    }
+  }
+}
+
 TEST(TarArchiveTest, PayloadIsSmallerThanRawEncoding) {
   Rng rng(3);
   TarArchive archive;

@@ -12,6 +12,8 @@
 //   traj 0.02 0.5               # Q1 from the newest window
 //   top stable 5                # exploration service
 //   metrics [json]              # engine instrument snapshot
+//   cache 16777216              # enable the generation-pinned query cache
+//   batch queries.q             # replay a query script, per-query latency
 //   save kb.bin / loadkb kb.bin # knowledge-base persistence (one stream)
 //   savedir kb/ / loaddir kb/   # segmented persistence (one file/window)
 //   ingest day9.txt             # live-append a window; persists only the
@@ -22,6 +24,7 @@
 // latency percentiles, build gauges, archive/index sizes) is printed to
 // stderr when the session ends.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -86,6 +89,10 @@ class Session {
       Top(in);
     } else if (command == "metrics") {
       Metrics(in);
+    } else if (command == "cache") {
+      Cache(in);
+    } else if (command == "batch") {
+      Batch(in);
     } else if (command == "save") {
       SaveKb(in);
     } else if (command == "loadkb") {
@@ -115,6 +122,15 @@ class Session {
         "  traj SUPP CONF        Q1 from the newest window\n"
         "  top stable|emerging|fading|periodic K\n"
         "  metrics [json]        instrument snapshot (text or JSON)\n"
+        "  cache BYTES           size the query cache (0 disables); applies\n"
+        "                        to the current engine and later builds\n"
+        "  batch FILE [group]    replay a query script (one query per line:\n"
+        "                        mine W S C | region W S C | traj W S C [W...]\n"
+        "                        | diff S1 C1 S2 C2 [W...] | measures R [W...]\n"
+        "                        | content W S C ITEM... | view W S C\n"
+        "                        | rollup R [W...] | rollupmine S C [W...]);\n"
+        "                        'group' sends one ExecuteBatch instead of\n"
+        "                        per-query calls\n"
         "  save FILE | loadkb FILE   knowledge-base persistence (stream)\n"
         "  savedir DIR | loaddir DIR  segmented persistence (attaches DIR)\n"
         "  ingest FILE           append FILE as a new window; persists only\n"
@@ -213,6 +229,7 @@ class Session {
     options.max_itemset_size = 5;
     options.build_content_index = true;
     options.metrics = &Registry();
+    options.query_cache_bytes = cache_bytes_;
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(options);
     engine_->BuildAll(*data_);
@@ -334,6 +351,220 @@ class Session {
     if (snapshot.empty() || snapshot.back() != '\n') std::printf("\n");
   }
 
+  void Cache(std::istringstream& in) {
+    size_t bytes = 0;
+    if (!(in >> bytes)) {
+      std::printf("usage: cache BYTES (0 disables)\n");
+      return;
+    }
+    cache_bytes_ = bytes;
+    if (engine_) engine_->SetQueryCacheBytes(bytes);
+    std::printf("query cache %s (%zu bytes)%s\n",
+                bytes == 0 ? "disabled" : "enabled", bytes,
+                engine_ ? "" : "; applies when an engine is built or loaded");
+  }
+
+  /// Parses the window-id tail of a batch-script line; an empty tail
+  /// means every window of the current engine.
+  std::vector<WindowId> ParseWindowTail(std::istringstream& in) const {
+    std::vector<WindowId> ids;
+    WindowId w = 0;
+    while (in >> w) ids.push_back(w);
+    if (ids.empty()) {
+      for (WindowId i = 0; i < engine_->window_count(); ++i) {
+        ids.push_back(i);
+      }
+    }
+    return ids;
+  }
+
+  /// Parses one batch-script line into a request. Returns nullopt (and
+  /// prints the problem) on a malformed line.
+  std::optional<QueryRequest> ParseQueryLine(const std::string& line) {
+    std::istringstream in(line);
+    std::string verb;
+    in >> verb;
+    WindowId w = 0;
+    double s = 0, c = 0, s2 = 0, c2 = 0;
+    RuleId rule = 0;
+    if (verb == "mine" && in >> w >> s >> c) {
+      return QueryRequest::MineWindow(w, ParameterSetting{s, c});
+    }
+    if (verb == "region" && in >> w >> s >> c) {
+      return QueryRequest::Region(w, ParameterSetting{s, c});
+    }
+    if (verb == "traj" && in >> w >> s >> c) {
+      return QueryRequest::Trajectory(w, ParameterSetting{s, c},
+                                      ParseWindowTail(in));
+    }
+    if (verb == "diff" && in >> s >> c >> s2 >> c2) {
+      return QueryRequest::Compare(ParameterSetting{s, c},
+                                   ParameterSetting{s2, c2},
+                                   ParseWindowTail(in), MatchMode::kExact);
+    }
+    if (verb == "measures" && in >> rule) {
+      return QueryRequest::Measures(rule, ParseWindowTail(in));
+    }
+    if (verb == "content" && in >> w >> s >> c) {
+      Itemset items;
+      ItemId item = 0;
+      while (in >> item) items.push_back(item);
+      return QueryRequest::Content(w, std::move(items),
+                                   ParameterSetting{s, c});
+    }
+    if (verb == "view" && in >> w >> s >> c) {
+      return QueryRequest::ContentView(w, ParameterSetting{s, c});
+    }
+    if (verb == "rollup" && in >> rule) {
+      return QueryRequest::RollUpRule(rule, ParseWindowTail(in));
+    }
+    if (verb == "rollupmine" && in >> s >> c) {
+      return QueryRequest::RollUpMine(ParseWindowTail(in),
+                                      ParameterSetting{s, c});
+    }
+    std::printf("bad batch line: %s\n", line.c_str());
+    return std::nullopt;
+  }
+
+  /// One-line human summary of a successful query result.
+  static std::string Summarize(const QueryResult& result) {
+    char buffer[128];
+    if (const auto* rules = std::get_if<std::vector<RuleId>>(&result)) {
+      std::snprintf(buffer, sizeof(buffer), "%zu rules", rules->size());
+    } else if (const auto* traj =
+                   std::get_if<TrajectoryQueryResult>(&result)) {
+      std::snprintf(buffer, sizeof(buffer), "%zu rules with trajectories",
+                    traj->rules.size());
+    } else if (const auto* diff = std::get_if<RulesetDiff>(&result)) {
+      std::snprintf(buffer, sizeof(buffer), "only-first %zu, only-second %zu",
+                    diff->only_first.size(), diff->only_second.size());
+    } else if (const auto* region = std::get_if<RegionInfo>(&result)) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "region supp (%.5f, %.5f] conf (%.4f, %.4f], %zu rules",
+                    region->support_lower, region->support_upper,
+                    region->confidence_lower, region->confidence_upper,
+                    region->result_size);
+    } else if (const auto* measures =
+                   std::get_if<TrajectoryMeasures>(&result)) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "coverage %.2f stability %.2f mean supp %.4f",
+                    measures->coverage, measures->stability,
+                    measures->mean_support);
+    } else if (const auto* view = std::get_if<ContentViewResult>(&result)) {
+      std::snprintf(buffer, sizeof(buffer), "%zu items in view",
+                    view->size());
+    } else if (const auto* bound = std::get_if<RollUpBound>(&result)) {
+      std::snprintf(buffer, sizeof(buffer),
+                    "supp [%.5f, %.5f] conf [%.4f, %.4f], %u missing",
+                    bound->support_lo, bound->support_hi,
+                    bound->confidence_lo, bound->confidence_hi,
+                    bound->missing_windows);
+    } else if (const auto* rolled = std::get_if<RolledUpRules>(&result)) {
+      std::snprintf(buffer, sizeof(buffer), "certain %zu, possible %zu",
+                    rolled->certain.size(), rolled->possible.size());
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "ok");
+    }
+    return buffer;
+  }
+
+  void PrintCacheStats(const QueryCache::Stats& before) const {
+    const QueryCache* cache = engine_->query_cache();
+    if (cache == nullptr) {
+      std::printf("cache: disabled (enable with: cache BYTES)\n");
+      return;
+    }
+    const QueryCache::Stats now = cache->stats();
+    const uint64_t hits = now.hits - before.hits;
+    const uint64_t misses = now.misses - before.misses;
+    const uint64_t lookups = hits + misses;
+    std::printf("cache: %llu hits, %llu misses (hit rate %.3f), "
+                "%llu evictions, %llu bytes of %zu\n",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses),
+                lookups == 0 ? 0.0
+                             : static_cast<double>(hits) /
+                                   static_cast<double>(lookups),
+                static_cast<unsigned long long>(now.evictions),
+                static_cast<unsigned long long>(now.bytes),
+                cache->max_bytes());
+  }
+
+  void Batch(std::istringstream& in) {
+    std::string path, mode;
+    if (!(in >> path) || !Ready()) return;
+    in >> mode;
+    std::ifstream file(path);
+    if (!file) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    std::vector<QueryRequest> requests;
+    std::string line;
+    while (std::getline(file, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      if (auto request = ParseQueryLine(line)) {
+        requests.push_back(*std::move(request));
+      }
+    }
+    if (requests.empty()) {
+      std::printf("no queries in %s\n", path.c_str());
+      return;
+    }
+    const QueryCache::Stats before = engine_->query_cache() != nullptr
+                                         ? engine_->query_cache()->stats()
+                                         : QueryCache::Stats{};
+    const auto now_us = [] {
+      return std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+    };
+    const int64_t batch_start = now_us();
+    if (mode == "group") {
+      // One pinned snapshot, deduplicated, fanned out across the pool.
+      const auto results = engine_->ExecuteBatch(requests);
+      const int64_t elapsed = now_us() - batch_start;
+      for (size_t i = 0; i < results.size(); ++i) {
+        if (results[i].has_value()) {
+          std::printf("  [%3zu] %-12s %s\n", i,
+                      std::string(QueryKindName(requests[i].kind)).c_str(),
+                      Summarize(*results[i]).c_str());
+        } else {
+          std::ostringstream out;
+          out << results[i].error();
+          std::printf("  [%3zu] %-12s rejected: %s\n", i,
+                      std::string(QueryKindName(requests[i].kind)).c_str(),
+                      out.str().c_str());
+        }
+      }
+      std::printf("%zu queries in one batch, %.1fus total (%.1fus/query)\n",
+                  results.size(), static_cast<double>(elapsed),
+                  static_cast<double>(elapsed) /
+                      static_cast<double>(results.size()));
+    } else {
+      for (size_t i = 0; i < requests.size(); ++i) {
+        const int64_t start = now_us();
+        const auto result = engine_->Execute(requests[i]);
+        const int64_t elapsed = now_us() - start;
+        if (result.has_value()) {
+          std::printf("  [%3zu] %-12s %8.1fus  %s\n", i,
+                      std::string(QueryKindName(requests[i].kind)).c_str(),
+                      static_cast<double>(elapsed),
+                      Summarize(*result).c_str());
+        } else {
+          std::ostringstream out;
+          out << result.error();
+          std::printf("  [%3zu] %-12s %8.1fus  rejected: %s\n", i,
+                      std::string(QueryKindName(requests[i].kind)).c_str(),
+                      static_cast<double>(elapsed), out.str().c_str());
+        }
+      }
+      std::printf("%zu queries, %.1fus total\n", requests.size(),
+                  static_cast<double>(now_us() - batch_start));
+    }
+    PrintCacheStats(before);
+  }
+
   void SaveKb(std::istringstream& in) {
     std::string path;
     if (!(in >> path) || !Ready()) return;
@@ -360,6 +591,7 @@ class Session {
     }
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
+    if (cache_bytes_ > 0) engine_->SetQueryCacheBytes(cache_bytes_);
     std::printf("loaded knowledge base: %u windows, %zu rules\n",
                 engine_->window_count(), engine_->catalog().size());
   }
@@ -390,6 +622,7 @@ class Session {
     }
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
+    if (cache_bytes_ > 0) engine_->SetQueryCacheBytes(cache_bytes_);
     attached_dir_ = dir;
     std::printf("loaded knowledge base from %s: %u windows, %zu rules "
                 "(attached)\n",
@@ -434,6 +667,9 @@ class Session {
   std::unique_ptr<TaraEngine> engine_;
   /// Segmented knowledge-base directory that `ingest` appends to.
   std::string attached_dir_;
+  /// Query-cache budget set via `cache`; applied to the current engine
+  /// immediately and to every engine built or loaded afterwards.
+  size_t cache_bytes_ = 0;
 };
 
 }  // namespace
