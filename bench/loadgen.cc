@@ -1,0 +1,334 @@
+// loadgen: closed-plus-paced load generator for the TARA serving layer.
+//
+// Starts two in-process servers over one shared engine:
+//
+//   1. A serving-sized instance for the STEADY phase: N client threads
+//      drive a Zipfian Q1-Q5 mix at a per-client target QPS while a
+//      separate connection live-appends windows — the interactive
+//      serving scenario of the paper, end-to-end over TCP.
+//   2. A deliberately tiny instance (one worker, tiny queue, a slow-down
+//      hook) for the OVERLOAD phase: the same clients at full speed must
+//      see typed kOverloaded/kDeadlineExceeded rejections that return
+//      promptly — never stalls — proving admission control sheds load
+//      instead of queueing without bound.
+//
+// Writes BENCH_server.json: per-phase rows with throughput and
+// p50/p99/p999 latency, plus the metrics-registry snapshot (the
+// tara.server.* series CI asserts on).
+//
+//   loadgen [--clients N] [--seconds S] [--qps Q] [--quest N ITEMS]
+//           [--windows K]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "common/rng.h"
+#include "core/query_request.h"
+#include "core/tara_engine.h"
+#include "datagen/quest_generator.h"
+#include "obs/metrics.h"
+#include "server/serving_bootstrap.h"
+#include "server/tara_client.h"
+#include "server/tara_server.h"
+#include "txdb/evolving_database.h"
+
+namespace tara::bench {
+namespace {
+
+using server::EngineBootstrap;
+using server::ServerOptions;
+using server::TaraClient;
+using server::TaraServer;
+
+using Clock = std::chrono::steady_clock;
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// The Q1-Q5 request mix. Weights skew toward the cheap interactive
+/// queries; the Zipf draw over this pool concentrates on the first
+/// entries, mimicking hot dashboards re-asking the same questions.
+std::vector<QueryRequest> BuildRequestPool(uint32_t window_count) {
+  std::vector<QueryRequest> pool;
+  std::vector<WindowId> all;
+  for (WindowId w = 0; w < window_count; ++w) all.push_back(w);
+  for (uint32_t w = 0; w < window_count; ++w) {
+    for (const double supp : {0.02, 0.03, 0.05}) {
+      for (const double conf : {0.3, 0.4}) {
+        const ParameterSetting setting{supp, conf};
+        pool.push_back(QueryRequest::MineWindow(w, setting));     // Q1/Q2
+        pool.push_back(QueryRequest::Region(w, setting));         // Q3
+        pool.push_back(QueryRequest::ContentView(w, setting));    // Q5
+        pool.push_back(QueryRequest::Trajectory(w, setting, all));  // Q1
+      }
+    }
+  }
+  const ParameterSetting low{0.02, 0.3};
+  const ParameterSetting high{0.05, 0.4};
+  pool.push_back(QueryRequest::Compare(low, high, all, MatchMode::kExact));
+  pool.push_back(QueryRequest::RollUpMine(all, low));  // Q4
+  return pool;
+}
+
+struct ClientStats {
+  std::vector<int64_t> latencies_us;  // successful requests only
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t other_error = 0;
+  int64_t max_reject_us = 0;  // slowest shed/deadline round-trip
+};
+
+/// One client thread: paced closed loop (sleep to the next slot when a
+/// target QPS is set, full speed otherwise).
+void RunClient(uint16_t port, const std::vector<QueryRequest>& pool,
+               uint64_t seed, double target_qps, uint32_t deadline_ms,
+               int64_t until_us, ClientStats* stats) {
+  auto connect = TaraClient::Connect("127.0.0.1", port);
+  if (!connect.has_value()) {
+    ++stats->other_error;
+    return;
+  }
+  TaraClient client = std::move(connect.value());
+  Rng rng(seed);
+  const int64_t gap_us =
+      target_qps > 0 ? static_cast<int64_t>(1e6 / target_qps) : 0;
+  int64_t next_slot = NowUs();
+  while (true) {
+    const int64_t now = NowUs();
+    if (now >= until_us) break;
+    if (gap_us > 0 && now < next_slot) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(next_slot - now));
+    }
+    next_slot += gap_us;
+    const QueryRequest& request = pool[rng.NextZipf(pool.size(), 1.1)];
+    const int64_t start = NowUs();
+    const auto result = client.Execute(request, deadline_ms);
+    const int64_t elapsed = NowUs() - start;
+    if (result.has_value()) {
+      ++stats->ok;
+      stats->latencies_us.push_back(elapsed);
+    } else if (server::IsOverloaded(result.error())) {
+      ++stats->shed;
+      stats->max_reject_us = std::max(stats->max_reject_us, elapsed);
+    } else if (server::IsDeadlineExceeded(result.error())) {
+      ++stats->deadline_exceeded;
+      stats->max_reject_us = std::max(stats->max_reject_us, elapsed);
+    } else {
+      ++stats->other_error;
+      if (!client.connected()) break;
+    }
+  }
+}
+
+int64_t Percentile(std::vector<int64_t>* sorted_in_place, double p) {
+  if (sorted_in_place->empty()) return 0;
+  std::sort(sorted_in_place->begin(), sorted_in_place->end());
+  const size_t at = std::min(
+      sorted_in_place->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_in_place->size())));
+  return (*sorted_in_place)[at];
+}
+
+struct PhaseResult {
+  ClientStats total;
+  std::vector<int64_t> latencies;
+  double seconds = 0;
+  uint64_t appends = 0;
+};
+
+PhaseResult RunPhase(uint16_t port, const std::vector<QueryRequest>& pool,
+                     int clients, double per_client_qps, uint32_t deadline_ms,
+                     double seconds, const TransactionDatabase* append_data) {
+  const int64_t until_us =
+      NowUs() + static_cast<int64_t>(seconds * 1e6);
+  std::vector<ClientStats> stats(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  const int64_t phase_start = NowUs();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back(RunClient, port, std::cref(pool),
+                         /*seed=*/1000 + static_cast<uint64_t>(c) * 77,
+                         per_client_qps, deadline_ms, until_us, &stats[c]);
+  }
+  PhaseResult phase;
+  if (append_data != nullptr) {
+    // Live ingestion alongside the query load, one window per second.
+    auto appender = TaraClient::Connect("127.0.0.1", port);
+    if (appender.has_value()) {
+      TaraClient client = std::move(appender.value());
+      while (NowUs() + 1000000 < until_us) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(900));
+        const auto ack = client.AppendWindow(*append_data);
+        if (!ack.has_value()) break;
+        ++phase.appends;
+      }
+    }
+  }
+  for (std::thread& t : threads) t.join();
+  phase.seconds = static_cast<double>(NowUs() - phase_start) / 1e6;
+  for (ClientStats& s : stats) {
+    phase.total.ok += s.ok;
+    phase.total.shed += s.shed;
+    phase.total.deadline_exceeded += s.deadline_exceeded;
+    phase.total.other_error += s.other_error;
+    phase.total.max_reject_us =
+        std::max(phase.total.max_reject_us, s.max_reject_us);
+    phase.latencies.insert(phase.latencies.end(), s.latencies_us.begin(),
+                           s.latencies_us.end());
+  }
+  return phase;
+}
+
+void AddPhaseRow(BenchReport* report, const char* phase, int clients,
+                 PhaseResult* result) {
+  const double qps =
+      result->seconds > 0
+          ? static_cast<double>(result->total.ok) / result->seconds
+          : 0;
+  report->AddRow()
+      .Set("phase", phase)
+      .Set("clients", static_cast<uint64_t>(clients))
+      .Set("seconds", result->seconds)
+      .Set("ok", result->total.ok)
+      .Set("shed", result->total.shed)
+      .Set("deadline_exceeded", result->total.deadline_exceeded)
+      .Set("other_errors", result->total.other_error)
+      .Set("appends", result->appends)
+      .Set("qps", qps)
+      .Set("p50_us",
+           static_cast<double>(Percentile(&result->latencies, 0.50)))
+      .Set("p99_us",
+           static_cast<double>(Percentile(&result->latencies, 0.99)))
+      .Set("p999_us",
+           static_cast<double>(Percentile(&result->latencies, 0.999)))
+      .Set("max_reject_us", static_cast<double>(result->total.max_reject_us));
+  std::printf(
+      "%-9s %d clients %5.1fs: %llu ok (%.0f qps), %llu shed, %llu "
+      "deadline, p50 %lldus p99 %lldus\n",
+      phase, clients, result->seconds,
+      static_cast<unsigned long long>(result->total.ok), qps,
+      static_cast<unsigned long long>(result->total.shed),
+      static_cast<unsigned long long>(result->total.deadline_exceeded),
+      static_cast<long long>(Percentile(&result->latencies, 0.50)),
+      static_cast<long long>(Percentile(&result->latencies, 0.99)));
+}
+
+int Run(int argc, char** argv) {
+  int clients = 6;
+  double seconds = 5;
+  double per_client_qps = 200;
+  uint32_t quest_transactions = 3000;
+  uint32_t quest_items = 100;
+  uint32_t windows = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_num = [&](double fallback) -> double {
+      return i + 1 < argc ? std::strtod(argv[++i], nullptr) : fallback;
+    };
+    if (arg == "--clients") {
+      clients = static_cast<int>(next_num(clients));
+    } else if (arg == "--seconds") {
+      seconds = next_num(seconds);
+    } else if (arg == "--qps") {
+      per_client_qps = next_num(per_client_qps);
+    } else if (arg == "--quest") {
+      quest_transactions = static_cast<uint32_t>(next_num(3000));
+      quest_items = static_cast<uint32_t>(next_num(100));
+    } else if (arg == "--windows") {
+      windows = static_cast<uint32_t>(next_num(3));
+    } else {
+      std::fprintf(stderr,
+                   "usage: loadgen [--clients N] [--seconds S] [--qps Q] "
+                   "[--quest N ITEMS] [--windows K]\n");
+      return 2;
+    }
+  }
+
+  obs::MetricsRegistry metrics;
+  EngineBootstrap bootstrap;
+  bootstrap.quest_transactions = quest_transactions;
+  bootstrap.quest_items = quest_items;
+  bootstrap.windows = windows;
+  bootstrap.support_floor = 0.02;
+  bootstrap.confidence_floor = 0.2;
+  bootstrap.metrics = &metrics;
+  auto engine = server::BootstrapEngine(bootstrap);
+  if (!engine.has_value()) {
+    std::fprintf(stderr, "loadgen: %s\n", engine.error().c_str());
+    return 1;
+  }
+  std::printf("engine ready: %u windows, %zu rules\n",
+              engine->window_count(),
+              engine->Snapshot()->catalog().size());
+
+  // Phase 1: the serving-sized instance under a paced Zipfian mix with
+  // live appends.
+  ServerOptions serving;
+  serving.metrics = &metrics;
+  TaraServer steady_server(&engine.value(), serving);
+  if (const auto problem = steady_server.Start()) {
+    std::fprintf(stderr, "loadgen: %s\n", problem->c_str());
+    return 1;
+  }
+  const std::vector<QueryRequest> pool =
+      BuildRequestPool(engine->window_count());
+  QuestGenerator::Params append_params;
+  append_params.num_transactions = std::max(quest_transactions / 10, 50u);
+  append_params.num_items = quest_items;
+  append_params.num_patterns = quest_items / 3 + 1;
+  append_params.seed = 4242;
+  const TransactionDatabase append_data =
+      QuestGenerator(append_params).Generate();
+
+  BenchReport report("server");
+  PhaseResult steady =
+      RunPhase(steady_server.port(), pool, clients, per_client_qps,
+               /*deadline_ms=*/10000, seconds, &append_data);
+  AddPhaseRow(&report, "steady", clients, &steady);
+  steady_server.Stop();
+
+  // Phase 2: a deliberately starved instance — one worker slowed by a
+  // hook, almost no queue — hammered at full speed. Admission control
+  // must shed with typed errors that return promptly.
+  ServerOptions tiny;
+  tiny.metrics = &metrics;
+  tiny.max_concurrent_queries = 1;
+  tiny.max_queued_queries = 1;
+  tiny.pre_execute_hook = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  TaraServer overload_server(&engine.value(), tiny);
+  if (const auto problem = overload_server.Start()) {
+    std::fprintf(stderr, "loadgen: %s\n", problem->c_str());
+    return 1;
+  }
+  PhaseResult overload = RunPhase(
+      overload_server.port(), pool, clients, /*per_client_qps=*/0,
+      /*deadline_ms=*/250, std::min(seconds, 3.0), nullptr);
+  AddPhaseRow(&report, "overload", clients, &overload);
+  overload_server.Stop();
+
+  report.SetMetricsJson(metrics.SnapshotJson());
+  if (!report.WriteFile()) return 1;
+  std::printf("wrote BENCH_server.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tara::bench
+
+int main(int argc, char** argv) { return tara::bench::Run(argc, argv); }

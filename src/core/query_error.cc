@@ -22,6 +22,27 @@ std::string_view QueryErrorCodeName(QueryError::Code code) {
   return "unknown";
 }
 
+std::optional<QueryError::Code> QueryErrorFromWireCode(uint32_t code) {
+  switch (code) {
+    case 1:
+      return QueryError::Code::kSupportBelowFloor;
+    case 2:
+      return QueryError::Code::kConfidenceBelowFloor;
+    case 3:
+      return QueryError::Code::kBadWindow;
+    case 4:
+      return QueryError::Code::kEmptyWindowSet;
+    case 5:
+      return QueryError::Code::kWindowSetMismatch;
+    case 6:
+      return QueryError::Code::kUnknownRule;
+    case 7:
+      return QueryError::Code::kNoContentIndex;
+    default:
+      return std::nullopt;
+  }
+}
+
 std::ostream& operator<<(std::ostream& out, const QueryError& error) {
   return out << "QueryError[" << QueryErrorCodeName(error.code) << "]: "
              << error.message;

@@ -1,0 +1,600 @@
+#include "core/wire_format.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/varint.h"
+
+namespace tara {
+namespace {
+
+void AppendVarint(uint64_t value, std::string* out) {
+  std::vector<uint8_t> bytes;
+  varint::EncodeU64(value, &bytes);
+  out->append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+}
+
+/// Cursor over untrusted payload bytes; every Read* returns false on
+/// truncation or malformed varints (mirrors the Reader of
+/// query_request.cc, which is private to that translation unit).
+struct Reader {
+  const uint8_t* data;
+  size_t size;
+  size_t pos = 0;
+
+  explicit Reader(std::string_view bytes)
+      : data(reinterpret_cast<const uint8_t*>(bytes.data())),
+        size(bytes.size()) {}
+
+  bool ReadVarint(uint64_t* out) {
+    return varint::TryDecodeU64(data, size, &pos, out);
+  }
+
+  bool ReadByte(uint8_t* out) {
+    if (pos >= size) return false;
+    *out = data[pos++];
+    return true;
+  }
+
+  bool ReadDouble(double* out) {
+    if (pos + 8 > size) return false;
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    }
+    pos += 8;
+    *out = std::bit_cast<double>(bits);
+    return true;
+  }
+
+  template <typename Int>
+  bool ReadIdList(std::vector<Int>* out) {
+    uint64_t count = 0;
+    if (!ReadVarint(&count) || count > size) return false;
+    out->clear();
+    out->reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t id = 0;
+      if (!ReadVarint(&id)) return false;
+      out->push_back(static_cast<Int>(id));
+    }
+    return true;
+  }
+
+  std::string_view Rest() const {
+    return std::string_view(reinterpret_cast<const char*>(data) + pos,
+                            size - pos);
+  }
+
+  bool AtEnd() const { return pos == size; }
+};
+
+ParseError Truncated(std::string_view what) {
+  return ParseError{ParseError::Code::kTruncatedPayload,
+                    "payload ended inside " + std::string(what)};
+}
+
+ParseError BadBody(std::string_view what) {
+  return ParseError{ParseError::Code::kBadRequestBody, std::string(what)};
+}
+
+ParseError Trailing(size_t extra) {
+  std::ostringstream message;
+  message << extra << " unexpected bytes after a well-formed structure";
+  return ParseError{ParseError::Code::kTrailingBytes, message.str()};
+}
+
+bool ReadSetting(Reader* in, ParameterSetting* out) {
+  return in->ReadDouble(&out->min_support) &&
+         in->ReadDouble(&out->min_confidence);
+}
+
+/// MatchMode arrives as one byte; only the two defined values are legal.
+bool ReadMode(Reader* in, MatchMode* out) {
+  uint8_t mode = 0;
+  if (!in->ReadByte(&mode) || mode > 1) return false;
+  *out = static_cast<MatchMode>(mode);
+  return true;
+}
+
+}  // namespace
+
+std::string_view ParseErrorCodeName(ParseError::Code code) {
+  switch (code) {
+    case ParseError::Code::kTruncatedHeader:
+      return "truncated_header";
+    case ParseError::Code::kBadMagic:
+      return "bad_magic";
+    case ParseError::Code::kUnsupportedVersion:
+      return "unsupported_version";
+    case ParseError::Code::kUnknownFrameType:
+      return "unknown_frame_type";
+    case ParseError::Code::kFrameTooLarge:
+      return "frame_too_large";
+    case ParseError::Code::kTruncatedPayload:
+      return "truncated_payload";
+    case ParseError::Code::kUnknownQueryKind:
+      return "unknown_query_kind";
+    case ParseError::Code::kBadRequestBody:
+      return "bad_request_body";
+    case ParseError::Code::kBadResultBody:
+      return "bad_result_body";
+    case ParseError::Code::kBadErrorBody:
+      return "bad_error_body";
+    case ParseError::Code::kTrailingBytes:
+      return "trailing_bytes";
+    case ParseError::Code::kUnexpectedFrame:
+      return "unexpected_frame";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& out, const ParseError& error) {
+  return out << "ParseError[" << ParseErrorCodeName(error.code)
+             << "]: " << error.message;
+}
+
+std::string_view WireErrorCodeName(uint32_t code) {
+  if (const auto query = QueryErrorFromWireCode(code)) {
+    return QueryErrorCodeName(*query);
+  }
+  switch (static_cast<ServerWireError>(code)) {
+    case ServerWireError::kOverloaded:
+      return "overloaded";
+    case ServerWireError::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServerWireError::kShuttingDown:
+      return "shutting_down";
+    case ServerWireError::kBadRequest:
+      return "bad_request";
+    case ServerWireError::kInternal:
+      return "internal";
+    default:
+      break;
+  }
+  if (code >= 200 && code <= 211) {
+    return ParseErrorCodeName(static_cast<ParseError::Code>(code));
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& out, const WireError& error) {
+  return out << "WireError[" << error.code << " "
+             << WireErrorCodeName(error.code) << "]: " << error.message;
+}
+
+void AppendFrameHeader(FrameType type, size_t payload_size,
+                       std::string* out) {
+  out->push_back(static_cast<char>(kWireMagic0));
+  out->push_back(static_cast<char>(kWireMagic1));
+  out->push_back(static_cast<char>(kWireProtocolVersion));
+  out->push_back(static_cast<char>(type));
+  const uint32_t size = static_cast<uint32_t>(payload_size);
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((size >> (8 * i)) & 0xff));
+  }
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + payload.size());
+  AppendFrameHeader(type, payload.size(), &out);
+  out.append(payload);
+  return out;
+}
+
+Expected<FrameHeader, ParseError> DecodeFrameHeader(std::string_view bytes,
+                                                    uint32_t max_payload) {
+  if (bytes.size() < kWireHeaderBytes) {
+    std::ostringstream message;
+    message << "frame header needs " << kWireHeaderBytes << " bytes, got "
+            << bytes.size();
+    return ParseError{ParseError::Code::kTruncatedHeader, message.str()};
+  }
+  const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  if (data[0] != kWireMagic0 || data[1] != kWireMagic1) {
+    return ParseError{ParseError::Code::kBadMagic,
+                      "bytes do not start with the TARA wire magic 'TW'"};
+  }
+  if (data[2] != kWireProtocolVersion) {
+    std::ostringstream message;
+    message << "frame speaks protocol version "
+            << static_cast<unsigned>(data[2]) << "; this build speaks "
+            << static_cast<unsigned>(kWireProtocolVersion);
+    return ParseError{ParseError::Code::kUnsupportedVersion, message.str()};
+  }
+  const uint8_t type = data[3];
+  if (type < static_cast<uint8_t>(FrameType::kExecute) ||
+      type > static_cast<uint8_t>(FrameType::kInfoResponse)) {
+    std::ostringstream message;
+    message << "unknown frame type " << static_cast<unsigned>(type);
+    return ParseError{ParseError::Code::kUnknownFrameType, message.str()};
+  }
+  uint32_t size = 0;
+  for (int i = 0; i < 4; ++i) {
+    size |= static_cast<uint32_t>(data[4 + i]) << (8 * i);
+  }
+  if (size > max_payload || size > kWireMaxPayloadBytes) {
+    std::ostringstream message;
+    message << "declared payload of " << size << " bytes exceeds the limit "
+            << std::min(max_payload, kWireMaxPayloadBytes);
+    return ParseError{ParseError::Code::kFrameTooLarge, message.str()};
+  }
+  FrameHeader header;
+  header.version = data[2];
+  header.type = static_cast<FrameType>(type);
+  header.payload_size = size;
+  return header;
+}
+
+Expected<DecodedFrame, ParseError> DecodeFrame(std::string_view bytes,
+                                               uint32_t max_payload) {
+  auto header = DecodeFrameHeader(bytes, max_payload);
+  if (!header.has_value()) return header.error();
+  const size_t total = kWireHeaderBytes + header->payload_size;
+  if (bytes.size() < total) {
+    std::ostringstream message;
+    message << "header declares a " << header->payload_size
+            << "-byte payload but only " << bytes.size() - kWireHeaderBytes
+            << " bytes follow";
+    return ParseError{ParseError::Code::kTruncatedPayload, message.str()};
+  }
+  if (bytes.size() > total) return Trailing(bytes.size() - total);
+  DecodedFrame frame;
+  frame.header = *header;
+  frame.payload = bytes.substr(kWireHeaderBytes, header->payload_size);
+  return frame;
+}
+
+Expected<QueryRequest, ParseError> DecodeQueryRequest(
+    std::string_view bytes) {
+  Reader in(bytes);
+  uint8_t kind_byte = 0;
+  if (!in.ReadByte(&kind_byte)) return Truncated("the kind byte");
+  if (kind_byte >= kQueryKindCount) {
+    std::ostringstream message;
+    message << "kind byte " << static_cast<unsigned>(kind_byte)
+            << " names no QueryKind (this build knows 0-"
+            << kQueryKindCount - 1 << ")";
+    return ParseError{ParseError::Code::kUnknownQueryKind, message.str()};
+  }
+  QueryRequest request;
+  request.kind = static_cast<QueryKind>(kind_byte);
+  uint64_t id = 0;
+  switch (request.kind) {
+    case QueryKind::kMineWindow:
+    case QueryKind::kRegion:
+    case QueryKind::kContentView:
+      if (!in.ReadVarint(&id)) return Truncated("the window id");
+      request.window = static_cast<WindowId>(id);
+      if (!ReadSetting(&in, &request.setting)) {
+        return Truncated("the parameter setting");
+      }
+      break;
+    case QueryKind::kMineWindows:
+      if (!ReadMode(&in, &request.mode)) {
+        return BadBody("missing or out-of-range match-mode byte");
+      }
+      if (!ReadSetting(&in, &request.setting)) {
+        return Truncated("the parameter setting");
+      }
+      if (!in.ReadIdList(&request.windows)) {
+        return Truncated("the window id list");
+      }
+      break;
+    case QueryKind::kTrajectory:
+      if (!in.ReadVarint(&id)) return Truncated("the anchor window id");
+      request.window = static_cast<WindowId>(id);
+      if (!ReadSetting(&in, &request.setting)) {
+        return Truncated("the parameter setting");
+      }
+      if (!in.ReadIdList(&request.windows)) {
+        return Truncated("the horizon window list");
+      }
+      break;
+    case QueryKind::kCompare:
+      if (!ReadMode(&in, &request.mode)) {
+        return BadBody("missing or out-of-range match-mode byte");
+      }
+      if (!ReadSetting(&in, &request.setting) ||
+          !ReadSetting(&in, &request.second)) {
+        return Truncated("a parameter setting");
+      }
+      if (!in.ReadIdList(&request.windows)) {
+        return Truncated("the window id list");
+      }
+      break;
+    case QueryKind::kMeasures:
+    case QueryKind::kRollUpRule:
+      if (!in.ReadVarint(&id)) return Truncated("the rule id");
+      request.rule = static_cast<RuleId>(id);
+      if (!in.ReadIdList(&request.windows)) {
+        return Truncated("the window id list");
+      }
+      break;
+    case QueryKind::kContent:
+      if (!in.ReadVarint(&id)) return Truncated("the window id");
+      request.window = static_cast<WindowId>(id);
+      if (!ReadSetting(&in, &request.setting)) {
+        return Truncated("the parameter setting");
+      }
+      if (!in.ReadIdList(&request.items)) return Truncated("the item list");
+      break;
+    case QueryKind::kRollUpMine:
+      if (!ReadSetting(&in, &request.setting)) {
+        return Truncated("the parameter setting");
+      }
+      if (!in.ReadIdList(&request.windows)) {
+        return Truncated("the window id list");
+      }
+      break;
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  return request;
+}
+
+std::string EncodeExecuteFrame(const QueryRequest& request,
+                               uint32_t deadline_ms) {
+  std::string payload;
+  AppendVarint(deadline_ms, &payload);
+  payload += EncodeQueryRequest(request);
+  return EncodeFrame(FrameType::kExecute, payload);
+}
+
+Expected<ExecuteCommand, ParseError> DecodeExecutePayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t deadline = 0;
+  if (!in.ReadVarint(&deadline) || deadline > UINT32_MAX) {
+    return Truncated("the deadline varint");
+  }
+  auto request = DecodeQueryRequest(in.Rest());
+  if (!request.has_value()) return request.error();
+  ExecuteCommand command;
+  command.deadline_ms = static_cast<uint32_t>(deadline);
+  command.request = *std::move(request);
+  return command;
+}
+
+std::string EncodeResultFrame(QueryKind kind, const QueryResult& result) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kind));
+  payload += EncodeQueryResult(kind, result);
+  return EncodeFrame(FrameType::kResult, payload);
+}
+
+Expected<std::pair<QueryKind, QueryResult>, ParseError> DecodeResultPayload(
+    std::string_view payload) {
+  if (payload.empty()) return Truncated("the result kind byte");
+  const uint8_t kind_byte = static_cast<uint8_t>(payload[0]);
+  if (kind_byte >= kQueryKindCount) {
+    std::ostringstream message;
+    message << "result kind byte " << static_cast<unsigned>(kind_byte)
+            << " names no QueryKind";
+    return ParseError{ParseError::Code::kUnknownQueryKind, message.str()};
+  }
+  const QueryKind kind = static_cast<QueryKind>(kind_byte);
+  auto result = DecodeQueryResult(kind, payload.substr(1));
+  if (!result.has_value()) {
+    std::ostringstream message;
+    message << "bytes do not decode as a " << QueryKindName(kind)
+            << " result";
+    return ParseError{ParseError::Code::kBadResultBody, message.str()};
+  }
+  return std::make_pair(kind, *std::move(result));
+}
+
+std::string EncodeErrorFrame(uint32_t code, std::string_view message) {
+  std::string payload;
+  AppendVarint(code, &payload);
+  payload.append(message);
+  return EncodeFrame(FrameType::kError, payload);
+}
+
+std::string EncodeErrorFrame(const QueryError& error) {
+  return EncodeErrorFrame(QueryErrorWireCode(error.code), error.message);
+}
+
+std::string EncodeErrorFrame(ServerWireError code, std::string_view message) {
+  return EncodeErrorFrame(static_cast<uint32_t>(code), message);
+}
+
+std::string EncodeErrorFrame(const ParseError& error) {
+  return EncodeErrorFrame(static_cast<uint32_t>(error.code), error.message);
+}
+
+Expected<WireError, ParseError> DecodeErrorPayload(std::string_view payload) {
+  Reader in(payload);
+  uint64_t code = 0;
+  if (!in.ReadVarint(&code) || code == 0 || code > UINT32_MAX) {
+    return ParseError{ParseError::Code::kBadErrorBody,
+                      "error payload lacks a valid nonzero code varint"};
+  }
+  WireError error;
+  error.code = static_cast<uint32_t>(code);
+  error.message = std::string(in.Rest());
+  return error;
+}
+
+std::string EncodeBatchExecuteFrame(const std::vector<QueryRequest>& requests,
+                                    uint32_t deadline_ms) {
+  std::string payload;
+  AppendVarint(deadline_ms, &payload);
+  AppendVarint(requests.size(), &payload);
+  for (const QueryRequest& request : requests) {
+    const std::string bytes = EncodeQueryRequest(request);
+    AppendVarint(bytes.size(), &payload);
+    payload += bytes;
+  }
+  return EncodeFrame(FrameType::kBatchExecute, payload);
+}
+
+Expected<BatchExecuteCommand, ParseError> DecodeBatchExecutePayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t deadline = 0, count = 0;
+  if (!in.ReadVarint(&deadline) || deadline > UINT32_MAX) {
+    return Truncated("the deadline varint");
+  }
+  if (!in.ReadVarint(&count) || count > in.size) {
+    return Truncated("the request count");
+  }
+  BatchExecuteCommand command;
+  command.deadline_ms = static_cast<uint32_t>(deadline);
+  command.requests.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t length = 0;
+    if (!in.ReadVarint(&length) || length > in.size - in.pos) {
+      return Truncated("a request length prefix");
+    }
+    auto request =
+        DecodeQueryRequest(std::string_view(in.Rest().data(), length));
+    if (!request.has_value()) return request.error();
+    in.pos += length;
+    command.requests.push_back(*std::move(request));
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  return command;
+}
+
+std::string EncodeBatchResultFrame(
+    const std::vector<QueryKind>& kinds,
+    const std::vector<Expected<QueryResult, QueryError>>& results) {
+  std::string payload;
+  AppendVarint(results.size(), &payload);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::string body;
+    if (results[i].has_value()) {
+      payload.push_back(0);
+      body.push_back(static_cast<char>(kinds[i]));
+      body += EncodeQueryResult(kinds[i], *results[i]);
+    } else {
+      payload.push_back(1);
+      AppendVarint(QueryErrorWireCode(results[i].error().code), &body);
+      body += results[i].error().message;
+    }
+    AppendVarint(body.size(), &payload);
+    payload += body;
+  }
+  return EncodeFrame(FrameType::kBatchResult, payload);
+}
+
+Expected<std::vector<Expected<QueryResult, WireError>>, ParseError>
+DecodeBatchResultPayload(std::string_view payload) {
+  Reader in(payload);
+  uint64_t count = 0;
+  if (!in.ReadVarint(&count) || count > in.size) {
+    return Truncated("the result count");
+  }
+  std::vector<Expected<QueryResult, WireError>> results;
+  results.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t status = 0;
+    uint64_t length = 0;
+    if (!in.ReadByte(&status) || status > 1) {
+      return BadBody("missing or out-of-range batch item status byte");
+    }
+    if (!in.ReadVarint(&length) || length > in.size - in.pos) {
+      return Truncated("a batch item length prefix");
+    }
+    const std::string_view body(in.Rest().data(), length);
+    in.pos += length;
+    if (status == 0) {
+      auto result = DecodeResultPayload(body);
+      if (!result.has_value()) return result.error();
+      results.push_back(std::move(result->second));
+    } else {
+      auto error = DecodeErrorPayload(body);
+      if (!error.has_value()) return error.error();
+      results.push_back(*std::move(error));
+    }
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  return results;
+}
+
+std::string EncodeAppendWindowFrame(const TransactionDatabase& db,
+                                    size_t begin, size_t end) {
+  std::string payload;
+  AppendVarint(end - begin, &payload);
+  for (size_t i = begin; i < end; ++i) {
+    const Transaction& tx = db[i];
+    AppendVarint(varint::ZigzagEncode(tx.time), &payload);
+    AppendVarint(tx.items.size(), &payload);
+    for (const ItemId item : tx.items) AppendVarint(item, &payload);
+  }
+  return EncodeFrame(FrameType::kAppendWindow, payload);
+}
+
+Expected<TransactionDatabase, ParseError> DecodeAppendWindowPayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t count = 0;
+  if (!in.ReadVarint(&count) || count > in.size) {
+    return Truncated("the transaction count");
+  }
+  TransactionDatabase db;
+  Timestamp last_time = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t time_bits = 0;
+    Itemset items;
+    if (!in.ReadVarint(&time_bits)) return Truncated("a timestamp");
+    if (!in.ReadIdList(&items)) return Truncated("a transaction item list");
+    const Timestamp time = varint::ZigzagDecode(time_bits);
+    if (i > 0 && time < last_time) {
+      return BadBody("transaction timestamps decrease; the database "
+                     "requires non-decreasing order");
+    }
+    last_time = time;
+    db.Append(time, std::move(items));
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  return db;
+}
+
+std::string EncodeAppendAckFrame(WindowId window, uint64_t generation) {
+  std::string payload;
+  AppendVarint(window, &payload);
+  AppendVarint(generation, &payload);
+  return EncodeFrame(FrameType::kAppendAck, payload);
+}
+
+Expected<AppendAck, ParseError> DecodeAppendAckPayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t window = 0, generation = 0;
+  if (!in.ReadVarint(&window) || !in.ReadVarint(&generation)) {
+    return Truncated("the append acknowledgement");
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  AppendAck ack;
+  ack.window = static_cast<WindowId>(window);
+  ack.generation = generation;
+  return ack;
+}
+
+std::string EncodeInfoResponseFrame(const ServerInfo& info) {
+  std::string payload;
+  AppendVarint(info.window_count, &payload);
+  AppendVarint(info.generation, &payload);
+  AppendVarint(info.rule_count, &payload);
+  return EncodeFrame(FrameType::kInfoResponse, payload);
+}
+
+Expected<ServerInfo, ParseError> DecodeInfoResponsePayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t windows = 0, generation = 0, rules = 0;
+  if (!in.ReadVarint(&windows) || !in.ReadVarint(&generation) ||
+      !in.ReadVarint(&rules)) {
+    return Truncated("the server info");
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  ServerInfo info;
+  info.window_count = static_cast<uint32_t>(windows);
+  info.generation = generation;
+  info.rule_count = rules;
+  return info;
+}
+
+}  // namespace tara

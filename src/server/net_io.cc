@@ -1,0 +1,181 @@
+#include "server/net_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tara::server {
+namespace {
+
+std::string ErrnoMessage(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// EINTR-safe full read; returns bytes read (short only on EOF), or -1.
+ssize_t ReadExact(int fd, char* buffer, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buffer + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) break;
+    got += static_cast<size_t>(r);
+  }
+  return static_cast<ssize_t>(got);
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+FrameRead ReadFrame(int fd, uint32_t max_payload) {
+  FrameRead out;
+  char header_bytes[kWireHeaderBytes];
+  const ssize_t header_got = ReadExact(fd, header_bytes, kWireHeaderBytes);
+  if (header_got < 0) {
+    out.status = FrameRead::Status::kIoError;
+    out.io_message = ErrnoMessage("read");
+    return out;
+  }
+  if (header_got == 0) {
+    out.status = FrameRead::Status::kEof;
+    return out;
+  }
+  if (static_cast<size_t>(header_got) < kWireHeaderBytes) {
+    out.status = FrameRead::Status::kIoError;
+    out.io_message = "peer closed mid-header";
+    return out;
+  }
+  auto header = DecodeFrameHeader(
+      std::string_view(header_bytes, kWireHeaderBytes), max_payload);
+  if (!header.has_value()) {
+    out.status = FrameRead::Status::kParseError;
+    out.parse_error = header.error();
+    return out;
+  }
+  out.header = *header;
+  out.payload.resize(header->payload_size);
+  if (header->payload_size > 0) {
+    const ssize_t payload_got =
+        ReadExact(fd, out.payload.data(), header->payload_size);
+    if (payload_got < 0) {
+      out.status = FrameRead::Status::kIoError;
+      out.io_message = ErrnoMessage("read");
+      return out;
+    }
+    if (static_cast<size_t>(payload_got) < header->payload_size) {
+      out.status = FrameRead::Status::kIoError;
+      out.io_message = "peer closed mid-payload";
+      return out;
+    }
+  }
+  out.status = FrameRead::Status::kOk;
+  return out;
+}
+
+bool WriteAll(int fd, std::string_view bytes, std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t w =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = ErrnoMessage("send");
+      return false;
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+namespace {
+
+bool FillAddress(const std::string& host, uint16_t port, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* name = host == "localhost" ? "127.0.0.1" : host.c_str();
+  return ::inet_pton(AF_INET, name, &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+Expected<Socket, std::string> ConnectTcp(const std::string& host,
+                                         uint16_t port) {
+  sockaddr_in addr;
+  if (!FillAddress(host, port, &addr)) {
+    return std::string("cannot parse host address '" + host +
+                       "' (IPv4 dotted quad or 'localhost')");
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoMessage("socket");
+  while (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+    if (errno == EINTR) continue;
+    return ErrnoMessage("connect to " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+Expected<Socket, std::string> ListenTcp(const std::string& host,
+                                        uint16_t port, int backlog,
+                                        uint16_t* bound_port) {
+  sockaddr_in addr;
+  if (!FillAddress(host, port, &addr)) {
+    return std::string("cannot parse host address '" + host +
+                       "' (IPv4 dotted quad or 'localhost')");
+  }
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return ErrnoMessage("socket");
+  const int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return ErrnoMessage("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(sock.fd(), backlog) != 0) return ErrnoMessage("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in bound;
+    socklen_t len = sizeof(bound);
+    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      return ErrnoMessage("getsockname");
+    }
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return sock;
+}
+
+bool SplitHostPort(std::string_view spec, std::string* host, uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  unsigned long value = 0;
+  const std::string digits(spec.substr(colon + 1));
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  value = std::strtoul(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value > 65535) return false;
+  *host = std::string(spec.substr(0, colon));
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+}  // namespace tara::server

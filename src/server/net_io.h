@@ -1,0 +1,89 @@
+#ifndef TARA_SERVER_NET_IO_H_
+#define TARA_SERVER_NET_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/expected.h"
+#include "core/wire_format.h"
+
+/// \file
+/// Thin blocking-socket plumbing shared by TaraServer and TaraClient:
+/// an RAII fd, EINTR-safe exact read/write, and whole-frame transfer in
+/// terms of the core wire format. Linux-only (the repo's platform); no
+/// third-party networking dependency.
+
+namespace tara::server {
+
+/// Owning socket file descriptor. Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  ~Socket() { Close(); }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Wakes any thread blocked in read/accept on this socket (used by
+  /// Stop to unblock connection threads before joining them).
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Outcome of reading one frame off a socket. Exactly one of the error
+/// conditions is set for non-kOk statuses.
+struct FrameRead {
+  enum class Status {
+    kOk,          ///< header + payload follow
+    kEof,         ///< orderly peer close at a frame boundary
+    kIoError,     ///< read failed (io_message) or mid-frame disconnect
+    kParseError,  ///< the header was hostile (parse_error)
+  };
+  Status status = Status::kIoError;
+  FrameHeader header;
+  std::string payload;
+  ParseError parse_error;
+  std::string io_message;
+};
+
+/// Blocks until a whole frame arrives. `max_payload` bounds the
+/// accepted payload size (admission against memory bombs).
+FrameRead ReadFrame(int fd, uint32_t max_payload);
+
+/// Writes every byte of `bytes`. Returns false and fills `*error` on
+/// failure (peer gone, etc.).
+bool WriteAll(int fd, std::string_view bytes, std::string* error);
+
+/// Connects to host:port (IPv4 dotted quad; "localhost" is understood).
+Expected<Socket, std::string> ConnectTcp(const std::string& host,
+                                         uint16_t port);
+
+/// Binds + listens on host:port (port 0 = ephemeral) and reports the
+/// actually bound port through `*bound_port`.
+Expected<Socket, std::string> ListenTcp(const std::string& host,
+                                        uint16_t port, int backlog,
+                                        uint16_t* bound_port);
+
+/// Splits "HOST:PORT" ("127.0.0.1:7411"). Returns false on a malformed
+/// spec (missing colon, non-numeric or out-of-range port).
+bool SplitHostPort(std::string_view spec, std::string* host, uint16_t* port);
+
+}  // namespace tara::server
+
+#endif  // TARA_SERVER_NET_IO_H_

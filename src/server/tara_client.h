@@ -1,0 +1,98 @@
+#ifndef TARA_SERVER_TARA_CLIENT_H_
+#define TARA_SERVER_TARA_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "core/query_request.h"
+#include "core/wire_format.h"
+#include "server/net_io.h"
+#include "txdb/transaction_database.h"
+
+namespace tara::server {
+
+/// Client-side pseudo-codes (range 300-399). These are NEVER sent on the
+/// wire; TaraClient uses them to report local failures through the same
+/// numeric space remote errors arrive in, so callers branch on one code.
+/// Append-only like every other wire-code range.
+inline constexpr uint32_t kClientTransportError = 300;  ///< socket I/O failed
+inline constexpr uint32_t kClientProtocolError = 301;   ///< peer broke protocol
+inline constexpr uint32_t kClientConnectionClosed = 302;  ///< orderly EOF
+
+/// A blocking client for the TARA wire protocol: one TCP connection in
+/// request-response lockstep (the protocol is synchronous per
+/// connection — open one client per concurrent in-flight request).
+///
+/// Every method returns Expected<_, WireError>. The error's `code` is a
+/// frozen wire code: 1-99 query validation (the server's QueryError,
+/// round-tripped), 100-199 serving-layer (overloaded, deadline
+/// exceeded), 200-299 protocol/parse, 300-399 local transport. Helpers
+/// below name the interesting ones.
+class TaraClient {
+ public:
+  /// Opens a connection. `host` is an IPv4 dotted quad or "localhost".
+  static Expected<TaraClient, WireError> Connect(const std::string& host,
+                                                 uint16_t port);
+
+  TaraClient(TaraClient&&) = default;
+  TaraClient& operator=(TaraClient&&) = default;
+
+  /// Executes one query. deadline_ms > 0 bounds the server-side
+  /// queueing delay; 0 means no deadline.
+  Expected<QueryResult, WireError> Execute(const QueryRequest& request,
+                                           uint32_t deadline_ms = 0);
+
+  /// Executes a batch against one server-pinned snapshot. The outer
+  /// Expected is the transport/admission fate of the whole batch; inner
+  /// entries are positionally aligned per-request outcomes.
+  Expected<std::vector<Expected<QueryResult, WireError>>, WireError>
+  ExecuteBatch(const std::vector<QueryRequest>& requests,
+               uint32_t deadline_ms = 0);
+
+  /// Live-appends transactions [begin, end) of `db` as one new window.
+  Expected<AppendAck, WireError> AppendWindow(const TransactionDatabase& db,
+                                              size_t begin, size_t end);
+  Expected<AppendAck, WireError> AppendWindow(const TransactionDatabase& db) {
+    return AppendWindow(db, 0, db.size());
+  }
+
+  /// The server's metrics-registry snapshot (the /metrics endpoint).
+  Expected<std::string, WireError> Metrics(bool json = false);
+
+  /// Knowledge-base shape: window count, generation, rule count.
+  Expected<ServerInfo, WireError> Info();
+
+  /// Liveness probe. true on pong.
+  Expected<bool, WireError> Ping();
+
+  bool connected() const { return socket_.valid(); }
+
+ private:
+  explicit TaraClient(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Sends `frame` and reads exactly one response frame, turning
+  /// transport failures and kError responses into WireError.
+  Expected<DecodedFrame, WireError> RoundTrip(const std::string& frame);
+
+  Socket socket_;
+  /// The response payload of the last RoundTrip (DecodedFrame::payload
+  /// points into it).
+  std::string response_payload_;
+};
+
+/// true when `error` is the server's admission-control shed signal.
+inline bool IsOverloaded(const WireError& error) {
+  return error.code == static_cast<uint32_t>(ServerWireError::kOverloaded);
+}
+
+/// true when the request's deadline expired while queued at the server.
+inline bool IsDeadlineExceeded(const WireError& error) {
+  return error.code ==
+         static_cast<uint32_t>(ServerWireError::kDeadlineExceeded);
+}
+
+}  // namespace tara::server
+
+#endif  // TARA_SERVER_TARA_CLIENT_H_

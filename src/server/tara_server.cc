@@ -1,0 +1,342 @@
+#include "server/tara_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+
+namespace tara::server {
+
+using Clock = std::chrono::steady_clock;
+
+TaraServer::AdmissionGate::Outcome TaraServer::AdmissionGate::Enter(
+    std::optional<Clock::time_point> deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) return Outcome::kShutdown;
+  if (active_ < max_active_) {
+    ++active_;
+    return Outcome::kAdmitted;
+  }
+  if (waiting_ >= max_waiting_) return Outcome::kShed;
+  ++waiting_;
+  const auto slot_free = [this] { return active_ < max_active_ || stopping_; };
+  bool got_slot = true;
+  if (deadline.has_value()) {
+    got_slot = cv_.wait_until(lock, *deadline, slot_free);
+  } else {
+    cv_.wait(lock, slot_free);
+  }
+  --waiting_;
+  if (stopping_) return Outcome::kShutdown;
+  if (!got_slot) return Outcome::kDeadline;
+  ++active_;
+  return Outcome::kAdmitted;
+}
+
+void TaraServer::AdmissionGate::Leave() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+void TaraServer::AdmissionGate::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+TaraServer::TaraServer(TaraEngine* engine, ServerOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      gate_(options_.max_concurrent_queries > 0
+                ? options_.max_concurrent_queries
+                : std::max(1u, std::thread::hardware_concurrency()),
+            std::max(0, options_.max_queued_queries)) {
+  options_.max_payload_bytes =
+      std::min(options_.max_payload_bytes, kWireMaxPayloadBytes);
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry* registry = options_.metrics;
+    metrics_.connections = registry->GetCounter("tara.server.connections");
+    metrics_.active_connections =
+        registry->GetGauge("tara.server.active_connections");
+    metrics_.requests = registry->GetCounter("tara.server.requests");
+    metrics_.shed = registry->GetCounter("tara.server.shed");
+    metrics_.deadline_exceeded =
+        registry->GetCounter("tara.server.deadline_exceeded");
+    metrics_.appends = registry->GetCounter("tara.server.appends");
+    metrics_.parse_errors = registry->GetCounter("tara.server.parse_errors");
+    metrics_.request_latency =
+        registry->GetHistogram("tara.server.request_latency_ns");
+  }
+}
+
+TaraServer::~TaraServer() { Stop(); }
+
+std::optional<std::string> TaraServer::Start() {
+  if (started_) return std::string("Start() called twice");
+  auto listener = ListenTcp(options_.host, options_.port,
+                            options_.listen_backlog, &bound_port_);
+  if (!listener.has_value()) return listener.error();
+  listener_ = std::move(listener.value());
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return std::nullopt;
+}
+
+void TaraServer::Stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    // Not started, or another Stop already ran the shutdown sequence.
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  gate_.Shutdown();
+  // Shutdown (a read of fd_) may race-freely overlap the accept loop's
+  // own fd() reads; Close() writes fd_ = -1, so it must wait until the
+  // accept thread — which rechecks stopping_ at least every poll
+  // interval — has been joined.
+  listener_.ShutdownBoth();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.Close();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    connection->socket.ShutdownBoth();
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+}
+
+void TaraServer::ReapFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TaraServer::AcceptLoop() {
+  // Poll with a timeout instead of blocking in accept(): shutdown() on a
+  // *listening* socket does not reliably wake a blocked accept() (unlike
+  // on connected sockets), so Stop() could otherwise hang in join. The
+  // timeout bounds shutdown latency to one poll interval.
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listener_.fd(), POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    if (ready <= 0) continue;  // timeout or EINTR
+    const int fd = ::accept(listener_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      continue;  // aborted handshake between poll and accept
+    }
+    ReapFinishedConnections();
+    auto connection = std::make_unique<Connection>();
+    connection->socket = Socket(fd);
+    if (metrics_.connections != nullptr) metrics_.connections->Increment();
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { HandleConnection(raw); });
+  }
+}
+
+void TaraServer::HandleConnection(Connection* connection) {
+  if (metrics_.active_connections != nullptr) {
+    metrics_.active_connections->Add(1);
+  }
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    FrameRead frame =
+        ReadFrame(connection->socket.fd(), options_.max_payload_bytes);
+    if (frame.status == FrameRead::Status::kEof ||
+        frame.status == FrameRead::Status::kIoError) {
+      break;
+    }
+    if (frame.status == FrameRead::Status::kParseError) {
+      // Header-level corruption: framing integrity is gone, so reply
+      // with the typed parse error and drop the connection.
+      if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
+      Reply(connection, EncodeErrorFrame(frame.parse_error));
+      break;
+    }
+    if (!HandleFrame(connection, frame.header, frame.payload)) break;
+  }
+  connection->socket.ShutdownBoth();
+  if (metrics_.active_connections != nullptr) {
+    metrics_.active_connections->Add(-1);
+  }
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool TaraServer::HandleFrame(Connection* connection,
+                             const FrameHeader& header,
+                             const std::string& payload) {
+  switch (header.type) {
+    case FrameType::kExecute:
+      return HandleExecute(connection, payload);
+    case FrameType::kBatchExecute:
+      return HandleBatchExecute(connection, payload);
+    case FrameType::kAppendWindow:
+      return HandleAppendWindow(connection, payload);
+    case FrameType::kMetricsRequest: {
+      const bool json = !payload.empty() && payload[0] == 1;
+      const std::string snapshot =
+          options_.metrics == nullptr
+              ? std::string()
+              : (json ? options_.metrics->SnapshotJson()
+                      : options_.metrics->SnapshotText());
+      return Reply(connection,
+                   EncodeFrame(FrameType::kMetricsResponse, snapshot));
+    }
+    case FrameType::kInfoRequest: {
+      const auto snapshot = engine_->Snapshot();
+      ServerInfo info;
+      info.window_count = snapshot->window_count();
+      info.generation = snapshot->generation();
+      info.rule_count = snapshot->catalog().size();
+      return Reply(connection, EncodeInfoResponseFrame(info));
+    }
+    case FrameType::kPing:
+      return Reply(connection, EncodeFrame(FrameType::kPong, {}));
+    default: {
+      // Valid frame, wrong direction (kResult at the server, ...): the
+      // framing is intact, so answer typed and keep the connection.
+      if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
+      std::string message = "frame type ";
+      message += std::to_string(static_cast<unsigned>(header.type));
+      message += " is not a client request";
+      return Reply(connection,
+                   EncodeErrorFrame(
+                       ParseError{ParseError::Code::kUnexpectedFrame,
+                                  std::move(message)}));
+    }
+  }
+}
+
+std::optional<std::string> TaraServer::TryAdmit(
+    std::optional<Clock::time_point> deadline) {
+  switch (gate_.Enter(deadline)) {
+    case AdmissionGate::Outcome::kAdmitted:
+      return std::nullopt;
+    case AdmissionGate::Outcome::kShed:
+      if (metrics_.shed != nullptr) metrics_.shed->Increment();
+      return EncodeErrorFrame(ServerWireError::kOverloaded,
+                              "query pool and wait queue are full; retry "
+                              "with backoff");
+    case AdmissionGate::Outcome::kDeadline:
+      if (metrics_.deadline_exceeded != nullptr) {
+        metrics_.deadline_exceeded->Increment();
+      }
+      return EncodeErrorFrame(ServerWireError::kDeadlineExceeded,
+                              "deadline expired before a pool slot freed up");
+    case AdmissionGate::Outcome::kShutdown:
+      return EncodeErrorFrame(ServerWireError::kShuttingDown,
+                              "server is draining");
+  }
+  return EncodeErrorFrame(ServerWireError::kInternal, "unreachable");
+}
+
+bool TaraServer::HandleExecute(Connection* connection,
+                               const std::string& payload) {
+  const Clock::time_point received = Clock::now();
+  if (metrics_.requests != nullptr) metrics_.requests->Increment();
+  auto command = DecodeExecutePayload(payload);
+  if (!command.has_value()) {
+    if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
+    return Reply(connection, EncodeErrorFrame(command.error()));
+  }
+  std::optional<Clock::time_point> deadline;
+  if (command->deadline_ms > 0) {
+    deadline = received + std::chrono::milliseconds(command->deadline_ms);
+  }
+  if (auto rejection = TryAdmit(deadline)) {
+    return Reply(connection, *rejection);
+  }
+  if (options_.pre_execute_hook) options_.pre_execute_hook();
+  const auto result = engine_->Execute(command->request);
+  gate_.Leave();
+  if (metrics_.request_latency != nullptr) {
+    metrics_.request_latency->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             received)
+            .count()));
+  }
+  if (!result.has_value()) {
+    return Reply(connection, EncodeErrorFrame(result.error()));
+  }
+  return Reply(connection,
+               EncodeResultFrame(command->request.kind, *result));
+}
+
+bool TaraServer::HandleBatchExecute(Connection* connection,
+                                    const std::string& payload) {
+  const Clock::time_point received = Clock::now();
+  if (metrics_.requests != nullptr) metrics_.requests->Increment();
+  auto command = DecodeBatchExecutePayload(payload);
+  if (!command.has_value()) {
+    if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
+    return Reply(connection, EncodeErrorFrame(command.error()));
+  }
+  std::optional<Clock::time_point> deadline;
+  if (command->deadline_ms > 0) {
+    deadline = received + std::chrono::milliseconds(command->deadline_ms);
+  }
+  // A batch occupies one pool slot; its requests fan out over the
+  // engine's own query pool (ExecuteBatch), so admission cost is
+  // per-batch, not per-contained-request.
+  if (auto rejection = TryAdmit(deadline)) {
+    return Reply(connection, *rejection);
+  }
+  if (options_.pre_execute_hook) options_.pre_execute_hook();
+  const auto results = engine_->ExecuteBatch(command->requests);
+  gate_.Leave();
+  if (metrics_.request_latency != nullptr) {
+    metrics_.request_latency->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             received)
+            .count()));
+  }
+  std::vector<QueryKind> kinds;
+  kinds.reserve(command->requests.size());
+  for (const QueryRequest& request : command->requests) {
+    kinds.push_back(request.kind);
+  }
+  return Reply(connection, EncodeBatchResultFrame(kinds, results));
+}
+
+bool TaraServer::HandleAppendWindow(Connection* connection,
+                                    const std::string& payload) {
+  auto db = DecodeAppendWindowPayload(payload);
+  if (!db.has_value()) {
+    if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
+    return Reply(connection, EncodeErrorFrame(db.error()));
+  }
+  if (db->empty()) {
+    return Reply(connection,
+                 EncodeErrorFrame(ServerWireError::kBadRequest,
+                                  "AppendWindow with zero transactions"));
+  }
+  const WindowId window = engine_->AppendWindow(*db, 0, db->size());
+  if (metrics_.appends != nullptr) metrics_.appends->Increment();
+  return Reply(connection,
+               EncodeAppendAckFrame(window, engine_->generation()));
+}
+
+bool TaraServer::Reply(Connection* connection, const std::string& frame) {
+  std::string error;
+  return WriteAll(connection->socket.fd(), frame, &error);
+}
+
+}  // namespace tara::server

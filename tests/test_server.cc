@@ -1,0 +1,379 @@
+// Serving-layer integration tests: a real TaraServer on an ephemeral
+// port, driven by real TaraClient connections. Covers result
+// byte-identity with local execution, typed error passthrough,
+// concurrent clients with live wire ingestion, the deterministic shed
+// and deadline admission paths, malformed-frame survival, and the
+// metrics/info endpoints. Runs under TSan in CI.
+
+#include "server/tara_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/query_request.h"
+#include "core/wire_format.h"
+#include "datagen/quest_generator.h"
+#include "obs/metrics.h"
+#include "server/net_io.h"
+#include "server/tara_client.h"
+#include "txdb/evolving_database.h"
+
+namespace tara::server {
+namespace {
+
+TransactionDatabase MakeData(uint32_t transactions, uint64_t seed) {
+  QuestGenerator::Params params;
+  params.num_transactions = transactions;
+  params.num_items = 60;
+  params.num_patterns = 25;
+  params.avg_transaction_len = 8;
+  params.seed = seed;
+  return QuestGenerator(params).Generate();
+}
+
+/// A small engine + server, freshly built per fixture.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    TaraEngine::Options engine_options;
+    engine_options.min_support_floor = 0.02;
+    engine_options.min_confidence_floor = 0.2;
+    engine_options.max_itemset_size = 4;
+    engine_options.build_content_index = true;
+    engine_options.metrics = &metrics_;
+    engine_ = std::make_unique<TaraEngine>(engine_options);
+    engine_->BuildAll(
+        EvolvingDatabase::PartitionIntoBatches(MakeData(1200, 7), 3));
+    options.metrics = &metrics_;
+    server_ = std::make_unique<TaraServer>(engine_.get(), options);
+    const auto problem = server_->Start();
+    ASSERT_FALSE(problem.has_value()) << *problem;
+    ASSERT_NE(server_->port(), 0);
+  }
+
+  TaraClient Connect() {
+    auto client = TaraClient::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.has_value());
+    return std::move(client.value());
+  }
+
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<TaraEngine> engine_;
+  std::unique_ptr<TaraServer> server_;
+};
+
+TEST_F(ServerTest, RemoteResultsMatchLocalByteForByte) {
+  StartServer();
+  TaraClient client = Connect();
+  const ParameterSetting setting{0.03, 0.3};
+  std::vector<QueryRequest> requests;
+  requests.push_back(QueryRequest::MineWindow(1, setting));
+  requests.push_back(QueryRequest::Region(2, setting));
+  requests.push_back(QueryRequest::Trajectory(2, setting, {0, 1, 2}));
+  requests.push_back(QueryRequest::Compare(
+      setting, ParameterSetting{0.05, 0.4}, {0, 1, 2}, MatchMode::kExact));
+  requests.push_back(QueryRequest::ContentView(0, setting));
+  requests.push_back(QueryRequest::RollUpMine({0, 1, 2}, setting));
+  for (const QueryRequest& request : requests) {
+    const auto local = engine_->Execute(request);
+    ASSERT_TRUE(local.has_value());
+    const auto remote = client.Execute(request);
+    ASSERT_TRUE(remote.has_value())
+        << QueryKindName(request.kind) << ": " << remote.error();
+    EXPECT_EQ(EncodeQueryResult(request.kind, *remote),
+              EncodeQueryResult(request.kind, *local))
+        << QueryKindName(request.kind);
+  }
+}
+
+TEST_F(ServerTest, QueryErrorsArriveWithFrozenCodes) {
+  StartServer();
+  TaraClient client = Connect();
+  // Window 9 does not exist -> kBadWindow, wire code 3.
+  const auto bad_window = client.Execute(
+      QueryRequest::MineWindow(9, ParameterSetting{0.03, 0.3}));
+  ASSERT_FALSE(bad_window.has_value());
+  EXPECT_EQ(bad_window.error().code,
+            QueryErrorWireCode(QueryError::Code::kBadWindow));
+  // Support below the 0.02 floor -> wire code 1.
+  const auto below_floor = client.Execute(
+      QueryRequest::MineWindow(0, ParameterSetting{0.001, 0.3}));
+  ASSERT_FALSE(below_floor.has_value());
+  EXPECT_EQ(below_floor.error().code,
+            QueryErrorWireCode(QueryError::Code::kSupportBelowFloor));
+  // The connection survives typed errors.
+  EXPECT_TRUE(client.Ping().has_value());
+}
+
+TEST_F(ServerTest, BatchMixesResultsAndErrors) {
+  StartServer();
+  TaraClient client = Connect();
+  const ParameterSetting setting{0.03, 0.3};
+  std::vector<QueryRequest> requests;
+  requests.push_back(QueryRequest::MineWindow(0, setting));
+  requests.push_back(QueryRequest::MineWindow(9, setting));  // bad window
+  requests.push_back(QueryRequest::Region(1, setting));
+  const auto batch = client.ExecuteBatch(requests);
+  ASSERT_TRUE(batch.has_value()) << batch.error();
+  ASSERT_EQ(batch->size(), 3u);
+  EXPECT_TRUE((*batch)[0].has_value());
+  ASSERT_FALSE((*batch)[1].has_value());
+  EXPECT_EQ((*batch)[1].error().code, 3u);
+  EXPECT_TRUE((*batch)[2].has_value());
+  // Byte-identity against the local batch path.
+  const auto local = engine_->ExecuteBatch(requests);
+  EXPECT_EQ(EncodeQueryResult(requests[0].kind, (*batch)[0].value()),
+            EncodeQueryResult(requests[0].kind, local[0].value()));
+}
+
+TEST_F(ServerTest, LiveIngestionDuringConcurrentQueries) {
+  StartServer();
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 25;
+  std::atomic<int> ok{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &ok, &failed] {
+      auto connect = TaraClient::Connect("127.0.0.1", server_->port());
+      ASSERT_TRUE(connect.has_value());
+      TaraClient client = std::move(connect.value());
+      const ParameterSetting setting{0.03, 0.25 + 0.01 * c};
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        // Window 0 always exists no matter how many appends landed.
+        const auto result = client.Execute(
+            i % 2 == 0 ? QueryRequest::MineWindow(0, setting)
+                       : QueryRequest::Trajectory(0, setting, {0}));
+        if (result.has_value()) {
+          ok.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Meanwhile: live appends over the wire from a separate connection.
+  TaraClient appender = Connect();
+  const TransactionDatabase extra = MakeData(300, 99);
+  uint32_t appended = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto ack = appender.AppendWindow(extra);
+    ASSERT_TRUE(ack.has_value()) << ack.error();
+    ++appended;
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients * kQueriesPerClient);
+  EXPECT_EQ(failed.load(), 0);
+  // All appends became windows: 3 built + 3 live.
+  const auto info = appender.Info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->window_count, 3u + appended);
+}
+
+TEST_F(ServerTest, SaturatedPoolShedsWithOverloaded) {
+  // One worker, zero queue slots: while the first request executes, any
+  // other request must be shed immediately with kOverloaded.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> executing{0};
+  ServerOptions options;
+  options.max_concurrent_queries = 1;
+  options.max_queued_queries = 0;
+  options.pre_execute_hook = [&] {
+    executing.fetch_add(1);
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  };
+  StartServer(options);
+
+  const QueryRequest request =
+      QueryRequest::MineWindow(0, ParameterSetting{0.03, 0.3});
+  std::thread holder([this, &request] {
+    TaraClient client = Connect();
+    const auto result = client.Execute(request);
+    EXPECT_TRUE(result.has_value());
+  });
+  while (executing.load() == 0) std::this_thread::yield();
+
+  TaraClient shed_client = Connect();
+  const auto shed = shed_client.Execute(request);
+  ASSERT_FALSE(shed.has_value());
+  EXPECT_TRUE(IsOverloaded(shed.error())) << shed.error();
+  EXPECT_EQ(shed.error().code, 100u);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+  // The shed was counted.
+  EXPECT_EQ(metrics_.SnapshotText().find("tara.server.shed = 0"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, QueuedRequestHonorsDeadline) {
+  // One worker with queue room: a queued request whose deadline expires
+  // before a slot frees must fail kDeadlineExceeded, not execute.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> executing{0};
+  ServerOptions options;
+  options.max_concurrent_queries = 1;
+  options.max_queued_queries = 4;
+  options.pre_execute_hook = [&] {
+    const int n = executing.fetch_add(1);
+    if (n == 0) {
+      // Only the first request blocks; later ones run normally.
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  StartServer(options);
+
+  const QueryRequest request =
+      QueryRequest::MineWindow(0, ParameterSetting{0.03, 0.3});
+  std::thread holder([this, &request] {
+    TaraClient client = Connect();
+    const auto result = client.Execute(request);
+    EXPECT_TRUE(result.has_value());
+  });
+  while (executing.load() == 0) std::this_thread::yield();
+
+  TaraClient queued_client = Connect();
+  const auto start = std::chrono::steady_clock::now();
+  const auto queued = queued_client.Execute(request, /*deadline_ms=*/100);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(queued.has_value());
+  EXPECT_TRUE(IsDeadlineExceeded(queued.error())) << queued.error();
+  EXPECT_EQ(queued.error().code, 101u);
+  // The rejection must arrive promptly after the deadline, not stall.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  holder.join();
+}
+
+TEST_F(ServerTest, MalformedFramesGetTypedErrorsAndServerSurvives) {
+  StartServer();
+  // Raw socket: send garbage that is not even a TARA header.
+  {
+    auto raw = ConnectTcp("127.0.0.1", server_->port());
+    ASSERT_TRUE(raw.has_value());
+    std::string error;
+    ASSERT_TRUE(WriteAll(raw.value().fd(), "this is not a TARA frame....",
+                         &error));
+    const FrameRead reply = ReadFrame(raw.value().fd(), kWireMaxPayloadBytes);
+    ASSERT_EQ(reply.status, FrameRead::Status::kOk);
+    ASSERT_EQ(reply.header.type, FrameType::kError);
+    const auto wire_error = DecodeErrorPayload(reply.payload);
+    ASSERT_TRUE(wire_error.has_value());
+    EXPECT_EQ(wire_error->code,
+              static_cast<uint32_t>(ParseError::Code::kBadMagic));
+    // Framing is lost -> the server closes this connection.
+    const FrameRead next = ReadFrame(raw.value().fd(), kWireMaxPayloadBytes);
+    EXPECT_EQ(next.status, FrameRead::Status::kEof);
+  }
+  // A version from the future is rejected the same way.
+  {
+    auto raw = ConnectTcp("127.0.0.1", server_->port());
+    ASSERT_TRUE(raw.has_value());
+    std::string frame = EncodeFrame(FrameType::kPing, {});
+    frame[2] = static_cast<char>(kWireProtocolVersion + 1);
+    std::string error;
+    ASSERT_TRUE(WriteAll(raw.value().fd(), frame, &error));
+    const FrameRead reply = ReadFrame(raw.value().fd(), kWireMaxPayloadBytes);
+    ASSERT_EQ(reply.status, FrameRead::Status::kOk);
+    const auto wire_error = DecodeErrorPayload(reply.payload);
+    ASSERT_TRUE(wire_error.has_value());
+    EXPECT_EQ(wire_error->code,
+              static_cast<uint32_t>(ParseError::Code::kUnsupportedVersion));
+  }
+  // A well-framed Execute with a corrupt body is a payload-level error:
+  // typed reply, connection survives.
+  {
+    auto raw = ConnectTcp("127.0.0.1", server_->port());
+    ASSERT_TRUE(raw.has_value());
+    const std::string frame =
+        EncodeFrame(FrameType::kExecute, std::string("\x00\xff", 2));
+    std::string error;
+    ASSERT_TRUE(WriteAll(raw.value().fd(), frame, &error));
+    const FrameRead reply = ReadFrame(raw.value().fd(), kWireMaxPayloadBytes);
+    ASSERT_EQ(reply.status, FrameRead::Status::kOk);
+    ASSERT_EQ(reply.header.type, FrameType::kError);
+    // Same connection keeps working.
+    ASSERT_TRUE(WriteAll(raw.value().fd(), EncodeFrame(FrameType::kPing, {}),
+                         &error));
+    const FrameRead pong = ReadFrame(raw.value().fd(), kWireMaxPayloadBytes);
+    ASSERT_EQ(pong.status, FrameRead::Status::kOk);
+    EXPECT_EQ(pong.header.type, FrameType::kPong);
+  }
+  // A frame type that is valid but not a request -> kUnexpectedFrame,
+  // connection survives.
+  {
+    TaraClient client = Connect();
+    EXPECT_TRUE(client.Ping().has_value());
+  }
+  // And the server still answers normal queries.
+  TaraClient client = Connect();
+  const auto result = client.Execute(
+      QueryRequest::MineWindow(0, ParameterSetting{0.03, 0.3}));
+  EXPECT_TRUE(result.has_value());
+}
+
+TEST_F(ServerTest, MetricsEndpointExposesServerSeries) {
+  StartServer();
+  TaraClient client = Connect();
+  (void)client.Execute(
+      QueryRequest::MineWindow(0, ParameterSetting{0.03, 0.3}));
+  const auto text = client.Metrics(/*json=*/false);
+  ASSERT_TRUE(text.has_value()) << text.error();
+  EXPECT_NE(text->find("tara.server.requests"), std::string::npos);
+  EXPECT_NE(text->find("tara.server.connections"), std::string::npos);
+  const auto json = client.Metrics(/*json=*/true);
+  ASSERT_TRUE(json.has_value());
+  EXPECT_NE(json->find("tara.server.requests"), std::string::npos);
+}
+
+TEST_F(ServerTest, InfoReportsKnowledgeBaseShape) {
+  StartServer();
+  TaraClient client = Connect();
+  const auto info = client.Info();
+  ASSERT_TRUE(info.has_value()) << info.error();
+  EXPECT_EQ(info->window_count, 3u);
+  EXPECT_EQ(info->generation, engine_->generation());
+  EXPECT_EQ(info->rule_count, engine_->Snapshot()->catalog().size());
+}
+
+TEST_F(ServerTest, StopDrainsCleanly) {
+  StartServer();
+  TaraClient client = Connect();
+  EXPECT_TRUE(client.Ping().has_value());
+  server_->Stop();
+  // After Stop, the connection is gone and new connects fail.
+  const auto after = client.Ping();
+  EXPECT_FALSE(after.has_value());
+  auto reconnect = TaraClient::Connect("127.0.0.1", server_->port());
+  EXPECT_FALSE(reconnect.has_value());
+  // Stop is idempotent.
+  server_->Stop();
+}
+
+}  // namespace
+}  // namespace tara::server

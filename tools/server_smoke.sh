@@ -1,0 +1,44 @@
+#!/bin/sh
+# Server smoke test: start `tara_cli serve` on an ephemeral port, drive
+# queries and a live append through `tara_cli query --remote`, then shut
+# the server down with SIGTERM and require a clean exit.
+#
+#   server_smoke.sh /path/to/tara_cli
+set -e
+
+CLI="$1"
+[ -x "$CLI" ] || { echo "usage: server_smoke.sh /path/to/tara_cli"; exit 2; }
+
+WORK=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+"$CLI" serve 127.0.0.1:0 --quest 2000 100 --windows 3 \
+  --port-file "$WORK/port" </dev/null 2>"$WORK/serve.log" &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -s "$WORK/port" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$WORK/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -s "$WORK/port" ] || { echo "server never bound a port"; exit 1; }
+PORT=$(cat "$WORK/port")
+
+# A window of transactions to live-append (timestamps non-decreasing).
+printf '100 1 2 3\n101 2 3 4\n102 1 3 5\n103 2 4 5\n' > "$WORK/ingest.txt"
+
+printf 'mine 2 0.02 0.4
+region 1 0.02 0.4
+traj 2 0.02 0.4
+ingest %s
+info
+metrics
+quit
+' "$WORK/ingest.txt" | "$CLI" query --remote "127.0.0.1:$PORT" --deadline 10000
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+STATUS=$?
+SERVER_PID=""
+[ "$STATUS" -eq 0 ] || { echo "server exit status $STATUS"; exit 1; }
+echo "server smoke OK"

@@ -41,6 +41,8 @@
 #include "datagen/basket_generators.h"
 #include "datagen/quest_generator.h"
 #include "obs/metrics.h"
+#include "server/serving_bootstrap.h"
+#include "server/tara_client.h"
 #include "txdb/evolving_database.h"
 #include "txdb/io.h"
 
@@ -50,6 +52,109 @@ namespace {
 /// Every engine this process builds or loads records into the process
 /// registry; the `metrics` command and --metrics read it back.
 obs::MetricsRegistry& Registry() { return obs::MetricsRegistry::Global(); }
+
+/// Parses the window-id tail of a query-script line; an empty tail means
+/// every one of the `window_count` windows (local engine or remote
+/// server alike — the caller supplies whichever count applies).
+std::vector<WindowId> ParseWindowTail(std::istringstream& in,
+                                      uint32_t window_count) {
+  std::vector<WindowId> ids;
+  WindowId w = 0;
+  while (in >> w) ids.push_back(w);
+  if (ids.empty()) {
+    for (WindowId i = 0; i < window_count; ++i) ids.push_back(i);
+  }
+  return ids;
+}
+
+/// Parses one query-script line into a request. Returns nullopt (and
+/// prints the problem) on a malformed line. Shared by the local `batch`
+/// command and the remote query shell.
+std::optional<QueryRequest> ParseQueryLine(const std::string& line,
+                                           uint32_t window_count) {
+  std::istringstream in(line);
+  std::string verb;
+  in >> verb;
+  WindowId w = 0;
+  double s = 0, c = 0, s2 = 0, c2 = 0;
+  RuleId rule = 0;
+  if (verb == "mine" && in >> w >> s >> c) {
+    return QueryRequest::MineWindow(w, ParameterSetting{s, c});
+  }
+  if (verb == "region" && in >> w >> s >> c) {
+    return QueryRequest::Region(w, ParameterSetting{s, c});
+  }
+  if (verb == "traj" && in >> w >> s >> c) {
+    return QueryRequest::Trajectory(w, ParameterSetting{s, c},
+                                    ParseWindowTail(in, window_count));
+  }
+  if (verb == "diff" && in >> s >> c >> s2 >> c2) {
+    return QueryRequest::Compare(ParameterSetting{s, c},
+                                 ParameterSetting{s2, c2},
+                                 ParseWindowTail(in, window_count),
+                                 MatchMode::kExact);
+  }
+  if (verb == "measures" && in >> rule) {
+    return QueryRequest::Measures(rule, ParseWindowTail(in, window_count));
+  }
+  if (verb == "content" && in >> w >> s >> c) {
+    Itemset items;
+    ItemId item = 0;
+    while (in >> item) items.push_back(item);
+    return QueryRequest::Content(w, std::move(items),
+                                 ParameterSetting{s, c});
+  }
+  if (verb == "view" && in >> w >> s >> c) {
+    return QueryRequest::ContentView(w, ParameterSetting{s, c});
+  }
+  if (verb == "rollup" && in >> rule) {
+    return QueryRequest::RollUpRule(rule, ParseWindowTail(in, window_count));
+  }
+  if (verb == "rollupmine" && in >> s >> c) {
+    return QueryRequest::RollUpMine(ParseWindowTail(in, window_count),
+                                    ParameterSetting{s, c});
+  }
+  std::printf("bad query line: %s\n", line.c_str());
+  return std::nullopt;
+}
+
+/// One-line human summary of a successful query result.
+std::string Summarize(const QueryResult& result) {
+  char buffer[128];
+  if (const auto* rules = std::get_if<std::vector<RuleId>>(&result)) {
+    std::snprintf(buffer, sizeof(buffer), "%zu rules", rules->size());
+  } else if (const auto* traj = std::get_if<TrajectoryQueryResult>(&result)) {
+    std::snprintf(buffer, sizeof(buffer), "%zu rules with trajectories",
+                  traj->rules.size());
+  } else if (const auto* diff = std::get_if<RulesetDiff>(&result)) {
+    std::snprintf(buffer, sizeof(buffer), "only-first %zu, only-second %zu",
+                  diff->only_first.size(), diff->only_second.size());
+  } else if (const auto* region = std::get_if<RegionInfo>(&result)) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "region supp (%.5f, %.5f] conf (%.4f, %.4f], %zu rules",
+                  region->support_lower, region->support_upper,
+                  region->confidence_lower, region->confidence_upper,
+                  region->result_size);
+  } else if (const auto* measures = std::get_if<TrajectoryMeasures>(&result)) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "coverage %.2f stability %.2f mean supp %.4f",
+                  measures->coverage, measures->stability,
+                  measures->mean_support);
+  } else if (const auto* view = std::get_if<ContentViewResult>(&result)) {
+    std::snprintf(buffer, sizeof(buffer), "%zu items in view", view->size());
+  } else if (const auto* bound = std::get_if<RollUpBound>(&result)) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "supp [%.5f, %.5f] conf [%.4f, %.4f], %u missing",
+                  bound->support_lo, bound->support_hi, bound->confidence_lo,
+                  bound->confidence_hi, bound->missing_windows);
+  } else if (const auto* rolled = std::get_if<RolledUpRules>(&result)) {
+    std::snprintf(buffer, sizeof(buffer), "certain %zu, possible %zu",
+                  rolled->certain.size(), rolled->possible.size());
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "ok");
+  }
+  return buffer;
+}
 
 class Session {
  public:
@@ -364,110 +469,6 @@ class Session {
                 engine_ ? "" : "; applies when an engine is built or loaded");
   }
 
-  /// Parses the window-id tail of a batch-script line; an empty tail
-  /// means every window of the current engine.
-  std::vector<WindowId> ParseWindowTail(std::istringstream& in) const {
-    std::vector<WindowId> ids;
-    WindowId w = 0;
-    while (in >> w) ids.push_back(w);
-    if (ids.empty()) {
-      for (WindowId i = 0; i < engine_->window_count(); ++i) {
-        ids.push_back(i);
-      }
-    }
-    return ids;
-  }
-
-  /// Parses one batch-script line into a request. Returns nullopt (and
-  /// prints the problem) on a malformed line.
-  std::optional<QueryRequest> ParseQueryLine(const std::string& line) {
-    std::istringstream in(line);
-    std::string verb;
-    in >> verb;
-    WindowId w = 0;
-    double s = 0, c = 0, s2 = 0, c2 = 0;
-    RuleId rule = 0;
-    if (verb == "mine" && in >> w >> s >> c) {
-      return QueryRequest::MineWindow(w, ParameterSetting{s, c});
-    }
-    if (verb == "region" && in >> w >> s >> c) {
-      return QueryRequest::Region(w, ParameterSetting{s, c});
-    }
-    if (verb == "traj" && in >> w >> s >> c) {
-      return QueryRequest::Trajectory(w, ParameterSetting{s, c},
-                                      ParseWindowTail(in));
-    }
-    if (verb == "diff" && in >> s >> c >> s2 >> c2) {
-      return QueryRequest::Compare(ParameterSetting{s, c},
-                                   ParameterSetting{s2, c2},
-                                   ParseWindowTail(in), MatchMode::kExact);
-    }
-    if (verb == "measures" && in >> rule) {
-      return QueryRequest::Measures(rule, ParseWindowTail(in));
-    }
-    if (verb == "content" && in >> w >> s >> c) {
-      Itemset items;
-      ItemId item = 0;
-      while (in >> item) items.push_back(item);
-      return QueryRequest::Content(w, std::move(items),
-                                   ParameterSetting{s, c});
-    }
-    if (verb == "view" && in >> w >> s >> c) {
-      return QueryRequest::ContentView(w, ParameterSetting{s, c});
-    }
-    if (verb == "rollup" && in >> rule) {
-      return QueryRequest::RollUpRule(rule, ParseWindowTail(in));
-    }
-    if (verb == "rollupmine" && in >> s >> c) {
-      return QueryRequest::RollUpMine(ParseWindowTail(in),
-                                      ParameterSetting{s, c});
-    }
-    std::printf("bad batch line: %s\n", line.c_str());
-    return std::nullopt;
-  }
-
-  /// One-line human summary of a successful query result.
-  static std::string Summarize(const QueryResult& result) {
-    char buffer[128];
-    if (const auto* rules = std::get_if<std::vector<RuleId>>(&result)) {
-      std::snprintf(buffer, sizeof(buffer), "%zu rules", rules->size());
-    } else if (const auto* traj =
-                   std::get_if<TrajectoryQueryResult>(&result)) {
-      std::snprintf(buffer, sizeof(buffer), "%zu rules with trajectories",
-                    traj->rules.size());
-    } else if (const auto* diff = std::get_if<RulesetDiff>(&result)) {
-      std::snprintf(buffer, sizeof(buffer), "only-first %zu, only-second %zu",
-                    diff->only_first.size(), diff->only_second.size());
-    } else if (const auto* region = std::get_if<RegionInfo>(&result)) {
-      std::snprintf(buffer, sizeof(buffer),
-                    "region supp (%.5f, %.5f] conf (%.4f, %.4f], %zu rules",
-                    region->support_lower, region->support_upper,
-                    region->confidence_lower, region->confidence_upper,
-                    region->result_size);
-    } else if (const auto* measures =
-                   std::get_if<TrajectoryMeasures>(&result)) {
-      std::snprintf(buffer, sizeof(buffer),
-                    "coverage %.2f stability %.2f mean supp %.4f",
-                    measures->coverage, measures->stability,
-                    measures->mean_support);
-    } else if (const auto* view = std::get_if<ContentViewResult>(&result)) {
-      std::snprintf(buffer, sizeof(buffer), "%zu items in view",
-                    view->size());
-    } else if (const auto* bound = std::get_if<RollUpBound>(&result)) {
-      std::snprintf(buffer, sizeof(buffer),
-                    "supp [%.5f, %.5f] conf [%.4f, %.4f], %u missing",
-                    bound->support_lo, bound->support_hi,
-                    bound->confidence_lo, bound->confidence_hi,
-                    bound->missing_windows);
-    } else if (const auto* rolled = std::get_if<RolledUpRules>(&result)) {
-      std::snprintf(buffer, sizeof(buffer), "certain %zu, possible %zu",
-                    rolled->certain.size(), rolled->possible.size());
-    } else {
-      std::snprintf(buffer, sizeof(buffer), "ok");
-    }
-    return buffer;
-  }
-
   void PrintCacheStats(const QueryCache::Stats& before) const {
     const QueryCache* cache = engine_->query_cache();
     if (cache == nullptr) {
@@ -503,7 +504,7 @@ class Session {
     std::string line;
     while (std::getline(file, line)) {
       if (line.empty() || line[0] == '#') continue;
-      if (auto request = ParseQueryLine(line)) {
+      if (auto request = ParseQueryLine(line, engine_->window_count())) {
         requests.push_back(*std::move(request));
       }
     }
@@ -672,16 +673,190 @@ class Session {
   size_t cache_bytes_ = 0;
 };
 
+/// The remote query shell behind `tara_cli query --remote HOST:PORT`:
+/// the same query-script grammar as the local `batch` command, executed
+/// over the wire one line at a time. Window-id tails default to every
+/// window the server reported at connect time (refreshed by `info`).
+class RemoteShell {
+ public:
+  RemoteShell(server::TaraClient client, uint32_t deadline_ms)
+      : client_(std::move(client)), deadline_ms_(deadline_ms) {}
+
+  int Run() {
+    if (!RefreshInfo(/*print=*/true)) return 1;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream in(line);
+      std::string verb;
+      in >> verb;
+      if (verb == "quit" || verb == "exit") break;
+      if (verb == "help") {
+        Help();
+      } else if (verb == "info") {
+        RefreshInfo(/*print=*/true);
+      } else if (verb == "ping") {
+        const auto pong = client_.Ping();
+        std::printf(pong.has_value() ? "pong\n" : "no pong\n");
+      } else if (verb == "metrics") {
+        std::string format;
+        in >> format;
+        const auto snapshot = client_.Metrics(format == "json");
+        if (snapshot.has_value()) {
+          std::fputs(snapshot->c_str(), stdout);
+          if (snapshot->empty() || snapshot->back() != '\n') std::printf("\n");
+        } else {
+          PrintError(snapshot.error());
+        }
+      } else if (verb == "ingest") {
+        Ingest(in);
+      } else {
+        Query(line);
+      }
+    }
+    return 0;
+  }
+
+ private:
+  void Help() {
+    std::printf(
+        "remote commands (deadline %ums):\n"
+        "  mine W S C | region W S C | traj W S C [W...]\n"
+        "  diff S1 C1 S2 C2 [W...] | measures R [W...]\n"
+        "  content W S C ITEM... | view W S C\n"
+        "  rollup R [W...] | rollupmine S C [W...]\n"
+        "  ingest FILE           append FILE as a new window on the server\n"
+        "  metrics [json]        server instrument snapshot\n"
+        "  info | ping | quit\n",
+        deadline_ms_);
+  }
+
+  bool RefreshInfo(bool print) {
+    const auto info = client_.Info();
+    if (!info.has_value()) {
+      PrintError(info.error());
+      return false;
+    }
+    window_count_ = info->window_count;
+    if (print) {
+      std::printf("remote knowledge base: %u windows, %llu rules, "
+                  "generation %llu\n",
+                  info->window_count,
+                  static_cast<unsigned long long>(info->rule_count),
+                  static_cast<unsigned long long>(info->generation));
+    }
+    return true;
+  }
+
+  void Query(const std::string& line) {
+    const auto request = ParseQueryLine(line, window_count_);
+    if (!request.has_value()) return;
+    const auto result = client_.Execute(*request, deadline_ms_);
+    if (result.has_value()) {
+      std::printf("%-12s %s\n",
+                  std::string(QueryKindName(request->kind)).c_str(),
+                  Summarize(*result).c_str());
+    } else {
+      PrintError(result.error());
+    }
+  }
+
+  void Ingest(std::istringstream& in) {
+    std::string path;
+    if (!(in >> path)) {
+      std::printf("usage: ingest FILE\n");
+      return;
+    }
+    std::ifstream file(path);
+    if (!file) {
+      std::printf("cannot open %s\n", path.c_str());
+      return;
+    }
+    const TransactionDatabase batch = ReadDatabase(&file);
+    if (batch.size() == 0) {
+      std::printf("no transactions in %s\n", path.c_str());
+      return;
+    }
+    const auto ack = client_.AppendWindow(batch);
+    if (!ack.has_value()) {
+      PrintError(ack.error());
+      return;
+    }
+    std::printf("ingested %zu transactions as window %u (generation %llu)\n",
+                batch.size(), ack->window,
+                static_cast<unsigned long long>(ack->generation));
+    window_count_ = ack->window + 1;
+  }
+
+  void PrintError(const WireError& error) {
+    std::ostringstream out;
+    out << error;
+    std::printf("error: %s\n", out.str().c_str());
+  }
+
+  server::TaraClient client_;
+  uint32_t deadline_ms_;
+  uint32_t window_count_ = 0;
+};
+
+int RunRemoteQuery(int argc, char** argv) {
+  std::string host;
+  uint16_t port = 0;
+  uint32_t deadline_ms = 0;
+  bool have_remote = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--remote" && i + 1 < argc) {
+      if (!server::SplitHostPort(argv[++i], &host, &port)) {
+        std::fprintf(stderr, "tara_cli query: bad HOST:PORT: %s\n", argv[i]);
+        return 2;
+      }
+      have_remote = true;
+    } else if (arg == "--deadline" && i + 1 < argc) {
+      deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "usage: tara_cli query --remote HOST:PORT "
+                   "[--deadline MS] < queries\n");
+      return 2;
+    }
+  }
+  if (!have_remote) {
+    // Without --remote, `query` is the plain local session (the query
+    // grammar is available through its `batch` command).
+    return Session().Run();
+  }
+  auto client = server::TaraClient::Connect(host, port);
+  if (!client.has_value()) {
+    std::ostringstream out;
+    out << client.error();
+    std::fprintf(stderr, "tara_cli query: %s\n", out.str().c_str());
+    return 1;
+  }
+  return RemoteShell(std::move(client.value()), deadline_ms).Run();
+}
+
 }  // namespace
 }  // namespace tara::cli
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
+    return tara::server::RunServeMain(argc - 2, argv + 2, "tara_cli serve");
+  }
+  if (argc > 1 && std::strcmp(argv[1], "query") == 0) {
+    return tara::cli::RunRemoteQuery(argc - 2, argv + 2);
+  }
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
     } else {
-      std::fprintf(stderr, "usage: tara_cli [--metrics] < commands\n");
+      std::fprintf(stderr,
+                   "usage: tara_cli [--metrics] < commands\n"
+                   "       tara_cli serve HOST:PORT [flags]\n"
+                   "       tara_cli query --remote HOST:PORT [--deadline MS]"
+                   " < queries\n");
       return 2;
     }
   }
