@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "core/kb_storage.h"
 #include "mining/fp_growth.h"
 
 namespace tara {
@@ -28,9 +29,116 @@ KbBuilder::KbBuilder(const Options& options)
   const uint32_t parallelism = EffectiveParallelism(options_.parallelism);
   if (parallelism > 1) pool_ = std::make_unique<ThreadPool>(parallelism);
   RegisterMetrics();
-  // Publish the empty generation-0 snapshot so snapshot() is never null.
+  {
+    // Publish the empty generation-0 snapshot so snapshot() is never null.
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    PublishSnapshotLocked();
+  }
+  if (!options_.wal_dir.empty()) {
+    const auto attached = AttachWal(options_.wal_dir);
+    TARA_CHECK(attached.has_value())
+        << "cannot attach the write-ahead log in '" << options_.wal_dir
+        << "': " << attached.error().message;
+  }
+}
+
+Expected<WalReplayStats, LoadError> KbBuilder::AttachWal(
+    const std::string& dir) {
+  TARA_CHECK(wal_ == nullptr) << "a write-ahead log is already attached";
+  WalReplayStats stats;
+  uint64_t valid_bytes = 0;
+  if (WalExists(dir)) {
+    auto contents = ReadWal(dir);
+    if (!contents.has_value()) return contents.error();
+    // The log must describe this builder's engine; replaying records
+    // mined at other floors would poison the knowledge base.
+    if (contents->options.min_support_floor != options_.min_support_floor ||
+        contents->options.min_confidence_floor !=
+            options_.min_confidence_floor ||
+        contents->options.max_itemset_size != options_.max_itemset_size ||
+        contents->options.build_content_index !=
+            options_.build_content_index) {
+      return LoadError{
+          LoadError::Code::kBadManifest,
+          "write-ahead log in '" + dir +
+              "' was written by an engine with different construction "
+              "options (floors/itemset cap/content index) — refusing to "
+              "attach"};
+    }
+    valid_bytes = contents->valid_bytes;
+    stats.truncated_bytes = contents->truncated_bytes;
+    stats.records_scanned = contents->records.size();
+    for (const WalRecord& record : contents->records) {
+      // Order the record by its window id BEFORE decoding: stale and
+      // out-of-sequence records must not be parsed against this
+      // engine's catalog (a gap record would misreport as corruption).
+      const auto window = PeekWindowSegmentWindow(record.segment_bytes.data(),
+                                                 record.segment_bytes.size());
+      if (!window.has_value()) return window.error();
+      const WindowId next = static_cast<WindowId>(segments_.size());
+      if (*window < next) {
+        // A record the last checkpoint already covers (the crash landed
+        // between the checkpoint and the log truncation).
+        ++stats.records_skipped;
+        continue;
+      }
+      if (*window > next) {
+        return LoadError{
+            LoadError::Code::kBadManifest,
+            "write-ahead log in '" + dir + "' jumps to window " +
+                std::to_string(*window) + " but the engine has " +
+                std::to_string(next) +
+                " windows — the log does not belong to this knowledge base"};
+      }
+      auto decoded = DecodeWindowSegment(record.segment_bytes.data(),
+                                         record.segment_bytes.size(),
+                                         *catalog_);
+      if (!decoded.has_value()) return decoded.error();
+      if (decoded->first_rule != static_cast<RuleId>(catalog_->size())) {
+        return LoadError{LoadError::Code::kCorruptSegment,
+                         "write-ahead record for window " +
+                             std::to_string(decoded->window) +
+                             " starts its rule ids at " +
+                             std::to_string(decoded->first_rule) +
+                             " but the catalog holds " +
+                             std::to_string(catalog_->size()) + " rules"};
+      }
+      AppendPrecomputedWindow(record.total_transactions, decoded->entries);
+      ++stats.records_replayed;
+    }
+  }
+  auto writer = WalWriter::Open(dir, options_, valid_bytes, options_.metrics);
+  if (!writer.has_value()) return writer.error();
+  {
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    wal_ = std::make_unique<WalWriter>(std::move(writer.value()));
+  }
+  if (options_.metrics != nullptr && stats.records_replayed > 0) {
+    options_.metrics->GetCounter("tara.wal.replays")
+        ->Increment(stats.records_replayed);
+  }
+  return stats;
+}
+
+std::optional<LoadError> KbBuilder::TruncateWal() {
   std::lock_guard<std::mutex> lock(commit_mutex_);
-  PublishSnapshotLocked();
+  if (wal_ == nullptr) return std::nullopt;
+  return wal_->Truncate();
+}
+
+void KbBuilder::LogWindowsLocked(WindowId first) {
+  if (wal_ == nullptr) return;
+  const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot =
+      current_.load(std::memory_order_relaxed);
+  for (WindowId w = first; w < static_cast<WindowId>(segments_.size()); ++w) {
+    const auto error = wal_->Append(segments_[w]->total_transactions,
+                                    EncodeWindowSegment(*snapshot, w));
+    // The window is already committed and visible; returning without
+    // durability would let the caller ack a window a crash can lose.
+    TARA_CHECK(!error.has_value())
+        << "write-ahead log append failed for window " << w << ": "
+        << error->message;
+  }
 }
 
 void KbBuilder::RegisterMetrics() {
@@ -161,6 +269,7 @@ WindowId KbBuilder::CommitAndPublish(MinedWindow mined) {
   stats.region_count = segment->index.region_count();
 
   PublishLocked(std::move(segment));
+  LogWindowsLocked(window);
   return window;
 }
 
@@ -304,6 +413,7 @@ void KbBuilder::BuildAll(const EvolvingDatabase& data) {
     segments_.push_back(std::move(segment));
   }
   PublishSnapshotLocked();
+  LogWindowsLocked(base);
 }
 
 }  // namespace tara

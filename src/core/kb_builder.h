@@ -7,8 +7,11 @@
 #include <mutex>
 #include <vector>
 
+#include "common/expected.h"
 #include "common/thread_pool.h"
 #include "core/kb_snapshot.h"
+#include "core/load_error.h"
+#include "core/wal.h"
 #include "mining/rule_generation.h"
 #include "obs/metrics.h"
 #include "txdb/evolving_database.h"
@@ -74,6 +77,24 @@ class KbBuilder {
   /// published after the last window's commit.
   void BuildAll(const EvolvingDatabase& data);
 
+  /// Attaches the write-ahead log in `dir`, creating it if absent. An
+  /// existing log must carry this builder's construction options; its
+  /// records are first replayed into the snapshot (windows the builder
+  /// already has are skipped, a window past the next id is a typed gap
+  /// error). After a successful attach every committed window is
+  /// appended to the log and fdatasync'd before the committing call
+  /// returns. NOT safe concurrently with writers or another AttachWal;
+  /// call once, before ingestion starts.
+  Expected<WalReplayStats, LoadError> AttachWal(const std::string& dir);
+
+  /// Resets the attached log to just its header (no-op without one).
+  /// Call only after the logged windows became durable elsewhere —
+  /// i.e. right after a successful AppendKnowledgeBaseDir checkpoint.
+  std::optional<LoadError> TruncateWal();
+
+  /// True once AttachWal has succeeded (or Options::wal_dir was set).
+  bool wal_attached() const { return wal_ != nullptr; }
+
   /// Pins and returns the current generation. Lock-free; safe from any
   /// thread at any time, including while a writer is mid-append.
   std::shared_ptr<const KnowledgeBaseSnapshot> snapshot() const {
@@ -126,6 +147,14 @@ class KbBuilder {
   /// window, build its EPS slice, and publish the new generation.
   WindowId CommitAndPublish(MinedWindow mined);
 
+  /// Appends windows [first, window_count()) to the attached WAL,
+  /// fdatasync'd, reading their bytes from the just-published snapshot.
+  /// No-op without a WAL; aborts if the log cannot be written — the
+  /// windows are already visible in memory, and returning success
+  /// without durability would break the ack contract. Commit mutex must
+  /// be held.
+  void LogWindowsLocked(WindowId first);
+
   /// Appends `segment` to the working state and publishes a new
   /// generation (commit mutex must be held).
   void PublishLocked(std::shared_ptr<const WindowSegment> segment);
@@ -173,6 +202,9 @@ class KbBuilder {
   uint64_t generation_ = 0;
   /// The RCU publication point: readers load, the writer stores.
   std::atomic<std::shared_ptr<const KnowledgeBaseSnapshot>> current_;
+  /// Write-ahead log; null until AttachWal succeeds. Written only under
+  /// the commit mutex, after each publication.
+  std::unique_ptr<WalWriter> wal_;
   BuilderMetrics metrics_;
 };
 

@@ -72,6 +72,14 @@ struct KbOptions {
   /// A runtime knob like parallelism/metrics: not serialized, and
   /// adjustable after construction via TaraEngine::SetQueryCacheBytes.
   size_t query_cache_bytes = 0;
+  /// Directory of the write-ahead log for live ingestion, or "" (default)
+  /// for no WAL. When set, construction replays any log found there into
+  /// the engine and every committed window is fdatasync'd to the log
+  /// before Append*/BuildAll return — see wal.h for the durability
+  /// contract. Construction aborts if the log cannot be attached; callers
+  /// that want a typed error attach via TaraEngine::AttachWal instead.
+  /// A runtime knob like parallelism/metrics: not serialized.
+  std::string wal_dir;
 
   /// Returns an actionable description of the first invalid field, or
   /// nullopt when the options are usable. The KbBuilder (and therefore

@@ -1,6 +1,10 @@
 #include "core/kb_storage.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -8,6 +12,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/crash_point.h"
 #include "common/hash.h"
 #include "common/varint.h"
 
@@ -19,13 +24,6 @@ constexpr size_t kManifestMagicLen = sizeof(kManifestMagic) - 1;
 constexpr char kSegmentMagic[] = "TSEG";
 constexpr size_t kSegmentMagicLen = sizeof(kSegmentMagic) - 1;
 constexpr char kManifestFile[] = "manifest.tarakb";
-
-/// Same mixing as HashSpan, over raw bytes.
-uint64_t HashBytes(const uint8_t* data, size_t size) {
-  uint64_t h = 0x2545f4914f6cdd1dULL;
-  for (size_t i = 0; i < size; ++i) h = HashCombine(h, data[i]);
-  return h;
-}
 
 std::string SegmentFileName(WindowId window) {
   char name[32];
@@ -205,6 +203,13 @@ Manifest ManifestFor(const KnowledgeBaseSnapshot& snapshot) {
 /// first byte after it (the first segment, in the stream format).
 std::optional<LoadError> DecodeManifest(ByteReader* reader,
                                         Manifest* manifest) {
+  if (reader->remaining() == 0) {
+    // The classic symptom of a crash inside a truncating in-place
+    // rewrite; called out separately from generic bad magic so the
+    // operator knows it is a torn write, not the wrong file.
+    return Err(LoadError::Code::kTruncated,
+               "manifest is zero-length (torn write from a crashed save?)");
+  }
   if (!reader->Magic(kManifestMagic, kManifestMagicLen)) {
     // Distinguish a stale format from arbitrary bytes for a better
     // operator message.
@@ -373,19 +378,61 @@ std::optional<LoadError> ReadFileBytes(const std::filesystem::path& path,
   return std::nullopt;
 }
 
-std::optional<LoadError> WriteFileBytes(const std::filesystem::path& path,
-                                        const std::vector<uint8_t>& bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Err(LoadError::Code::kIoError,
-               "cannot open " + path.string() + " for writing");
+LoadError ErrnoErr(const std::string& what, const std::filesystem::path& path) {
+  return Err(LoadError::Code::kIoError,
+             what + " " + path.string() + ": " + std::strerror(errno));
+}
+
+/// Flushes the directory entry for `path` so a just-renamed file survives
+/// a crash. Best-effort on filesystems where directories cannot be opened.
+std::optional<LoadError> SyncParentDir(const std::filesystem::path& path) {
+  const std::filesystem::path parent =
+      path.has_parent_path() ? path.parent_path() : ".";
+  const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return ErrnoErr("cannot open directory", parent);
+  const int rc = ::fsync(dir_fd);
+  ::close(dir_fd);
+  if (rc != 0) return ErrnoErr("fsync failed on directory", parent);
+  return std::nullopt;
+}
+
+/// Crash-safe replacement for a bare ofstream write: the bytes land in
+/// `<path>.tmp`, are fsync'd, then renamed over `path`, then the parent
+/// directory entry is fsync'd. A crash at any step leaves either the old
+/// file intact or the new one fully in place — never a truncated or
+/// zero-length `path`. CrashPoint crossings separate the durability steps
+/// so tests can kill the process between any two of them.
+std::optional<LoadError> AtomicWriteFileBytes(
+    const std::filesystem::path& path, const std::vector<uint8_t>& bytes) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoErr("cannot open", tmp);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const LoadError error = ErrnoErr("write failed on", tmp);
+      ::close(fd);
+      return error;
+    }
+    written += static_cast<size_t>(n);
   }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  out.flush();
-  if (!out) {
-    return Err(LoadError::Code::kIoError, "write failed on " + path.string());
+  CrashPoint("storage.tmp_written");
+  if (::fsync(fd) != 0) {
+    const LoadError error = ErrnoErr("fsync failed on", tmp);
+    ::close(fd);
+    return error;
   }
+  if (::close(fd) != 0) return ErrnoErr("close failed on", tmp);
+  CrashPoint("storage.tmp_synced");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoErr("rename failed onto", path);
+  }
+  CrashPoint("storage.renamed");
+  if (auto error = SyncParentDir(path)) return error;
+  CrashPoint("storage.dir_synced");
   return std::nullopt;
 }
 
@@ -499,11 +546,13 @@ std::optional<LoadError> SaveKnowledgeBaseDir(
   for (WindowId w = 0; w < snapshot.window_count(); ++w) {
     const std::vector<uint8_t> segment = EncodeSegmentBytes(snapshot, w);
     manifest.rows.push_back(RowFor(snapshot, w, segment));
-    if (auto error = WriteFileBytes(root / SegmentFileName(w), segment)) {
+    if (auto error = AtomicWriteFileBytes(root / SegmentFileName(w), segment)) {
       return error;
     }
   }
-  return WriteFileBytes(root / kManifestFile, EncodeManifestBytes(manifest));
+  // Manifest last: it only ever names segments that are already durable.
+  return AtomicWriteFileBytes(root / kManifestFile,
+                              EncodeManifestBytes(manifest));
 }
 
 std::optional<LoadError> AppendKnowledgeBaseDir(
@@ -535,11 +584,125 @@ std::optional<LoadError> AppendKnowledgeBaseDir(
        w < snapshot.window_count(); ++w) {
     const std::vector<uint8_t> segment = EncodeSegmentBytes(snapshot, w);
     updated.rows.push_back(RowFor(snapshot, w, segment));
-    if (auto error = WriteFileBytes(root / SegmentFileName(w), segment)) {
+    if (auto error = AtomicWriteFileBytes(root / SegmentFileName(w), segment)) {
       return error;
     }
   }
-  return WriteFileBytes(root / kManifestFile, EncodeManifestBytes(updated));
+  // The manifest replacement is atomic (temp + rename), so a crash here
+  // leaves the previous manifest — and therefore a loadable prefix —
+  // intact, never a truncated rewrite.
+  return AtomicWriteFileBytes(root / kManifestFile,
+                              EncodeManifestBytes(updated));
+}
+
+bool KnowledgeBaseDirExists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(std::filesystem::path(dir) / kManifestFile,
+                                 ec);
+}
+
+std::vector<uint8_t> EncodeWindowSegment(const KnowledgeBaseSnapshot& snapshot,
+                                         WindowId window) {
+  return EncodeSegmentBytes(snapshot, window);
+}
+
+Expected<WindowId, LoadError> PeekWindowSegmentWindow(const uint8_t* data,
+                                                      size_t size) {
+  ByteReader r(data, size);
+  uint64_t stored_window = 0;
+  if (!r.Magic(kSegmentMagic, kSegmentMagicLen) || !r.U64(&stored_window) ||
+      static_cast<WindowId>(stored_window) != stored_window) {
+    return Err(LoadError::Code::kCorruptSegment,
+               "window segment is corrupt: unreadable window id");
+  }
+  return static_cast<WindowId>(stored_window);
+}
+
+Expected<DecodedWindowSegment, LoadError> DecodeWindowSegment(
+    const uint8_t* data, size_t size, const RuleCatalog& catalog) {
+  const auto corrupt = [](const std::string& what) {
+    return Err(LoadError::Code::kCorruptSegment,
+               "window segment is corrupt: " + what);
+  };
+  ByteReader r(data, size);
+  if (!r.Magic(kSegmentMagic, kSegmentMagicLen)) {
+    return corrupt("TSEG magic missing");
+  }
+  uint64_t stored_window = 0, first_rule = 0, new_rule_count = 0;
+  if (!r.U64(&stored_window) || !r.U64(&first_rule) ||
+      !r.U64(&new_rule_count)) {
+    return corrupt("truncated segment header");
+  }
+  DecodedWindowSegment decoded;
+  decoded.window = static_cast<WindowId>(stored_window);
+  decoded.first_rule = static_cast<RuleId>(first_rule);
+  if (decoded.window != stored_window || decoded.first_rule != first_rule) {
+    return corrupt("window or rule id overflows");
+  }
+  if (first_rule > catalog.size()) {
+    return corrupt("rule ids start past the catalog");
+  }
+  if (new_rule_count > r.remaining()) {  // each rule takes >= 2 bytes
+    return corrupt("truncated rule contents");
+  }
+  std::vector<Rule> new_rules;
+  new_rules.reserve(new_rule_count);
+  for (uint64_t i = 0; i < new_rule_count; ++i) {
+    Rule rule;
+    if (!r.Items(&rule.antecedent) || !r.Items(&rule.consequent)) {
+      return corrupt("truncated rule contents");
+    }
+    new_rules.push_back(std::move(rule));
+  }
+  uint64_t entry_count = 0;
+  if (!r.U64(&entry_count)) return corrupt("truncated entry count");
+  if (entry_count > r.remaining()) {  // each entry takes >= 3 bytes
+    return corrupt("truncated entry list");
+  }
+  decoded.entries.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    uint64_t id = 0, rule_count = 0, antecedent_delta = 0;
+    if (!r.U64(&id) || !r.U64(&rule_count) || !r.U64(&antecedent_delta)) {
+      return corrupt("truncated entry list");
+    }
+    PrecomputedRule p;
+    if (id < first_rule) {
+      p.rule = catalog.rule(static_cast<RuleId>(id));
+    } else if (id - first_rule < new_rules.size()) {
+      p.rule = new_rules[id - first_rule];
+    } else {
+      return corrupt("entry references a rule past the segment's range");
+    }
+    p.rule_count = rule_count;
+    p.antecedent_count = rule_count + antecedent_delta;
+    decoded.entries.push_back(std::move(p));
+  }
+  if (r.remaining() != 0) return corrupt("trailing bytes after the entries");
+  return decoded;
+}
+
+Expected<TaraEngine, LoadError> RecoverKnowledgeBase(
+    const std::string& kb_dir, const std::string& wal_dir,
+    obs::MetricsRegistry* metrics, WalReplayStats* stats) {
+  std::optional<TaraEngine> engine;
+  if (KnowledgeBaseDirExists(kb_dir)) {
+    auto loaded = LoadKnowledgeBaseDir(kb_dir, metrics);
+    if (!loaded.has_value()) return loaded.error();
+    engine.emplace(std::move(loaded.value()));
+  } else {
+    // No checkpoint yet: the crash happened before the first save. The
+    // WAL header carries the construction options, so the whole engine
+    // rebuilds from the log alone.
+    auto contents = ReadWal(wal_dir);
+    if (!contents.has_value()) return contents.error();
+    KbOptions options = contents->options;
+    options.metrics = metrics;
+    engine.emplace(options);
+  }
+  auto replayed = engine->AttachWal(wal_dir);
+  if (!replayed.has_value()) return replayed.error();
+  if (stats != nullptr) *stats = replayed.value();
+  return std::move(*engine);
 }
 
 Expected<TaraEngine, LoadError> LoadKnowledgeBaseDir(

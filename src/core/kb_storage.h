@@ -1,13 +1,16 @@
 #ifndef TARA_CORE_KB_STORAGE_H_
 #define TARA_CORE_KB_STORAGE_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/expected.h"
 #include "core/load_error.h"
 #include "core/tara_engine.h"
+#include "core/wal.h"
 
 namespace tara {
 
@@ -48,9 +51,13 @@ Expected<TaraEngine, LoadError> DecodeKnowledgeBase(
 
 /// --- Directory-backed persistence ----------------------------------------
 /// Layout: `<dir>/manifest.tarakb` plus `<dir>/window-NNNNNN.seg`, one per
-/// window. Segment files are written before the manifest, so a crash
-/// mid-save leaves the previous manifest consistent (extra .seg files are
-/// ignored by the loader).
+/// window. Every file is written crash-safely (temp file → fsync → rename
+/// → parent-directory fsync) and segments land before the manifest that
+/// names them, so a crash at any instant leaves either the previous
+/// manifest or the new one fully in place — never a truncated or
+/// zero-length file. Leftover `.tmp` files and unreferenced `.seg` files
+/// from a crashed save are ignored by the loader and overwritten by the
+/// next save.
 
 /// Writes the full knowledge base of `snapshot` into `dir` (created if
 /// missing). Returns nullopt on success.
@@ -70,6 +77,53 @@ std::optional<LoadError> AppendKnowledgeBaseDir(
 /// verifying every segment's size and checksum against the manifest.
 Expected<TaraEngine, LoadError> LoadKnowledgeBaseDir(
     const std::string& dir, obs::MetricsRegistry* metrics = nullptr);
+
+/// True if `dir` holds a knowledge-base manifest.
+bool KnowledgeBaseDirExists(const std::string& dir);
+
+/// --- Window-segment codec -------------------------------------------------
+/// The per-window TARAKB2 blob, exposed so the write-ahead log (wal.h)
+/// carries exactly the bytes a `window-NNNNNN.seg` file would hold.
+
+/// Encodes window `window` of `snapshot` as its segment blob.
+std::vector<uint8_t> EncodeWindowSegment(const KnowledgeBaseSnapshot& snapshot,
+                                         WindowId window);
+
+/// A decoded segment blob: the window it belongs to, where its rule ids
+/// start, and its entries with rule contents resolved — ready for
+/// AppendPrecomputedWindow.
+struct DecodedWindowSegment {
+  WindowId window = 0;
+  RuleId first_rule = 0;
+  std::vector<PrecomputedRule> entries;
+};
+
+/// Parses a segment blob. Entries referencing rules older than
+/// `first_rule` resolve their contents through `catalog` (which must
+/// hold at least `first_rule` rules); rules the window interned first
+/// come from the blob itself. Untrusted-input discipline: any
+/// inconsistency is a LoadError, never an abort.
+Expected<DecodedWindowSegment, LoadError> DecodeWindowSegment(
+    const uint8_t* data, size_t size, const RuleCatalog& catalog);
+
+/// Reads just the window id from a segment blob's header, so WAL replay
+/// can order records before committing to a full (catalog-dependent)
+/// decode.
+Expected<WindowId, LoadError> PeekWindowSegmentWindow(const uint8_t* data,
+                                                      size_t size);
+
+/// --- Crash recovery -------------------------------------------------------
+
+/// Rebuilds the engine state as of the last durable instant: loads the
+/// knowledge base in `kb_dir` (if its manifest exists — otherwise the
+/// engine is constructed from the WAL header's options), replays the
+/// write-ahead log tail in `wal_dir` on top, and leaves the log attached
+/// so ingestion can continue. `stats`, when non-null, receives the
+/// replay outcome. Checkpoint the recovered engine with
+/// AppendKnowledgeBaseDir + TaraEngine::TruncateWal to retire the log.
+Expected<TaraEngine, LoadError> RecoverKnowledgeBase(
+    const std::string& kb_dir, const std::string& wal_dir,
+    obs::MetricsRegistry* metrics = nullptr, WalReplayStats* stats = nullptr);
 
 }  // namespace tara
 

@@ -131,6 +131,28 @@ class TaraEngine {
   /// windows are published together as one new generation.
   void BuildAll(const EvolvingDatabase& data);
 
+  /// --- Durability (write-ahead log) ---------------------------------------
+  /// With a WAL attached, Append*/BuildAll return only after the new
+  /// window's record is fdatasync'd to the log, so an ack sent after an
+  /// append survives any crash: recovery (RecoverKnowledgeBase in
+  /// kb_storage.h, or AttachWal over a loaded engine) replays the log
+  /// tail and reproduces the acked state byte-for-byte.
+
+  /// Attaches (creating if absent) the write-ahead log in `dir`,
+  /// replaying any records it holds into this engine first. Call once,
+  /// before ingestion starts; NOT safe concurrently with writers.
+  Expected<WalReplayStats, LoadError> AttachWal(const std::string& dir) {
+    return builder_->AttachWal(dir);
+  }
+
+  /// Resets the attached log to its header (no-op without one). Call
+  /// only right after the logged windows became durable via
+  /// AppendKnowledgeBaseDir — that pair is the checkpoint step.
+  std::optional<LoadError> TruncateWal() { return builder_->TruncateWal(); }
+
+  /// True once a WAL is attached (Options::wal_dir or AttachWal).
+  bool wal_attached() const { return builder_->wal_attached(); }
+
   /// Pins and returns the current knowledge-base generation: an immutable
   /// view offering the same query API (minus metric spans). Use this to
   /// answer several queries from one consistent state while ingestion

@@ -19,8 +19,16 @@ namespace tara::server {
 Expected<TaraEngine, std::string> BootstrapEngine(
     const EngineBootstrap& bootstrap) {
   if (!bootstrap.loaddir.empty()) {
+    // With a WAL configured, recovery subsumes loading: the checkpoint
+    // directory (if any) plus the replayed log tail, log left attached.
+    const bool recover =
+        !bootstrap.wal_dir.empty() &&
+        (WalExists(bootstrap.wal_dir) ||
+         KnowledgeBaseDirExists(bootstrap.loaddir));
     Expected<TaraEngine, LoadError> loaded =
-        LoadKnowledgeBaseDir(bootstrap.loaddir, bootstrap.metrics);
+        recover ? RecoverKnowledgeBase(bootstrap.loaddir, bootstrap.wal_dir,
+                                       bootstrap.metrics)
+                : LoadKnowledgeBaseDir(bootstrap.loaddir, bootstrap.metrics);
     if (!loaded.has_value()) {
       std::ostringstream message;
       message << "cannot load " << bootstrap.loaddir << ": "
@@ -56,6 +64,18 @@ Expected<TaraEngine, std::string> BootstrapEngine(
   if (const auto problem = options.Validate()) return *problem;
   TaraEngine engine(options);
   engine.BuildAll(data);
+  if (!bootstrap.wal_dir.empty()) {
+    // Attach AFTER BuildAll: the Quest base is deterministic (same seed,
+    // same params on every start), so the log only needs to carry — and
+    // on restart replay — the windows appended live on top of it.
+    const auto replay = engine.AttachWal(bootstrap.wal_dir);
+    if (!replay.has_value()) {
+      std::ostringstream message;
+      message << "cannot attach WAL " << bootstrap.wal_dir << ": "
+              << replay.error();
+      return message.str();
+    }
+  }
   return engine;
 }
 
@@ -77,7 +97,8 @@ void HandleServeSignal(int) { g_serve_stop.store(true); }
 int RunServeMain(int argc, char** argv, const char* usage_prefix) {
   const auto usage = [usage_prefix]() -> int {
     std::fprintf(stderr,
-                 "usage: %s HOST:PORT [--loaddir DIR] [--quest N ITEMS] "
+                 "usage: %s HOST:PORT [--loaddir DIR] [--wal DIR] "
+                 "[--quest N ITEMS] "
                  "[--windows K] [--floor S C] [--cache BYTES] [--workers N] "
                  "[--queue N] [--port-file FILE]\n",
                  usage_prefix);
@@ -107,6 +128,8 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
     };
     if (arg == "--loaddir") {
       bootstrap.loaddir = next("DIR");
+    } else if (arg == "--wal") {
+      bootstrap.wal_dir = next("DIR");
     } else if (arg == "--quest") {
       bootstrap.quest_transactions =
           static_cast<uint32_t>(std::strtoul(next("N"), nullptr, 10));
@@ -143,9 +166,10 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
     std::fprintf(stderr, "%s: %s\n", usage_prefix, engine.error().c_str());
     return 1;
   }
-  std::fprintf(stderr, "%s: knowledge base ready (%u windows, %zu rules)\n",
+  std::fprintf(stderr, "%s: knowledge base ready (%u windows, %zu rules%s)\n",
                usage_prefix, engine->window_count(),
-               engine->Snapshot()->catalog().size());
+               engine->Snapshot()->catalog().size(),
+               engine->wal_attached() ? ", WAL attached" : "");
 
   TaraServer server(&engine.value(), server_options);
   if (const auto problem = server.Start()) {

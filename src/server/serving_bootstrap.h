@@ -17,6 +17,12 @@ struct EngineBootstrap {
   /// When non-empty, load this knowledge-base directory and ignore the
   /// generator fields.
   std::string loaddir;
+  /// When non-empty, attach a write-ahead log in this directory: appends
+  /// are acked only after their WAL record is fdatasync'd, and startup
+  /// replays any log tail a crash left behind (on top of `loaddir`'s
+  /// checkpoint when both are given, on top of the deterministically
+  /// rebuilt Quest base otherwise).
+  std::string wal_dir;
   uint32_t quest_transactions = 4000;
   uint32_t quest_items = 120;
   uint32_t windows = 4;

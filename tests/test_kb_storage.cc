@@ -2,6 +2,10 @@
 // the O(new window) append contract, and rejection of every kind of
 // on-disk damage as a LoadError value rather than a crash.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/crash_point.h"
 #include "common/rng.h"
 #include "core/kb_storage.h"
 #include "core/serialization.h"
@@ -57,12 +62,11 @@ void WriteFile(const fs::path& path, const std::string& bytes) {
 
 class KbStorageTest : public ::testing::Test {
  protected:
+  // The pid keeps concurrent suite runs (e.g. plain + sanitized build
+  // trees on one machine) from clobbering each other's fixtures.
   KbStorageTest()
       : dir_(fs::path(::testing::TempDir()) /
-             ("kb_storage_" +
-              std::to_string(::testing::UnitTest::GetInstance()
-                                 ->random_seed()) +
-              "_" +
+             ("kb_storage_" + std::to_string(::getpid()) + "_" +
               ::testing::UnitTest::GetInstance()
                   ->current_test_info()
                   ->name())) {
@@ -289,6 +293,108 @@ TEST_F(KbStorageTest, ManifestByteFlipsNeverCrashTheDirectoryLoader) {
   // Restored manifest loads again: the fuzz loop left no side effects.
   WriteFile(manifest, valid);
   EXPECT_TRUE(LoadKnowledgeBaseDir(dir_.string()).has_value());
+}
+
+TEST_F(KbStorageTest, ZeroLengthManifestIsATypedTornWriteError) {
+  // The signature damage of the old in-place truncating rewrite: a
+  // crash after open(trunc) but before the write left a 0-byte
+  // manifest. The loader must name the torn write, not crash or claim
+  // "wrong file format".
+  const TaraEngine engine = BuildEngine(MakeData(2));
+  ASSERT_FALSE(
+      SaveKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
+  WriteFile(dir_ / "manifest.tarakb", "");
+  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  ASSERT_FALSE(loaded.has_value());
+  EXPECT_EQ(loaded.error().code, LoadError::Code::kTruncated);
+  EXPECT_NE(loaded.error().message.find("zero-length"), std::string::npos)
+      << loaded.error().message;
+  // Appending over it refuses for the same typed reason.
+  const auto append = AppendKnowledgeBaseDir(*engine.Snapshot(), dir_.string());
+  ASSERT_TRUE(append.has_value());
+  EXPECT_EQ(append->code, LoadError::Code::kTruncated);
+}
+
+TEST_F(KbStorageTest, CleanSavesLeaveNoTempFiles) {
+  TaraEngine engine = BuildEngine(EvolvingDatabase());
+  const EvolvingDatabase data = MakeData(3);
+  for (uint32_t w = 0; w < 2; ++w) {
+    const WindowInfo& info = data.window(w);
+    engine.AppendWindow(data.database(), info.begin, info.end);
+  }
+  ASSERT_FALSE(
+      SaveKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
+  const WindowInfo& info = data.window(2);
+  engine.AppendWindow(data.database(), info.begin, info.end);
+  ASSERT_FALSE(
+      AppendKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+// Crash-point matrix: kill the process (SIGKILL, no destructors — the
+// user-space stand-in for a power cut) between every pair of durability
+// steps inside AppendKnowledgeBaseDir, then require the directory to
+// load as either the old 3-window prefix or the full 4-window KB,
+// byte-identical to an uncrashed reference either way. Exercises every
+// write/fsync/rename/dirsync boundary until one run completes cleanly.
+TEST_F(KbStorageTest, AppendSurvivesACrashAtEveryDurabilityStep) {
+  const EvolvingDatabase data = MakeData(4);
+  TaraEngine engine = BuildEngine(EvolvingDatabase());
+  for (uint32_t w = 0; w < 3; ++w) {
+    const WindowInfo& info = data.window(w);
+    engine.AppendWindow(data.database(), info.begin, info.end);
+  }
+  const fs::path seed_dir = dir_ / "seed";
+  ASSERT_FALSE(
+      SaveKnowledgeBaseDir(*engine.Snapshot(), seed_dir.string()).has_value());
+  const std::string reference3 = KnowledgeBaseToString(engine);
+  const WindowInfo& info = data.window(3);
+  engine.AppendWindow(data.database(), info.begin, info.end);
+  const std::string reference4 = KnowledgeBaseToString(engine);
+
+  bool completed_cleanly = false;
+  for (long crash_at = 0; crash_at < 64 && !completed_cleanly; ++crash_at) {
+    const fs::path trial = dir_ / ("trial_" + std::to_string(crash_at));
+    fs::remove_all(trial);
+    fs::copy(seed_dir, trial);
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Forked child: arm the injector, run the append, report a clean
+      // pass via the exit code. _exit skips gtest/atexit teardown.
+      ArmCrashPoint(crash_at);
+      const auto error =
+          AppendKnowledgeBaseDir(*engine.Snapshot(), trial.string());
+      _exit(error.has_value() ? 2 : 0);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(child, &status, 0), child);
+    if (WIFEXITED(status)) {
+      ASSERT_EQ(WEXITSTATUS(status), 0) << "append failed in the child";
+      completed_cleanly = true;  // injector ran out of crossings
+    } else {
+      ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+          << "unexpected child termination, status " << status;
+    }
+    // Killed or not, the directory must load — to the old prefix or the
+    // fully-appended KB, never anything else and never an error.
+    const auto loaded = LoadKnowledgeBaseDir(trial.string());
+    ASSERT_TRUE(loaded.has_value())
+        << "crash point " << crash_at << ": " << loaded.error();
+    const std::string recovered = KnowledgeBaseToString(*loaded);
+    if (loaded->window_count() == 3u) {
+      EXPECT_EQ(recovered, reference3) << "crash point " << crash_at;
+      EXPECT_FALSE(completed_cleanly)
+          << "a clean append must surface the new window";
+    } else {
+      ASSERT_EQ(loaded->window_count(), 4u) << "crash point " << crash_at;
+      EXPECT_EQ(recovered, reference4) << "crash point " << crash_at;
+    }
+  }
+  EXPECT_TRUE(completed_cleanly)
+      << "crash-point matrix never exhausted the injection sites";
 }
 
 TEST_F(KbStorageTest, RejectsMissingPieces) {

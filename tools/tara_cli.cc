@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/exploration.h"
+#include "core/kb_storage.h"
 #include "core/serialization.h"
 #include "core/tara_engine.h"
 #include "datagen/basket_generators.h"
@@ -196,6 +197,8 @@ class Session {
       Metrics(in);
     } else if (command == "cache") {
       Cache(in);
+    } else if (command == "wal") {
+      Wal(in);
     } else if (command == "batch") {
       Batch(in);
     } else if (command == "save") {
@@ -229,6 +232,9 @@ class Session {
         "  metrics [json]        instrument snapshot (text or JSON)\n"
         "  cache BYTES           size the query cache (0 disables); applies\n"
         "                        to the current engine and later builds\n"
+        "  wal DIR               attach a write-ahead log: appends return\n"
+        "                        only after the record is fsync'd; attaching\n"
+        "                        replays any tail a crash left behind\n"
         "  batch FILE [group]    replay a query script (one query per line:\n"
         "                        mine W S C | region W S C | traj W S C [W...]\n"
         "                        | diff S1 C1 S2 C2 [W...] | measures R [W...]\n"
@@ -337,6 +343,12 @@ class Session {
     options.query_cache_bytes = cache_bytes_;
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(options);
+    // Attach before building so every built window is in the log and a
+    // crashed session can be rebuilt from the log alone (recover).
+    if (!wal_dir_.empty() && !AttachWalToEngine()) {
+      engine_.reset();
+      return;
+    }
     engine_->BuildAll(*data_);
     double seconds = 0;
     for (const auto& s : engine_->build_stats()) seconds += s.total_seconds();
@@ -469,6 +481,55 @@ class Session {
                 engine_ ? "" : "; applies when an engine is built or loaded");
   }
 
+  void Wal(std::istringstream& in) {
+    std::string dir;
+    if (!(in >> dir)) {
+      std::printf("usage: wal DIR\n");
+      return;
+    }
+    wal_dir_ = dir;
+    if (engine_ != nullptr && !engine_->wal_attached()) {
+      AttachWalToEngine();
+    } else if (engine_ == nullptr) {
+      std::printf("write-ahead log %s will attach when an engine is built "
+                  "or loaded\n",
+                  dir.c_str());
+    }
+  }
+
+  /// Attaches wal_dir_ to the current engine, replaying any tail the
+  /// log holds. Prints the outcome; false on a typed failure.
+  bool AttachWalToEngine() {
+    const auto stats = engine_->AttachWal(wal_dir_);
+    if (!stats.has_value()) {
+      std::ostringstream out;
+      out << stats.error();
+      std::printf("cannot attach WAL %s: %s\n", wal_dir_.c_str(),
+                  out.str().c_str());
+      return false;
+    }
+    std::printf("write-ahead log attached at %s (%llu records replayed, "
+                "%llu skipped, %llu torn bytes dropped)\n",
+                wal_dir_.c_str(),
+                static_cast<unsigned long long>(stats->records_replayed),
+                static_cast<unsigned long long>(stats->records_skipped),
+                static_cast<unsigned long long>(stats->truncated_bytes));
+    return true;
+  }
+
+  /// After a successful checkpoint (savedir/ingest persistence), the log
+  /// records are covered by segments + manifest and can be retired.
+  void TruncateWalAfterCheckpoint() {
+    if (engine_ == nullptr || !engine_->wal_attached()) return;
+    if (const auto error = engine_->TruncateWal()) {
+      std::ostringstream out;
+      out << *error;
+      std::printf("warning: cannot truncate WAL: %s\n", out.str().c_str());
+      return;
+    }
+    std::printf("write-ahead log truncated (checkpoint covers it)\n");
+  }
+
   void PrintCacheStats(const QueryCache::Stats& before) const {
     const QueryCache* cache = engine_->query_cache();
     if (cache == nullptr) {
@@ -593,6 +654,7 @@ class Session {
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
     if (cache_bytes_ > 0) engine_->SetQueryCacheBytes(cache_bytes_);
+    if (!wal_dir_.empty()) AttachWalToEngine();
     std::printf("loaded knowledge base: %u windows, %zu rules\n",
                 engine_->window_count(), engine_->catalog().size());
   }
@@ -605,6 +667,7 @@ class Session {
     attached_dir_ = dir;
     std::printf("saved knowledge base into %s (%u windows, attached)\n",
                 dir.c_str(), engine_->window_count());
+    TruncateWalAfterCheckpoint();
   }
 
   void LoadDir(std::istringstream& in) {
@@ -624,6 +687,9 @@ class Session {
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
     if (cache_bytes_ > 0) engine_->SetQueryCacheBytes(cache_bytes_);
+    // Attaching after the load replays exactly the windows the last
+    // checkpoint missed — the CLI-session form of crash recovery.
+    if (!wal_dir_.empty()) AttachWalToEngine();
     attached_dir_ = dir;
     std::printf("loaded knowledge base from %s: %u windows, %zu rules "
                 "(attached)\n",
@@ -653,6 +719,7 @@ class Session {
     if (StoreOk(AppendKnowledgeBaseDir(*engine_->Snapshot(),
                                        attached_dir_))) {
       std::printf("persisted new segment into %s\n", attached_dir_.c_str());
+      TruncateWalAfterCheckpoint();
     }
   }
 
@@ -671,6 +738,9 @@ class Session {
   /// Query-cache budget set via `cache`; applied to the current engine
   /// immediately and to every engine built or loaded afterwards.
   size_t cache_bytes_ = 0;
+  /// Write-ahead-log directory set via `wal`; attached to the current
+  /// engine immediately and to every engine built or loaded afterwards.
+  std::string wal_dir_;
 };
 
 /// The remote query shell behind `tara_cli query --remote HOST:PORT`:
@@ -799,6 +869,62 @@ class RemoteShell {
   uint32_t window_count_ = 0;
 };
 
+/// `tara_cli recover KBDIR --wal WALDIR`: load the checkpoint (if one
+/// exists), replay the log tail, checkpoint the recovered state back
+/// into KBDIR, and retire the log. Exit 0 means KBDIR now holds every
+/// acked window and the log is empty.
+int RunRecover(int argc, char** argv) {
+  std::string kb_dir, wal_dir;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--wal" && i + 1 < argc) {
+      wal_dir = argv[++i];
+    } else if (kb_dir.empty() && arg[0] != '-') {
+      kb_dir = arg;
+    } else {
+      kb_dir.clear();
+      break;
+    }
+  }
+  if (kb_dir.empty() || wal_dir.empty()) {
+    std::fprintf(stderr, "usage: tara_cli recover KBDIR --wal WALDIR\n");
+    return 2;
+  }
+  WalReplayStats stats;
+  auto recovered = RecoverKnowledgeBase(kb_dir, wal_dir, &Registry(), &stats);
+  if (!recovered.has_value()) {
+    std::ostringstream out;
+    out << recovered.error();
+    std::fprintf(stderr, "tara_cli recover: %s\n", out.str().c_str());
+    return 1;
+  }
+  TaraEngine engine = std::move(recovered).value();
+  std::fprintf(stderr,
+               "recovered %u windows (%llu log records replayed, %llu "
+               "skipped, %llu torn bytes dropped)\n",
+               engine.window_count(),
+               static_cast<unsigned long long>(stats.records_replayed),
+               static_cast<unsigned long long>(stats.records_skipped),
+               static_cast<unsigned long long>(stats.truncated_bytes));
+  if (const auto error = AppendKnowledgeBaseDir(*engine.Snapshot(), kb_dir)) {
+    std::ostringstream out;
+    out << *error;
+    std::fprintf(stderr, "tara_cli recover: cannot checkpoint into %s: %s\n",
+                 kb_dir.c_str(), out.str().c_str());
+    return 1;
+  }
+  if (const auto error = engine.TruncateWal()) {
+    std::ostringstream out;
+    out << *error;
+    std::fprintf(stderr, "tara_cli recover: cannot truncate the log: %s\n",
+                 out.str().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "checkpointed into %s and truncated the log\n",
+               kb_dir.c_str());
+  return 0;
+}
+
 int RunRemoteQuery(int argc, char** argv) {
   std::string host;
   uint16_t port = 0;
@@ -847,6 +973,9 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "query") == 0) {
     return tara::cli::RunRemoteQuery(argc - 2, argv + 2);
   }
+  if (argc > 1 && std::strcmp(argv[1], "recover") == 0) {
+    return tara::cli::RunRecover(argc - 2, argv + 2);
+  }
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -856,7 +985,8 @@ int main(int argc, char** argv) {
                    "usage: tara_cli [--metrics] < commands\n"
                    "       tara_cli serve HOST:PORT [flags]\n"
                    "       tara_cli query --remote HOST:PORT [--deadline MS]"
-                   " < queries\n");
+                   " < queries\n"
+                   "       tara_cli recover KBDIR --wal WALDIR\n");
       return 2;
     }
   }
