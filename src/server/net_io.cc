@@ -1,9 +1,10 @@
 #include "server/net_io.h"
 
-#include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -49,6 +50,11 @@ FrameRead ReadFrame(int fd, uint32_t max_payload) {
   char header_bytes[kWireHeaderBytes];
   const ssize_t header_got = ReadExact(fd, header_bytes, kWireHeaderBytes);
   if (header_got < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      out.status = FrameRead::Status::kTimeout;
+      out.io_message = "receive deadline expired waiting for a frame";
+      return out;
+    }
     out.status = FrameRead::Status::kIoError;
     out.io_message = ErrnoMessage("read");
     return out;
@@ -75,6 +81,11 @@ FrameRead ReadFrame(int fd, uint32_t max_payload) {
     const ssize_t payload_got =
         ReadExact(fd, out.payload.data(), header->payload_size);
     if (payload_got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        out.status = FrameRead::Status::kTimeout;
+        out.io_message = "receive deadline expired mid-frame";
+        return out;
+      }
       out.status = FrameRead::Status::kIoError;
       out.io_message = ErrnoMessage("read");
       return out;
@@ -89,13 +100,19 @@ FrameRead ReadFrame(int fd, uint32_t max_payload) {
   return out;
 }
 
-bool WriteAll(int fd, std::string_view bytes, std::string* error) {
+bool WriteAll(int fd, std::string_view bytes, std::string* error,
+              bool* timed_out) {
   size_t sent = 0;
   while (sent < bytes.size()) {
     const ssize_t w =
         ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (timed_out != nullptr) *timed_out = true;
+        if (error != nullptr) *error = "send deadline expired";
+        return false;
+      }
       if (error != nullptr) *error = ErrnoMessage("send");
       return false;
     }
@@ -104,64 +121,112 @@ bool WriteAll(int fd, std::string_view bytes, std::string* error) {
   return true;
 }
 
+bool SetSocketTimeouts(int fd, uint32_t timeout_ms, std::string* error) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    if (error != nullptr) {
+      *error = ErrnoMessage("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO)");
+    }
+    return false;
+  }
+  return true;
+}
+
 namespace {
 
-bool FillAddress(const std::string& host, uint16_t port, sockaddr_in* addr) {
-  std::memset(addr, 0, sizeof(*addr));
-  addr->sin_family = AF_INET;
-  addr->sin_port = htons(port);
-  const char* name = host == "localhost" ? "127.0.0.1" : host.c_str();
-  return ::inet_pton(AF_INET, name, &addr->sin_addr) == 1;
+/// getaddrinfo over host:port. A non-zero return code becomes a typed
+/// message in `*error` (resolver wording, not a bare errno).
+addrinfo* ResolveAddress(const std::string& host, uint16_t port,
+                         bool passive, std::string* error) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;  // IPv4 and IPv6 alike
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &results);
+  if (rc != 0) {
+    *error = "cannot resolve host '" + host + "': " +
+             (rc == EAI_SYSTEM ? std::strerror(errno) : ::gai_strerror(rc));
+    return nullptr;
+  }
+  return results;
 }
 
 }  // namespace
 
 Expected<Socket, std::string> ConnectTcp(const std::string& host,
                                          uint16_t port) {
-  sockaddr_in addr;
-  if (!FillAddress(host, port, &addr)) {
-    return std::string("cannot parse host address '" + host +
-                       "' (IPv4 dotted quad or 'localhost')");
+  std::string error;
+  addrinfo* results = ResolveAddress(host, port, /*passive=*/false, &error);
+  if (results == nullptr) return error;
+  error = "no usable addresses for '" + host + "'";
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      error = ErrnoMessage("socket");
+      continue;
+    }
+    int rc = 0;
+    do {
+      rc = ::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc == 0) {
+      const int one = 1;
+      ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(results);
+      return sock;
+    }
+    error = ErrnoMessage("connect to " + host + ":" + std::to_string(port));
   }
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!sock.valid()) return ErrnoMessage("socket");
-  while (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
-                   sizeof(addr)) != 0) {
-    if (errno == EINTR) continue;
-    return ErrnoMessage("connect to " + host + ":" + std::to_string(port));
-  }
-  const int one = 1;
-  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return sock;
+  ::freeaddrinfo(results);
+  return error;
 }
 
 Expected<Socket, std::string> ListenTcp(const std::string& host,
                                         uint16_t port, int backlog,
                                         uint16_t* bound_port) {
-  sockaddr_in addr;
-  if (!FillAddress(host, port, &addr)) {
-    return std::string("cannot parse host address '" + host +
-                       "' (IPv4 dotted quad or 'localhost')");
-  }
-  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
-  if (!sock.valid()) return ErrnoMessage("socket");
-  const int one = 1;
-  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return ErrnoMessage("bind " + host + ":" + std::to_string(port));
-  }
-  if (::listen(sock.fd(), backlog) != 0) return ErrnoMessage("listen");
-  if (bound_port != nullptr) {
-    sockaddr_in bound;
-    socklen_t len = sizeof(bound);
-    if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound), &len) !=
-        0) {
-      return ErrnoMessage("getsockname");
+  std::string error;
+  addrinfo* results = ResolveAddress(host, port, /*passive=*/true, &error);
+  if (results == nullptr) return error;
+  error = "no usable addresses for '" + host + "'";
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      error = ErrnoMessage("socket");
+      continue;
     }
-    *bound_port = ntohs(bound.sin_port);
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(sock.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      error = ErrnoMessage("bind " + host + ":" + std::to_string(port));
+      continue;
+    }
+    if (::listen(sock.fd(), backlog) != 0) {
+      error = ErrnoMessage("listen");
+      continue;
+    }
+    if (bound_port != nullptr) {
+      sockaddr_storage bound;
+      socklen_t len = sizeof(bound);
+      if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&bound),
+                        &len) != 0) {
+        error = ErrnoMessage("getsockname");
+        continue;
+      }
+      *bound_port =
+          bound.ss_family == AF_INET6
+              ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+              : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
+    }
+    ::freeaddrinfo(results);
+    return sock;
   }
-  return sock;
+  ::freeaddrinfo(results);
+  return error;
 }
 
 bool SplitHostPort(std::string_view spec, std::string* host, uint16_t* port) {

@@ -54,6 +54,7 @@ struct FrameRead {
     kEof,         ///< orderly peer close at a frame boundary
     kIoError,     ///< read failed (io_message) or mid-frame disconnect
     kParseError,  ///< the header was hostile (parse_error)
+    kTimeout,     ///< a receive deadline (SetSocketTimeouts) expired
   };
   Status status = Status::kIoError;
   FrameHeader header;
@@ -67,15 +68,27 @@ struct FrameRead {
 FrameRead ReadFrame(int fd, uint32_t max_payload);
 
 /// Writes every byte of `bytes`. Returns false and fills `*error` on
-/// failure (peer gone, etc.).
-bool WriteAll(int fd, std::string_view bytes, std::string* error);
+/// failure (peer gone, etc.). When a send deadline (SetSocketTimeouts)
+/// expires, `*timed_out` (if non-null) is additionally set.
+bool WriteAll(int fd, std::string_view bytes, std::string* error,
+              bool* timed_out = nullptr);
 
-/// Connects to host:port (IPv4 dotted quad; "localhost" is understood).
+/// Applies `timeout_ms` as both the receive and send deadline of `fd`
+/// (SO_RCVTIMEO/SO_SNDTIMEO); 0 restores fully blocking behavior. The
+/// deadline bounds each socket syscall, which for the lockstep protocols
+/// here bounds the whole wait. False + `*error` on setsockopt failure.
+bool SetSocketTimeouts(int fd, uint32_t timeout_ms, std::string* error);
+
+/// Connects to host:port. `host` is anything the resolver understands:
+/// a hostname, an IPv4 dotted quad, or an IPv6 literal. Every resolved
+/// address is tried in resolver order; the error of the last attempt
+/// (or a typed resolution failure) is returned if none connects.
 Expected<Socket, std::string> ConnectTcp(const std::string& host,
                                          uint16_t port);
 
 /// Binds + listens on host:port (port 0 = ephemeral) and reports the
-/// actually bound port through `*bound_port`.
+/// actually bound port through `*bound_port`. `host` resolves like
+/// ConnectTcp.
 Expected<Socket, std::string> ListenTcp(const std::string& host,
                                         uint16_t port, int backlog,
                                         uint16_t* bound_port);

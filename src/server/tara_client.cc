@@ -16,6 +16,23 @@ WireError Closed() {
                    "server closed the connection before responding"};
 }
 
+WireError TimedOut(uint32_t deadline_ms, std::string_view when) {
+  return WireError{kClientTimedOut,
+                   "deadline of " + std::to_string(deadline_ms) +
+                       "ms expired " + std::string(when) +
+                       " (connection closed)"};
+}
+
+/// Local socket deadline backing a request deadline: the server enforces
+/// `deadline_ms` itself and its rejection frame must win the race when
+/// it is alive, so the local guard fires a grace period later — it is
+/// the backstop for a hung or unreachable server, not the primary timer.
+constexpr uint32_t kLocalDeadlineGraceMs = 1000;
+
+uint32_t SocketDeadlineMs(uint32_t deadline_ms) {
+  return deadline_ms == 0 ? 0 : deadline_ms + kLocalDeadlineGraceMs;
+}
+
 /// Folds a ParseError from decoding the *server's* bytes into the
 /// client-protocol pseudo-code (the numeric parse code is preserved in
 /// the message; it describes the peer's malformed output, not ours).
@@ -37,9 +54,18 @@ Expected<TaraClient, WireError> TaraClient::Connect(const std::string& host,
 }
 
 Expected<DecodedFrame, WireError> TaraClient::RoundTrip(
-    const std::string& frame) {
+    const std::string& frame, uint32_t deadline_ms) {
   std::string error;
-  if (!WriteAll(socket_.fd(), frame, &error)) {
+  if (!SetSocketTimeouts(socket_.fd(), SocketDeadlineMs(deadline_ms),
+                         &error)) {
+    return Transport(std::move(error));
+  }
+  bool send_timed_out = false;
+  if (!WriteAll(socket_.fd(), frame, &error, &send_timed_out)) {
+    if (send_timed_out) {
+      socket_.Close();
+      return TimedOut(deadline_ms, "sending the request");
+    }
     return Transport(std::move(error));
   }
   FrameRead response = ReadFrame(socket_.fd(), kWireMaxPayloadBytes);
@@ -48,6 +74,12 @@ Expected<DecodedFrame, WireError> TaraClient::RoundTrip(
       return Closed();
     case FrameRead::Status::kIoError:
       return Transport(std::move(response.io_message));
+    case FrameRead::Status::kTimeout:
+      // The response may still arrive later; reading it as the answer
+      // to the NEXT request would desynchronize the lockstep stream, so
+      // the connection is unusable from here on.
+      socket_.Close();
+      return TimedOut(deadline_ms, "waiting for the response");
     case FrameRead::Status::kParseError:
       return PeerParse(response.parse_error);
     case FrameRead::Status::kOk:
@@ -67,7 +99,8 @@ Expected<DecodedFrame, WireError> TaraClient::RoundTrip(
 
 Expected<QueryResult, WireError> TaraClient::Execute(
     const QueryRequest& request, uint32_t deadline_ms) {
-  auto response = RoundTrip(EncodeExecuteFrame(request, deadline_ms));
+  auto response = RoundTrip(EncodeExecuteFrame(request, deadline_ms),
+                            deadline_ms);
   if (!response.has_value()) return response.error();
   if (response->header.type != FrameType::kResult) {
     return Protocol("expected a kResult frame, got type " +
@@ -85,7 +118,8 @@ Expected<QueryResult, WireError> TaraClient::Execute(
 Expected<std::vector<Expected<QueryResult, WireError>>, WireError>
 TaraClient::ExecuteBatch(const std::vector<QueryRequest>& requests,
                          uint32_t deadline_ms) {
-  auto response = RoundTrip(EncodeBatchExecuteFrame(requests, deadline_ms));
+  auto response = RoundTrip(EncodeBatchExecuteFrame(requests, deadline_ms),
+                            deadline_ms);
   if (!response.has_value()) return response.error();
   if (response->header.type != FrameType::kBatchResult) {
     return Protocol("expected a kBatchResult frame, got type " +

@@ -20,6 +20,10 @@ namespace tara::server {
 inline constexpr uint32_t kClientTransportError = 300;  ///< socket I/O failed
 inline constexpr uint32_t kClientProtocolError = 301;   ///< peer broke protocol
 inline constexpr uint32_t kClientConnectionClosed = 302;  ///< orderly EOF
+/// The caller's deadline expired at this end — the request may or may
+/// not have reached (or been executed by) the server. The connection is
+/// closed: a late response would desynchronize the lockstep stream.
+inline constexpr uint32_t kClientTimedOut = 303;
 
 /// A blocking client for the TARA wire protocol: one TCP connection in
 /// request-response lockstep (the protocol is synchronous per
@@ -32,15 +36,20 @@ inline constexpr uint32_t kClientConnectionClosed = 302;  ///< orderly EOF
 /// below name the interesting ones.
 class TaraClient {
  public:
-  /// Opens a connection. `host` is an IPv4 dotted quad or "localhost".
+  /// Opens a connection. `host` is anything the resolver understands:
+  /// a hostname, an IPv4 dotted quad, or an IPv6 literal.
   static Expected<TaraClient, WireError> Connect(const std::string& host,
                                                  uint16_t port);
 
   TaraClient(TaraClient&&) = default;
   TaraClient& operator=(TaraClient&&) = default;
 
-  /// Executes one query. deadline_ms > 0 bounds the server-side
-  /// queueing delay; 0 means no deadline.
+  /// Executes one query. deadline_ms > 0 bounds BOTH the server-side
+  /// queueing delay (the server sheds with kDeadlineExceeded) and, as a
+  /// backstop for a hung or unreachable server, the local socket waits
+  /// (armed at deadline_ms plus a short grace so the server's own
+  /// rejection wins when it is alive; expiry is kClientTimedOut and
+  /// closes the connection). 0 means no deadline anywhere.
   Expected<QueryResult, WireError> Execute(const QueryRequest& request,
                                            uint32_t deadline_ms = 0);
 
@@ -74,7 +83,10 @@ class TaraClient {
 
   /// Sends `frame` and reads exactly one response frame, turning
   /// transport failures and kError responses into WireError.
-  Expected<DecodedFrame, WireError> RoundTrip(const std::string& frame);
+  /// deadline_ms > 0 arms the socket's send/receive deadlines for this
+  /// round trip; expiry maps to kClientTimedOut and closes the socket.
+  Expected<DecodedFrame, WireError> RoundTrip(const std::string& frame,
+                                              uint32_t deadline_ms = 0);
 
   Socket socket_;
   /// The response payload of the last RoundTrip (DecodedFrame::payload
@@ -91,6 +103,11 @@ inline bool IsOverloaded(const WireError& error) {
 inline bool IsDeadlineExceeded(const WireError& error) {
   return error.code ==
          static_cast<uint32_t>(ServerWireError::kDeadlineExceeded);
+}
+
+/// true when the deadline expired client-side (no response in time).
+inline bool IsClientTimeout(const WireError& error) {
+  return error.code == kClientTimedOut;
 }
 
 }  // namespace tara::server

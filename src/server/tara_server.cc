@@ -161,7 +161,8 @@ void TaraServer::HandleConnection(Connection* connection) {
     FrameRead frame =
         ReadFrame(connection->socket.fd(), options_.max_payload_bytes);
     if (frame.status == FrameRead::Status::kEof ||
-        frame.status == FrameRead::Status::kIoError) {
+        frame.status == FrameRead::Status::kIoError ||
+        frame.status == FrameRead::Status::kTimeout) {
       break;
     }
     if (frame.status == FrameRead::Status::kParseError) {

@@ -270,6 +270,66 @@ TEST_F(ServerTest, QueuedRequestHonorsDeadline) {
   holder.join();
 }
 
+TEST_F(ServerTest, HostnamesResolveForConnectAndFailuresAreTyped) {
+  StartServer();
+  // A hostname (not a dotted quad) goes through the system resolver.
+  auto named = TaraClient::Connect("localhost", server_->port());
+  ASSERT_TRUE(named.has_value()) << named.error();
+  TaraClient named_client = std::move(named).value();
+  EXPECT_TRUE(named_client.Ping().has_value());
+  // An unresolvable name fails with a typed resolution message (RFC 2606
+  // reserves .invalid, so no resolver can answer it).
+  auto bogus = TaraClient::Connect("no-such-host.invalid", 1);
+  ASSERT_FALSE(bogus.has_value());
+  EXPECT_EQ(bogus.error().code, kClientTransportError);
+  EXPECT_NE(bogus.error().message.find("cannot resolve host"),
+            std::string::npos)
+      << bogus.error().message;
+}
+
+TEST_F(ServerTest, StalledResponseTripsTheClientDeadlineBackstop) {
+  // The hook stalls the client's OWN request mid-execution: the server
+  // admitted it (so no server-side deadline shed will ever come) and
+  // cannot respond until released. The client's local socket deadline —
+  // the backstop for a hung server — must fire with the 303 pseudo-code
+  // and close the now-desynchronized connection.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  ServerOptions options;
+  options.max_concurrent_queries = 1;
+  options.pre_execute_hook = [&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  };
+  StartServer(options);
+
+  TaraClient client = Connect();
+  const QueryRequest request =
+      QueryRequest::MineWindow(0, ParameterSetting{0.03, 0.3});
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = client.Execute(request, /*deadline_ms=*/100);
+  const auto waited_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  ASSERT_FALSE(result.has_value());
+  EXPECT_TRUE(IsClientTimeout(result.error())) << result.error();
+  EXPECT_EQ(result.error().code, 303u);
+  // Fired no earlier than the deadline, and promptly rather than hanging.
+  EXPECT_GE(waited_ms, 100);
+  EXPECT_LT(waited_ms, 10000);
+  // A late response must never be read as the answer to the next
+  // request: the connection is gone and further calls fail locally.
+  EXPECT_FALSE(client.connected());
+  EXPECT_FALSE(client.Execute(request).has_value());
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+}
+
 TEST_F(ServerTest, MalformedFramesGetTypedErrorsAndServerSurvives) {
   StartServer();
   // Raw socket: send garbage that is not even a TARA header.
