@@ -24,6 +24,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -159,19 +160,26 @@ PhaseResult RunPhase(Reader&& reader, Writer&& writer) {
 }
 
 void ReportPhase(bench::BenchReport* report, const char* phase,
-                 PhaseResult result, uint64_t appends, double append_seconds,
+                 PhaseResult result, std::vector<uint64_t> append_ns,
                  const QueryCache::Stats& cache = {}) {
   const size_t queries = result.latencies_ns.size();
   const double qps =
       result.seconds > 0 ? static_cast<double>(queries) / result.seconds : 0;
   const double p50 = PercentileUs(&result.latencies_ns, 0.50);
   const double p99 = PercentileUs(&result.latencies_ns, 0.99);
+  const uint64_t appends = append_ns.size();
+  double append_seconds = 0;
+  for (const uint64_t ns : append_ns) {
+    append_seconds += static_cast<double>(ns) / 1e9;
+  }
+  const double append_p50 = PercentileUs(&append_ns, 0.50);
+  const double append_p99 = PercentileUs(&append_ns, 0.99);
   std::printf("%-16s %10zu queries %10.0f q/s  p50 %8.1fus  p99 %8.1fus",
               phase, queries, qps, p50, p99);
   if (appends > 0) {
-    std::printf("  (%llu appends, %.3fs/append)",
-                static_cast<unsigned long long>(appends),
-                append_seconds / static_cast<double>(appends));
+    std::printf("  (%llu appends, p50 %.0fus, p99 %.0fus)",
+                static_cast<unsigned long long>(appends), append_p50,
+                append_p99);
   }
   if (cache.hits + cache.misses > 0) {
     std::printf("  (cache hit rate %.3f, %llu evictions)", cache.hit_rate(),
@@ -187,6 +195,8 @@ void ReportPhase(bench::BenchReport* report, const char* phase,
       .Set("read_p99_us", p99)
       .Set("appends", appends)
       .Set("append_seconds_total", append_seconds)
+      .Set("append_p50_us", append_p50)
+      .Set("append_p99_us", append_p99)
       .Set("cache_hits", cache.hits)
       .Set("cache_misses", cache.misses)
       .Set("cache_evictions", cache.evictions)
@@ -277,30 +287,28 @@ int Run() {
     std::this_thread::sleep_for(
         std::chrono::duration<double>(kReadOnlySeconds));
   };
-  const auto append_writer = [&](uint32_t begin, uint32_t end,
-                                 double* seconds) {
+  const auto append_writer = [&](TaraEngine& target, uint32_t begin,
+                                 uint32_t end,
+                                 std::vector<uint64_t>* append_ns) {
     for (uint32_t w = begin; w < end; ++w) {
       const WindowInfo& info = data.window(w);
-      const auto start = std::chrono::steady_clock::now();
-      engine.AppendWindow(data.database(), info.begin, info.end);
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - start;
-      *seconds += elapsed.count();
+      const uint64_t start = NowNs();
+      target.AppendWindow(data.database(), info.begin, info.end);
+      append_ns->push_back(NowNs() - start);
     }
   };
 
   // Phase 1: pure reads against the finished base.
   PhaseResult read_only = RunPhase(mixed_reader, sleep_writer);
-  ReportPhase(&report, "read_only", std::move(read_only), 0, 0);
+  ReportPhase(&report, "read_only", std::move(read_only), {});
 
   // Phase 2: the same readers while windows are appended live.
-  double append_seconds = 0;
+  std::vector<uint64_t> append_ns;
   PhaseResult live = RunPhase(mixed_reader, [&] {
-    append_writer(kBaseWindows, kBaseWindows + kLiveWindows,
-                  &append_seconds);
+    append_writer(engine, kBaseWindows, kBaseWindows + kLiveWindows,
+                  &append_ns);
   });
-  ReportPhase(&report, "live_append", std::move(live), kLiveWindows,
-              append_seconds);
+  ReportPhase(&report, "live_append", std::move(live), std::move(append_ns));
 
   // Phases 3-5: a fixed repeated request series through Execute — first
   // with the cache off (baseline), then on (hits dominate), then on with
@@ -318,24 +326,51 @@ int Run() {
   };
 
   PhaseResult repeat_nocache = RunPhase(repeat_reader, sleep_repeat);
-  ReportPhase(&report, "repeat_nocache", std::move(repeat_nocache), 0, 0);
+  ReportPhase(&report, "repeat_nocache", std::move(repeat_nocache), {});
 
   engine.SetQueryCacheBytes(kCacheBudgetBytes);
   QueryCache::Stats before = engine.query_cache()->stats();
   PhaseResult repeat_cache = RunPhase(repeat_reader, sleep_repeat);
-  ReportPhase(&report, "repeat_cache", std::move(repeat_cache), 0, 0,
+  ReportPhase(&report, "repeat_cache", std::move(repeat_cache), {},
               StatsDelta(engine, before));
 
   before = engine.query_cache()->stats();
-  double cache_append_seconds = 0;
+  std::vector<uint64_t> cache_append_ns;
   PhaseResult cache_live = RunPhase(repeat_reader, [&] {
-    append_writer(kBaseWindows + kLiveWindows,
+    append_writer(engine, kBaseWindows + kLiveWindows,
                   kBaseWindows + kLiveWindows + kCacheLiveWindows,
-                  &cache_append_seconds);
+                  &cache_append_ns);
   });
   ReportPhase(&report, "cache_live_append", std::move(cache_live),
-              kCacheLiveWindows, cache_append_seconds,
-              StatsDelta(engine, before));
+              std::move(cache_append_ns), StatsDelta(engine, before));
+
+  // Phase 6: the live_append phase again on a twin engine with the
+  // write-ahead log attached — the durability tax (encode + fdatasync
+  // per window, on the append path, inside the commit section).
+  const std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path() / "mixed_workload_wal";
+  std::filesystem::remove_all(wal_dir);
+  {
+    TaraEngine::Options wal_options = options;
+    wal_options.wal_dir = wal_dir.string();
+    TaraEngine wal_engine(wal_options);
+    for (uint32_t w = 0; w < kBaseWindows; ++w) {
+      const WindowInfo& info = data.window(w);
+      wal_engine.AppendWindow(data.database(), info.begin, info.end);
+    }
+    const auto wal_reader = [&](int, const std::atomic<bool>& stop,
+                                std::vector<uint64_t>* latencies) {
+      ReaderLoop(wal_engine, setting, probe, probe_items, stop, latencies);
+    };
+    std::vector<uint64_t> wal_append_ns;
+    PhaseResult wal_live = RunPhase(wal_reader, [&] {
+      append_writer(wal_engine, kBaseWindows, kBaseWindows + kLiveWindows,
+                    &wal_append_ns);
+    });
+    ReportPhase(&report, "wal_append", std::move(wal_live),
+                std::move(wal_append_ns));
+  }
+  std::filesystem::remove_all(wal_dir);
 
   constexpr uint32_t kAllWindows =
       kBaseWindows + kLiveWindows + kCacheLiveWindows;
