@@ -1,6 +1,9 @@
 #ifndef TARA_BENCH_BENCH_REPORT_H_
 #define TARA_BENCH_BENCH_REPORT_H_
 
+#include <sys/resource.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -10,6 +13,32 @@
 #include "obs/json_writer.h"
 
 namespace tara::bench {
+
+/// Peak resident set size of this process in bytes (ru_maxrss), the
+/// high-water mark the kernel tracked since process start. 0 if the
+/// kernel cannot say.
+inline uint64_t PeakRssBytes() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+/// Current resident set size in bytes via /proc/self/statm (second
+/// field, in pages). 0 where procfs is absent. Unlike PeakRssBytes this
+/// can go down, so before/after deltas around one operation are
+/// meaningful — e.g. how much an OpenKnowledgeBase call actually
+/// faulted in.
+inline uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0, resident_pages = 0;
+  const int parsed = std::fscanf(f, "%llu %llu", &total_pages,
+                                 &resident_pages);
+  std::fclose(f);
+  if (parsed != 2) return 0;
+  return resident_pages * static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+}
 
 /// Machine-readable sidecar for a benchmark harness: collects flat rows
 /// while the human-readable table prints, then writes BENCH_<name>.json

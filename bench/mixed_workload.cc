@@ -30,6 +30,8 @@
 #include <vector>
 
 #include "bench/bench_report.h"
+#include "core/kb_blocks.h"
+#include "core/kb_open.h"
 #include "core/tara_engine.h"
 #include "datagen/basket_generators.h"
 #include "obs/metrics.h"
@@ -201,7 +203,93 @@ void ReportPhase(bench::BenchReport* report, const char* phase,
       .Set("cache_misses", cache.misses)
       .Set("cache_evictions", cache.evictions)
       .Set("cache_bytes", cache.bytes)
-      .Set("hit_rate", cache.hit_rate());
+      .Set("hit_rate", cache.hit_rate())
+      .Set("peak_rss_bytes", bench::PeakRssBytes());
+}
+
+/// One timed OpenKnowledgeBase call: best-of-N open latency plus the
+/// resident-set growth the winning open caused (how many payload bytes
+/// it actually faulted in — near zero for a mapped open).
+struct OpenCost {
+  double open_us = 0;
+  uint64_t rss_delta_bytes = 0;
+  uint32_t windows = 0;
+};
+
+OpenCost TimeOpen(const std::string& dir, OpenMode mode) {
+  OpenCost best;
+  best.open_us = 1e18;
+  for (int i = 0; i < 3; ++i) {
+    OpenOptions options;
+    options.kb_dir = dir;
+    options.mode = mode;
+    const uint64_t rss_before = bench::CurrentRssBytes();
+    const uint64_t start = NowNs();
+    auto opened = OpenKnowledgeBase(options);
+    const double us = static_cast<double>(NowNs() - start) / 1000.0;
+    if (!opened.has_value()) {
+      std::fprintf(stderr, "cannot open %s: open-phase bug\n", dir.c_str());
+      return {};
+    }
+    const uint64_t rss_after = bench::CurrentRssBytes();
+    if (us < best.open_us) {
+      best.open_us = us;
+      best.rss_delta_bytes =
+          rss_after > rss_before ? rss_after - rss_before : 0;
+    }
+    best.windows = opened->window_count();
+  }
+  return best;
+}
+
+/// Phase 7: open-time scaling. The full knowledge base is saved as
+/// TARAKB3 blocks twice — once whole, once trimmed to a quarter of the
+/// windows — and both are opened in both modes. A mapped open touches
+/// manifests only, so its cost must not grow with window count; the
+/// eager open decodes every segment and must grow ~linearly. CI asserts
+/// exactly that from these two rows.
+bool ReportOpenScaling(bench::BenchReport* report,
+                       const KnowledgeBaseSnapshot& snapshot) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "mixed_workload_open";
+  fs::remove_all(root);
+  const std::string large_dir = (root / "large").string();
+  const std::string small_dir = (root / "small").string();
+  // Small target block size so several blocks exist and the mapped open
+  // exercises the multi-mmap path.
+  constexpr uint64_t kOpenBlockBytes = 256 * 1024;
+  const uint32_t small_windows = snapshot.window_count() / 4;
+  if (SaveKnowledgeBaseBlocks(snapshot, large_dir, kOpenBlockBytes) ||
+      SaveKnowledgeBaseBlocks(snapshot, small_dir, kOpenBlockBytes) ||
+      TrimKnowledgeBase(small_dir, small_windows)) {
+    std::fprintf(stderr, "cannot stage the open-phase directories\n");
+    return false;
+  }
+  for (const OpenMode mode : {OpenMode::kMapped, OpenMode::kEager}) {
+    const char* phase =
+        mode == OpenMode::kMapped ? "open_mmap" : "open_eager";
+    const OpenCost small = TimeOpen(small_dir, mode);
+    const OpenCost large = TimeOpen(large_dir, mode);
+    if (small.windows == 0 || large.windows == 0) return false;
+    const double ratio =
+        small.open_us > 0 ? large.open_us / small.open_us : 0;
+    std::printf("%-16s %4u windows %10.1fus -> %4u windows %10.1fus "
+                "(x%.2f, +%llu resident bytes)\n",
+                phase, small.windows, small.open_us, large.windows,
+                large.open_us, ratio,
+                static_cast<unsigned long long>(large.rss_delta_bytes));
+    report->AddRow()
+        .Set("phase", phase)
+        .Set("small_windows", small.windows)
+        .Set("large_windows", large.windows)
+        .Set("small_open_us", small.open_us)
+        .Set("large_open_us", large.open_us)
+        .Set("open_ratio", ratio)
+        .Set("rss_delta_bytes", large.rss_delta_bytes)
+        .Set("peak_rss_bytes", bench::PeakRssBytes());
+  }
+  fs::remove_all(root);
+  return true;
 }
 
 /// The fixed repeated series the cache phases cycle: every window's
@@ -382,6 +470,8 @@ int Run() {
                  static_cast<unsigned long long>(engine.generation()));
     return 1;
   }
+
+  if (!ReportOpenScaling(&report, *engine.Snapshot())) return 1;
 
   report.SetMetricsJson(registry.SnapshotJson());
   return report.WriteFile() ? 0 : 1;

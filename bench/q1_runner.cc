@@ -135,7 +135,8 @@ void RunQ1Experiment(BenchDataset& d, Vary vary, BenchReport* report) {
           .Set("tara_r_us", tara_r_us)
           .Set("hmine_us", hmine_us)
           .Set("paras_us", paras_us)
-          .Set("dctar_us", dctar_us);
+          .Set("dctar_us", dctar_us)
+          .Set("peak_rss_bytes", PeakRssBytes());
     }
   }
 }
@@ -191,7 +192,8 @@ void RunQ2Experiment(BenchDataset& d, Vary vary, BenchReport* report) {
           .Set("diff", diff_size)
           .Set("tara_us", tara_us)
           .Set("hmine_us", hmine_us)
-          .Set("dctar_us", dctar_us);
+          .Set("dctar_us", dctar_us)
+          .Set("peak_rss_bytes", PeakRssBytes());
     }
   }
 }

@@ -5,11 +5,16 @@
 // binary exists so CI can assert the report pipeline end to end on every
 // push.
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 
 #include "bench/bench_datasets.h"
 #include "bench/bench_report.h"
 #include "bench/q1_runner.h"
+#include "core/kb_blocks.h"
+#include "core/kb_open.h"
+#include "core/tara_engine.h"
 #include "datagen/quest_generator.h"
 #include "obs/metrics.h"
 
@@ -38,6 +43,44 @@ BenchDataset MakeCiDataset() {
   return d;
 }
 
+/// Saves the dataset's archive as TARAKB3 blocks and times both open
+/// modes, so the report carries open-cost next to query-cost.
+void ReportOpenTimes(const BenchDataset& d, BenchReport* report) {
+  tara::TaraEngine::Options options;
+  options.min_support_floor = d.support_floor;
+  options.min_confidence_floor = d.confidence_floor;
+  options.max_itemset_size = d.max_itemset_size;
+  tara::TaraEngine engine(options);
+  engine.BuildAll(d.data);
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "q1_runner_open";
+  fs::remove_all(dir);
+  if (tara::SaveKnowledgeBaseBlocks(*engine.Snapshot(), dir.string())) return;
+  const auto open_us = [&](tara::OpenMode mode) -> double {
+    tara::OpenOptions open;
+    open.kb_dir = dir.string();
+    open.mode = mode;
+    const auto start = std::chrono::steady_clock::now();
+    const auto opened = tara::OpenKnowledgeBase(open);
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return opened.has_value() ? elapsed.count() : 0;
+  };
+  const double mmap_us = open_us(tara::OpenMode::kMapped);
+  const double eager_us = open_us(tara::OpenMode::kEager);
+  fs::remove_all(dir);
+  std::printf("open: mmap %.1fus, eager %.1fus (%u windows)\n", mmap_us,
+              eager_us, engine.window_count());
+  report->AddRow()
+      .Set("dataset", d.name)
+      .Set("phase", "open")
+      .Set("windows", engine.window_count())
+      .Set("mmap_open_us", mmap_us)
+      .Set("eager_open_us", eager_us)
+      .Set("peak_rss_bytes", PeakRssBytes());
+}
+
 }  // namespace
 }  // namespace tara::bench
 
@@ -47,6 +90,7 @@ int main() {
   BenchReport report("q1");
   BenchDataset d = MakeCiDataset();
   RunQ1Experiment(d, Vary::kSupport, &report);
+  ReportOpenTimes(d, &report);
   report.SetMetricsJson(tara::obs::MetricsRegistry::Global().SnapshotJson());
   return report.WriteFile() ? 0 : 1;
 }

@@ -1,0 +1,81 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tara {
+
+MappedFile::~MappedFile() { Close(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      open_(std::exchange(other.open_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    open_ = std::exchange(other.open_, false);
+  }
+  return *this;
+}
+
+bool MappedFile::Open(const std::string& path, std::string* error) {
+  Close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) {
+      *error = "cannot stat " + path + ": " + std::strerror(errno);
+    }
+    ::close(fd);
+    return false;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(0) is EINVAL; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    size_ = 0;
+    data_ = nullptr;
+    open_ = true;
+    return true;
+  }
+  void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The fd is not needed once the mapping exists.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    if (error != nullptr) {
+      *error = "cannot mmap " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  data_ = static_cast<const uint8_t*>(mapping);
+  size_ = size;
+  open_ = true;
+  return true;
+}
+
+void MappedFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  open_ = false;
+}
+
+}  // namespace tara

@@ -1,0 +1,50 @@
+#ifndef TARA_COMMON_MMAP_FILE_H_
+#define TARA_COMMON_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace tara {
+
+/// A read-only memory-mapped file (RAII, move-only). Opening maps the
+/// whole file PROT_READ without touching its contents — no payload bytes
+/// are read (and no pages are faulted in) until the caller dereferences
+/// them, which is what makes an O(1) knowledge-base open possible. The
+/// mapping start is page-aligned by the kernel; callers needing aligned
+/// interior offsets must arrange them in the file layout themselves.
+///
+/// Lifetime rule: every pointer into data() is valid exactly as long as
+/// this object lives. Holders of derived views (SegmentView in
+/// kb_blocks.h) must co-own or outlive-check the MappedFile.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. On failure returns false and fills `error`
+  /// with an errno-grade message. A zero-length file maps successfully
+  /// with data() == nullptr and size() == 0.
+  bool Open(const std::string& path, std::string* error);
+
+  /// Releases the mapping early (idempotent).
+  void Close();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool mapped() const { return data_ != nullptr || size_ == 0; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace tara
+
+#endif  // TARA_COMMON_MMAP_FILE_H_

@@ -1,0 +1,213 @@
+#ifndef TARA_CORE_KB_BLOCKS_H_
+#define TARA_CORE_KB_BLOCKS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/mmap_file.h"
+#include "common/thread_pool.h"
+#include "core/kb_storage.h"
+#include "core/load_error.h"
+#include "core/tara_engine.h"
+
+namespace tara {
+
+/// Block-partitioned knowledge-base persistence (format TARAKB3).
+///
+/// TARAKB2 (kb_storage.h) stores one small file per window, which makes
+/// opening a many-window knowledge base O(windows) file opens and — with
+/// the eager loader — O(total bytes) reads before the first query runs.
+/// TARAKB3 packs the SAME per-window segment blobs (byte-identical to
+/// what EncodeWindowSegment produces and the WAL carries) into a few
+/// balanced **block files**, each covering a contiguous window range:
+///
+///   <dir>/blocks.tarakb3        the blocks manifest
+///   <dir>/block-NNNNNN.blk      segment blobs at 64-byte-aligned offsets
+///
+/// The manifest names each block by an explicit `file_index` (the NNNNNN
+/// in its name), its window span, byte size, and whole-file hash, plus
+/// per-window rows mirroring the TARAKB2 manifest (transaction count,
+/// rule watermark, entry count) extended with the segment's offset inside
+/// the block. Explicit file indices make every rewrite (split, trim,
+/// checkpoint-merge) crash-safe: new content always lands in
+/// fresh-indexed files, the manifest swaps atomically, and orphans are
+/// deleted only afterwards — a crash at any instant leaves a manifest
+/// whose named files are all fully in place.
+///
+/// Because segments sit at stable offsets in a handful of files, a
+/// knowledge base can be **memory-mapped** (MappedKb): open cost is
+/// O(blocks) mmap calls regardless of window count, and no segment
+/// payload byte is read until a query needs that window — the zero-copy
+/// half of OpenKnowledgeBase's OpenMode::kMapped. The eager loader and
+/// the block writer keep using the TARAKB2 codec underneath, so the two
+/// formats hold bit-identical segment blobs and interconvert by byte
+/// copy, without decoding a single segment (RepartitionKnowledgeBase).
+
+/// Default target block size for the balanced partitioner.
+inline constexpr uint64_t kDefaultBlockBytes = 4ull * 1024 * 1024;
+
+/// Segments start at multiples of this within a block file (zero padding
+/// in between), so decode-on-access never straddles an unaligned load.
+inline constexpr uint64_t kBlockSegmentAlignment = 64;
+
+/// Per-window row of the blocks manifest: the TARAKB2 manifest row plus
+/// the segment's byte offset inside its block file.
+struct KbBlockRow {
+  uint64_t total_transactions = 0;
+  uint64_t rule_watermark = 0;
+  uint64_t entry_count = 0;
+  uint64_t offset = 0;
+  uint64_t segment_bytes = 0;
+  uint64_t segment_hash = 0;
+};
+
+/// One block: a contiguous run of windows packed into
+/// `block-<file_index>.blk`.
+struct KbBlockInfo {
+  uint64_t file_index = 0;
+  WindowId first_window = 0;
+  uint64_t file_bytes = 0;
+  /// Hash of the entire block file (padding included) — the cheap
+  /// whole-block integrity check `db verify` and VerifyHashes use before
+  /// the per-segment hashes.
+  uint64_t file_hash = 0;
+  std::vector<KbBlockRow> rows;
+};
+
+/// The decoded blocks manifest: serialized construction options plus the
+/// block table.
+struct KbBlocksManifest {
+  double min_support_floor = 0;
+  double min_confidence_floor = 0;
+  uint64_t max_itemset_size = 0;
+  bool build_content_index = false;
+  std::vector<KbBlockInfo> blocks;
+
+  uint32_t window_count() const;
+  /// The rule watermark after the last window (0 when empty).
+  uint64_t rule_watermark() const;
+};
+
+/// The TARAKB3 file names ("blocks.tarakb3", "block-NNNNNN.blk").
+std::string KnowledgeBaseBlocksManifestFileName();
+std::string KnowledgeBaseBlockFileName(uint64_t file_index);
+
+/// True if `dir` holds a TARAKB3 blocks manifest.
+bool KnowledgeBaseBlocksDirExists(const std::string& dir);
+
+/// Reads and validates `<dir>/blocks.tarakb3` without touching any block
+/// file.
+Expected<KbBlocksManifest, LoadError> ReadKnowledgeBaseBlocksManifest(
+    const std::string& dir);
+
+/// Writes the full knowledge base of `snapshot` into `dir` as TARAKB3:
+/// windows are packed into balanced blocks of about `block_bytes` each
+/// (always at least one window per block), block files land before the
+/// manifest that names them.
+std::optional<LoadError> SaveKnowledgeBaseBlocks(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir,
+    uint64_t block_bytes = kDefaultBlockBytes);
+
+/// Incremental TARAKB3 save: verifies the manifest in `dir` describes a
+/// prefix of `snapshot`'s windows, then packs only the NEW windows into
+/// fresh-indexed block files. Existing blocks are never rewritten, so
+/// checkpoint cadence determines the tail blocks' sizes — run
+/// RepartitionKnowledgeBase (`db split`) to rebalance. Falls back to
+/// SaveKnowledgeBaseBlocks when `dir` has no blocks manifest yet.
+std::optional<LoadError> AppendKnowledgeBaseBlocks(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir,
+    uint64_t block_bytes = kDefaultBlockBytes);
+
+/// The format-dispatching checkpoint step used by serving and the CLI:
+/// appends `snapshot`'s new windows to whichever format `dir` already
+/// holds — TARAKB3 when a blocks manifest exists, TARAKB2 otherwise
+/// (including fresh directories, so plain checkpoints stay byte-stable
+/// across checkpoint cadences; opt into blocks with `db split` or
+/// SaveKnowledgeBaseBlocks).
+std::optional<LoadError> CheckpointKnowledgeBaseDir(
+    const KnowledgeBaseSnapshot& snapshot, const std::string& dir);
+
+/// Repartitions `dir` into balanced TARAKB3 blocks of about
+/// `block_bytes` (`db split`). Works on either format — a TARAKB2
+/// directory is converted (its manifest and segment files are removed
+/// once the blocks manifest is durable), a TARAKB3 directory is
+/// rebalanced into fresh-indexed files. Pure byte-level copy: no segment
+/// is decoded.
+std::optional<LoadError> RepartitionKnowledgeBase(
+    const std::string& dir, uint64_t block_bytes = kDefaultBlockBytes);
+
+/// Truncates the knowledge base in `dir` to its first `window_count`
+/// windows (`db trim`), either format. File-level: kept blocks are
+/// untouched; a block straddling the cut is rewritten (byte copy) into a
+/// fresh-indexed file. Trimming to more windows than exist is an error.
+std::optional<LoadError> TrimKnowledgeBase(const std::string& dir,
+                                           uint32_t window_count);
+
+/// Deletes every file named by the manifest(s) in `dir`, then the
+/// manifest(s) themselves (`db rm`). The directory itself is left in
+/// place; files the manifests do not name (a WAL, stray .tmp files) are
+/// not touched.
+std::optional<LoadError> RemoveKnowledgeBase(const std::string& dir);
+
+/// A non-owning view of one window's segment blob inside a mapped block
+/// file. Valid only while the MappedKb that produced it lives.
+struct SegmentView {
+  WindowId window = 0;
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  const KbBlockRow* row = nullptr;
+};
+
+/// A TARAKB3 knowledge base opened zero-copy: the manifest is decoded,
+/// every block file is mmap'd and size-checked (fstat — no payload
+/// read), and segments are handed out as views into the mappings.
+/// Decode happens on access, never at open, which is what makes open
+/// time independent of window count. Move-only; views stay valid across
+/// moves (the mappings do not relocate).
+class MappedKb {
+ public:
+  static Expected<MappedKb, LoadError> Open(const std::string& dir);
+
+  MappedKb(MappedKb&&) noexcept = default;
+  MappedKb& operator=(MappedKb&&) noexcept = default;
+  MappedKb(const MappedKb&) = delete;
+  MappedKb& operator=(const MappedKb&) = delete;
+
+  const KbBlocksManifest& manifest() const { return manifest_; }
+  const std::string& dir() const { return dir_; }
+  uint32_t window_count() const { return manifest_.window_count(); }
+
+  /// The mapped segment blob of window `w`. Aborts on an out-of-range id
+  /// (caller bug — gate on window_count()).
+  SegmentView segment(WindowId w) const;
+
+  /// Verifies every block's whole-file hash and every segment's hash
+  /// against the manifest, reading all payload bytes. Blocks are checked
+  /// concurrently when `pool` is non-null. First failure wins.
+  std::optional<LoadError> VerifyHashes(ThreadPool* pool = nullptr) const;
+
+  /// The first window whose rule watermark exceeds `rule` — i.e. the
+  /// window that interned it. nullopt when `rule` is past the final
+  /// watermark. Drives rule-targeted lazy materialization.
+  std::optional<WindowId> FirstWindowWithRule(RuleId rule) const;
+
+ private:
+  MappedKb() = default;
+
+  struct WindowLoc {
+    uint32_t block = 0;
+    uint32_t row = 0;
+  };
+
+  std::string dir_;
+  KbBlocksManifest manifest_;
+  std::vector<MappedFile> maps_;  // index-aligned with manifest_.blocks
+  std::vector<WindowLoc> locs_;   // per window
+};
+
+}  // namespace tara
+
+#endif  // TARA_CORE_KB_BLOCKS_H_

@@ -3,7 +3,6 @@
 #include <fcntl.h>
 #include <unistd.h>
 
-#include <bit>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -14,10 +13,14 @@
 
 #include "common/crash_point.h"
 #include "common/hash.h"
-#include "common/varint.h"
+#include "core/byte_codec.h"
+#include "core/kb_open.h"
 
 namespace tara {
 namespace {
+
+using codec::ByteReader;
+using codec::ByteWriter;
 
 constexpr char kManifestMagic[] = "TARAKB2";
 constexpr size_t kManifestMagicLen = sizeof(kManifestMagic) - 1;
@@ -31,105 +34,8 @@ std::string SegmentFileName(WindowId window) {
   return name;
 }
 
-class ByteWriter {
- public:
-  void Magic(const char* magic, size_t len) {
-    for (size_t i = 0; i < len; ++i) {
-      bytes_.push_back(static_cast<uint8_t>(magic[i]));
-    }
-  }
-  void U64(uint64_t v) { varint::EncodeU64(v, &bytes_); }
-  void Raw64(uint64_t bits) {
-    for (int i = 0; i < 8; ++i) {
-      bytes_.push_back(static_cast<uint8_t>(bits >> (8 * i)));
-    }
-  }
-  void F64(double v) { Raw64(std::bit_cast<uint64_t>(v)); }
-  void Items(const Itemset& items) {
-    U64(items.size());
-    // Delta-encode the sorted item ids.
-    ItemId previous = 0;
-    for (ItemId item : items) {
-      U64(item - previous);
-      previous = item;
-    }
-  }
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
-
- private:
-  std::vector<uint8_t> bytes_;
-};
-
-/// Abort-free cursor over untrusted bytes; every getter reports
-/// truncation instead of CHECK-failing.
-class ByteReader {
- public:
-  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
-
-  bool Magic(const char* magic, size_t len) {
-    if (pos_ + len > size_) return false;
-    if (std::memcmp(data_ + pos_, magic, len) != 0) return false;
-    pos_ += len;
-    return true;
-  }
-  bool U64(uint64_t* out) {
-    return varint::TryDecodeU64(data_, size_, &pos_, out);
-  }
-  bool Raw64(uint64_t* out) {
-    if (pos_ + 8 > size_) return false;
-    uint64_t bits = 0;
-    for (int i = 0; i < 8; ++i) {
-      bits |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
-    }
-    *out = bits;
-    return true;
-  }
-  bool F64(double* out) {
-    uint64_t bits = 0;
-    if (!Raw64(&bits)) return false;
-    *out = std::bit_cast<double>(bits);
-    return true;
-  }
-  bool Items(Itemset* out) {
-    uint64_t n = 0;
-    if (!U64(&n)) return false;
-    if (n > remaining()) return false;  // each item takes >= 1 byte
-    out->clear();
-    out->reserve(n);
-    ItemId previous = 0;
-    for (uint64_t i = 0; i < n; ++i) {
-      uint64_t delta = 0;
-      if (!U64(&delta)) return false;
-      previous += static_cast<ItemId>(delta);
-      out->push_back(previous);
-    }
-    return true;
-  }
-  size_t pos() const { return pos_; }
-  size_t remaining() const { return size_ - pos_; }
-
- private:
-  const uint8_t* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
-
-/// One manifest row describing a window and its segment blob.
-struct ManifestRow {
-  uint64_t total_transactions = 0;
-  uint64_t rule_watermark = 0;
-  uint64_t entry_count = 0;
-  uint64_t segment_bytes = 0;
-  uint64_t segment_hash = 0;
-};
-
-struct Manifest {
-  double min_support_floor = 0;
-  double min_confidence_floor = 0;
-  uint64_t max_itemset_size = 0;
-  bool build_content_index = false;
-  std::vector<ManifestRow> rows;
-};
+using Manifest = KbManifest;
+using ManifestRow = KbManifestRow;
 
 LoadError Err(LoadError::Code code, std::string message) {
   return LoadError{code, std::move(message)};
@@ -297,51 +203,33 @@ std::optional<LoadError> DecodeSegmentInto(const uint8_t* data, size_t size,
   if (HashBytes(data, size) != row.segment_hash) {
     return corrupt("checksum does not match the manifest");
   }
-  ByteReader r(data, size);
-  if (!r.Magic(kSegmentMagic, kSegmentMagicLen)) {
-    return corrupt("TSEG magic missing");
-  }
-  uint64_t stored_window = 0, first_rule = 0, new_rule_count = 0;
-  if (!r.U64(&stored_window) || !r.U64(&first_rule) ||
-      !r.U64(&new_rule_count)) {
-    return corrupt("truncated segment header");
-  }
-  if (stored_window != window) {
+  auto parsed = ParseWindowSegment(data, size);
+  if (!parsed.has_value()) return parsed.error();
+  if (parsed->window != window) {
     return corrupt("segment belongs to a different window");
   }
-  if (first_rule != rules->size() ||
-      first_rule + new_rule_count != row.rule_watermark) {
+  if (parsed->first_rule != rules->size() ||
+      parsed->first_rule + parsed->new_rules.size() != row.rule_watermark) {
     return corrupt("rule id range disagrees with the manifest watermark");
   }
-  for (uint64_t i = 0; i < new_rule_count; ++i) {
-    Rule rule;
-    if (!r.Items(&rule.antecedent) || !r.Items(&rule.consequent)) {
-      return corrupt("truncated rule contents");
-    }
-    rules->push_back(std::move(rule));
-  }
-  uint64_t entry_count = 0;
-  if (!r.U64(&entry_count)) return corrupt("truncated entry count");
-  if (entry_count != row.entry_count) {
+  if (parsed->entries.size() != row.entry_count) {
     return corrupt("entry count disagrees with the manifest");
   }
+  for (Rule& rule : parsed.value().new_rules) {
+    rules->push_back(std::move(rule));
+  }
   std::vector<TaraEngine::PrecomputedRule> precomputed;
-  precomputed.reserve(entry_count);
-  for (uint64_t i = 0; i < entry_count; ++i) {
-    uint64_t id = 0, rule_count = 0, antecedent_delta = 0;
-    if (!r.U64(&id) || !r.U64(&rule_count) || !r.U64(&antecedent_delta)) {
-      return corrupt("truncated entry list");
-    }
-    if (id >= row.rule_watermark) {
+  precomputed.reserve(parsed->entries.size());
+  for (const ParsedWindowSegment::RawEntry& e : parsed->entries) {
+    if (e.rule >= row.rule_watermark) {
       return corrupt("entry references a rule past the window's watermark");
     }
     TaraEngine::PrecomputedRule p;
-    p.rule = (*rules)[id];
-    p.rule_count = rule_count;
-    p.antecedent_count = rule_count + antecedent_delta;
+    p.rule = (*rules)[e.rule];
+    p.rule_count = e.rule_count;
+    p.antecedent_count = e.rule_count + e.antecedent_delta;
     precomputed.push_back(std::move(p));
   }
-  if (r.remaining() != 0) return corrupt("trailing bytes after the entries");
   engine->AppendPrecomputedWindow(row.total_transactions, precomputed);
   if (engine->catalog().size() != row.rule_watermark) {
     return corrupt(
@@ -351,31 +239,16 @@ std::optional<LoadError> DecodeSegmentInto(const uint8_t* data, size_t size,
   return std::nullopt;
 }
 
-TaraEngine EngineFor(const Manifest& manifest, obs::MetricsRegistry* metrics) {
+TaraEngine EngineFor(const Manifest& manifest, obs::MetricsRegistry* metrics,
+                     uint32_t parallelism) {
   KbOptions options;
   options.min_support_floor = manifest.min_support_floor;
   options.min_confidence_floor = manifest.min_confidence_floor;
   options.max_itemset_size = static_cast<uint32_t>(manifest.max_itemset_size);
   options.build_content_index = manifest.build_content_index;
   options.metrics = metrics;
+  options.parallelism = parallelism;
   return TaraEngine(options);
-}
-
-std::optional<LoadError> ReadFileBytes(const std::filesystem::path& path,
-                                       std::vector<uint8_t>* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Err(LoadError::Code::kIoError,
-               "cannot open " + path.string() + " for reading");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
-    return Err(LoadError::Code::kIoError, "read failed on " + path.string());
-  }
-  const std::string& data = buffer.str();
-  out->assign(data.begin(), data.end());
-  return std::nullopt;
 }
 
 LoadError ErrnoErr(const std::string& what, const std::filesystem::path& path) {
@@ -393,46 +266,6 @@ std::optional<LoadError> SyncParentDir(const std::filesystem::path& path) {
   const int rc = ::fsync(dir_fd);
   ::close(dir_fd);
   if (rc != 0) return ErrnoErr("fsync failed on directory", parent);
-  return std::nullopt;
-}
-
-/// Crash-safe replacement for a bare ofstream write: the bytes land in
-/// `<path>.tmp`, are fsync'd, then renamed over `path`, then the parent
-/// directory entry is fsync'd. A crash at any step leaves either the old
-/// file intact or the new one fully in place — never a truncated or
-/// zero-length `path`. CrashPoint crossings separate the durability steps
-/// so tests can kill the process between any two of them.
-std::optional<LoadError> AtomicWriteFileBytes(
-    const std::filesystem::path& path, const std::vector<uint8_t>& bytes) {
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return ErrnoErr("cannot open", tmp);
-  size_t written = 0;
-  while (written < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + written,
-                              bytes.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const LoadError error = ErrnoErr("write failed on", tmp);
-      ::close(fd);
-      return error;
-    }
-    written += static_cast<size_t>(n);
-  }
-  CrashPoint("storage.tmp_written");
-  if (::fsync(fd) != 0) {
-    const LoadError error = ErrnoErr("fsync failed on", tmp);
-    ::close(fd);
-    return error;
-  }
-  if (::close(fd) != 0) return ErrnoErr("close failed on", tmp);
-  CrashPoint("storage.tmp_synced");
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return ErrnoErr("rename failed onto", path);
-  }
-  CrashPoint("storage.renamed");
-  if (auto error = SyncParentDir(path)) return error;
-  CrashPoint("storage.dir_synced");
   return std::nullopt;
 }
 
@@ -482,6 +315,143 @@ std::optional<LoadError> CheckOptionsMatch(
 
 }  // namespace
 
+namespace internal {
+
+std::optional<LoadError> ReadFileBytes(const std::filesystem::path& path,
+                                       std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Err(LoadError::Code::kIoError,
+               "cannot open " + path.string() + " for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Err(LoadError::Code::kIoError, "read failed on " + path.string());
+  }
+  const std::string& data = buffer.str();
+  out->assign(data.begin(), data.end());
+  return std::nullopt;
+}
+
+std::optional<LoadError> AtomicWriteFileBytes(
+    const std::filesystem::path& path, const std::vector<uint8_t>& bytes) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoErr("cannot open", tmp);
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written,
+                              bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const LoadError error = ErrnoErr("write failed on", tmp);
+      ::close(fd);
+      return error;
+    }
+    written += static_cast<size_t>(n);
+  }
+  CrashPoint("storage.tmp_written");
+  if (::fsync(fd) != 0) {
+    const LoadError error = ErrnoErr("fsync failed on", tmp);
+    ::close(fd);
+    return error;
+  }
+  if (::close(fd) != 0) return ErrnoErr("close failed on", tmp);
+  CrashPoint("storage.tmp_synced");
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoErr("rename failed onto", path);
+  }
+  CrashPoint("storage.renamed");
+  if (auto error = SyncParentDir(path)) return error;
+  CrashPoint("storage.dir_synced");
+  return std::nullopt;
+}
+
+void WarnDeprecatedOnce(bool* warned, const char* legacy,
+                        const char* replacement) {
+  if (*warned) return;
+  *warned = true;
+  std::fprintf(stderr,
+               "tara: %s is deprecated and will be removed next release; "
+               "use %s\n",
+               legacy, replacement);
+}
+
+std::optional<LoadError> WriteKnowledgeBaseDirManifest(
+    const std::string& dir, const KbManifest& manifest) {
+  return AtomicWriteFileBytes(std::filesystem::path(dir) / kManifestFile,
+                              EncodeManifestBytes(manifest));
+}
+
+Expected<TaraEngine, LoadError> LoadKnowledgeBaseDirImpl(
+    const std::string& dir, obs::MetricsRegistry* metrics,
+    uint32_t parallelism) {
+  const std::filesystem::path root(dir);
+  std::vector<uint8_t> manifest_bytes;
+  if (auto error = ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
+    return *std::move(error);
+  }
+  ByteReader reader(manifest_bytes.data(), manifest_bytes.size());
+  Manifest manifest;
+  if (auto error = DecodeManifest(&reader, &manifest)) return *std::move(error);
+  if (reader.remaining() != 0) {
+    return Err(LoadError::Code::kTrailingBytes,
+               "trailing bytes after the manifest in " +
+                   (root / kManifestFile).string());
+  }
+
+  TaraEngine engine = EngineFor(manifest, metrics, parallelism);
+  std::vector<Rule> rules;
+  for (size_t w = 0; w < manifest.rows.size(); ++w) {
+    const ManifestRow& row = manifest.rows[w];
+    const std::filesystem::path path =
+        root / SegmentFileName(static_cast<WindowId>(w));
+    std::vector<uint8_t> segment;
+    if (auto error = ReadFileBytes(path, &segment)) return *std::move(error);
+    if (segment.size() != row.segment_bytes) {
+      std::ostringstream message;
+      message << path.string() << " is " << segment.size()
+              << " bytes but the manifest promises " << row.segment_bytes;
+      return Err(LoadError::Code::kCorruptSegment, message.str());
+    }
+    if (auto error =
+            DecodeSegmentInto(segment.data(), segment.size(), row,
+                              static_cast<WindowId>(w), &rules, &engine)) {
+      return *std::move(error);
+    }
+  }
+  return engine;
+}
+
+Expected<TaraEngine, LoadError> RecoverKnowledgeBaseImpl(
+    const std::string& kb_dir, const std::string& wal_dir,
+    obs::MetricsRegistry* metrics, WalReplayStats* stats,
+    uint32_t parallelism) {
+  std::optional<TaraEngine> engine;
+  if (KnowledgeBaseDirExists(kb_dir)) {
+    auto loaded = LoadKnowledgeBaseDirImpl(kb_dir, metrics, parallelism);
+    if (!loaded.has_value()) return loaded.error();
+    engine.emplace(std::move(loaded.value()));
+  } else {
+    // No checkpoint yet: the crash happened before the first save. The
+    // WAL header carries the construction options, so the whole engine
+    // rebuilds from the log alone.
+    auto contents = ReadWal(wal_dir);
+    if (!contents.has_value()) return contents.error();
+    KbOptions options = contents->options;
+    options.metrics = metrics;
+    options.parallelism = parallelism;
+    engine.emplace(options);
+  }
+  auto replayed = engine->AttachWal(wal_dir);
+  if (!replayed.has_value()) return replayed.error();
+  if (stats != nullptr) *stats = replayed.value();
+  return std::move(*engine);
+}
+
+}  // namespace internal
+
 std::string EncodeKnowledgeBase(const KnowledgeBaseSnapshot& snapshot) {
   Manifest manifest = ManifestFor(snapshot);
   std::vector<std::vector<uint8_t>> segments;
@@ -505,7 +475,7 @@ Expected<TaraEngine, LoadError> DecodeKnowledgeBase(
   Manifest manifest;
   if (auto error = DecodeManifest(&reader, &manifest)) return *std::move(error);
 
-  TaraEngine engine = EngineFor(manifest, metrics);
+  TaraEngine engine = EngineFor(manifest, metrics, 1);
   std::vector<Rule> rules;
   size_t pos = reader.pos();
   for (size_t w = 0; w < manifest.rows.size(); ++w) {
@@ -546,13 +516,14 @@ std::optional<LoadError> SaveKnowledgeBaseDir(
   for (WindowId w = 0; w < snapshot.window_count(); ++w) {
     const std::vector<uint8_t> segment = EncodeSegmentBytes(snapshot, w);
     manifest.rows.push_back(RowFor(snapshot, w, segment));
-    if (auto error = AtomicWriteFileBytes(root / SegmentFileName(w), segment)) {
+    if (auto error = internal::AtomicWriteFileBytes(
+            root / SegmentFileName(w), segment)) {
       return error;
     }
   }
   // Manifest last: it only ever names segments that are already durable.
-  return AtomicWriteFileBytes(root / kManifestFile,
-                              EncodeManifestBytes(manifest));
+  return internal::AtomicWriteFileBytes(root / kManifestFile,
+                                        EncodeManifestBytes(manifest));
 }
 
 std::optional<LoadError> AppendKnowledgeBaseDir(
@@ -562,7 +533,8 @@ std::optional<LoadError> AppendKnowledgeBaseDir(
     return SaveKnowledgeBaseDir(snapshot, dir);
   }
   std::vector<uint8_t> manifest_bytes;
-  if (auto error = ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
+  if (auto error =
+          internal::ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
     return error;
   }
   ByteReader reader(manifest_bytes.data(), manifest_bytes.size());
@@ -584,21 +556,47 @@ std::optional<LoadError> AppendKnowledgeBaseDir(
        w < snapshot.window_count(); ++w) {
     const std::vector<uint8_t> segment = EncodeSegmentBytes(snapshot, w);
     updated.rows.push_back(RowFor(snapshot, w, segment));
-    if (auto error = AtomicWriteFileBytes(root / SegmentFileName(w), segment)) {
+    if (auto error = internal::AtomicWriteFileBytes(
+            root / SegmentFileName(w), segment)) {
       return error;
     }
   }
   // The manifest replacement is atomic (temp + rename), so a crash here
   // leaves the previous manifest — and therefore a loadable prefix —
   // intact, never a truncated rewrite.
-  return AtomicWriteFileBytes(root / kManifestFile,
-                              EncodeManifestBytes(updated));
+  return internal::AtomicWriteFileBytes(root / kManifestFile,
+                                        EncodeManifestBytes(updated));
 }
 
 bool KnowledgeBaseDirExists(const std::string& dir) {
   std::error_code ec;
   return std::filesystem::exists(std::filesystem::path(dir) / kManifestFile,
                                  ec);
+}
+
+std::string KnowledgeBaseManifestFileName() { return kManifestFile; }
+
+std::string KnowledgeBaseSegmentFileName(WindowId window) {
+  return SegmentFileName(window);
+}
+
+Expected<KbManifest, LoadError> ReadKnowledgeBaseDirManifest(
+    const std::string& dir) {
+  const std::filesystem::path root(dir);
+  std::vector<uint8_t> manifest_bytes;
+  if (auto error =
+          internal::ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
+    return *std::move(error);
+  }
+  ByteReader reader(manifest_bytes.data(), manifest_bytes.size());
+  KbManifest manifest;
+  if (auto error = DecodeManifest(&reader, &manifest)) return *std::move(error);
+  if (reader.remaining() != 0) {
+    return Err(LoadError::Code::kTrailingBytes,
+               "trailing bytes after the manifest in " +
+                   (root / kManifestFile).string());
+  }
+  return manifest;
 }
 
 std::vector<uint8_t> EncodeWindowSegment(const KnowledgeBaseSnapshot& snapshot,
@@ -618,8 +616,8 @@ Expected<WindowId, LoadError> PeekWindowSegmentWindow(const uint8_t* data,
   return static_cast<WindowId>(stored_window);
 }
 
-Expected<DecodedWindowSegment, LoadError> DecodeWindowSegment(
-    const uint8_t* data, size_t size, const RuleCatalog& catalog) {
+Expected<ParsedWindowSegment, LoadError> ParseWindowSegment(
+    const uint8_t* data, size_t size) {
   const auto corrupt = [](const std::string& what) {
     return Err(LoadError::Code::kCorruptSegment,
                "window segment is corrupt: " + what);
@@ -633,115 +631,108 @@ Expected<DecodedWindowSegment, LoadError> DecodeWindowSegment(
       !r.U64(&new_rule_count)) {
     return corrupt("truncated segment header");
   }
-  DecodedWindowSegment decoded;
-  decoded.window = static_cast<WindowId>(stored_window);
-  decoded.first_rule = static_cast<RuleId>(first_rule);
-  if (decoded.window != stored_window || decoded.first_rule != first_rule) {
+  ParsedWindowSegment parsed;
+  parsed.window = static_cast<WindowId>(stored_window);
+  parsed.first_rule = static_cast<RuleId>(first_rule);
+  if (parsed.window != stored_window || parsed.first_rule != first_rule) {
     return corrupt("window or rule id overflows");
-  }
-  if (first_rule > catalog.size()) {
-    return corrupt("rule ids start past the catalog");
   }
   if (new_rule_count > r.remaining()) {  // each rule takes >= 2 bytes
     return corrupt("truncated rule contents");
   }
-  std::vector<Rule> new_rules;
-  new_rules.reserve(new_rule_count);
+  parsed.new_rules.reserve(new_rule_count);
   for (uint64_t i = 0; i < new_rule_count; ++i) {
     Rule rule;
     if (!r.Items(&rule.antecedent) || !r.Items(&rule.consequent)) {
       return corrupt("truncated rule contents");
     }
-    new_rules.push_back(std::move(rule));
+    parsed.new_rules.push_back(std::move(rule));
   }
   uint64_t entry_count = 0;
   if (!r.U64(&entry_count)) return corrupt("truncated entry count");
   if (entry_count > r.remaining()) {  // each entry takes >= 3 bytes
     return corrupt("truncated entry list");
   }
-  decoded.entries.reserve(entry_count);
+  parsed.entries.reserve(entry_count);
   for (uint64_t i = 0; i < entry_count; ++i) {
-    uint64_t id = 0, rule_count = 0, antecedent_delta = 0;
-    if (!r.U64(&id) || !r.U64(&rule_count) || !r.U64(&antecedent_delta)) {
+    ParsedWindowSegment::RawEntry e;
+    if (!r.U64(&e.rule) || !r.U64(&e.rule_count) ||
+        !r.U64(&e.antecedent_delta)) {
       return corrupt("truncated entry list");
     }
-    PrecomputedRule p;
-    if (id < first_rule) {
-      p.rule = catalog.rule(static_cast<RuleId>(id));
-    } else if (id - first_rule < new_rules.size()) {
-      p.rule = new_rules[id - first_rule];
-    } else {
+    if (e.rule >= first_rule + parsed.new_rules.size()) {
       return corrupt("entry references a rule past the segment's range");
     }
-    p.rule_count = rule_count;
-    p.antecedent_count = rule_count + antecedent_delta;
-    decoded.entries.push_back(std::move(p));
+    parsed.entries.push_back(e);
   }
   if (r.remaining() != 0) return corrupt("trailing bytes after the entries");
+  return parsed;
+}
+
+Expected<std::vector<PrecomputedRule>, LoadError> ResolveParsedSegment(
+    const ParsedWindowSegment& parsed, const RuleCatalog& catalog) {
+  const auto corrupt = [](const std::string& what) {
+    return Err(LoadError::Code::kCorruptSegment,
+               "window segment is corrupt: " + what);
+  };
+  if (parsed.first_rule > catalog.size()) {
+    return corrupt("rule ids start past the catalog");
+  }
+  std::vector<PrecomputedRule> entries;
+  entries.reserve(parsed.entries.size());
+  for (const ParsedWindowSegment::RawEntry& e : parsed.entries) {
+    PrecomputedRule p;
+    if (e.rule < parsed.first_rule) {
+      p.rule = catalog.rule(static_cast<RuleId>(e.rule));
+    } else {
+      // In range by the parse-time bound check.
+      p.rule = parsed.new_rules[e.rule - parsed.first_rule];
+    }
+    p.rule_count = e.rule_count;
+    p.antecedent_count = e.rule_count + e.antecedent_delta;
+    entries.push_back(std::move(p));
+  }
+  return entries;
+}
+
+Expected<DecodedWindowSegment, LoadError> DecodeWindowSegment(
+    const uint8_t* data, size_t size, const RuleCatalog& catalog) {
+  auto parsed = ParseWindowSegment(data, size);
+  if (!parsed.has_value()) return parsed.error();
+  auto entries = ResolveParsedSegment(parsed.value(), catalog);
+  if (!entries.has_value()) return entries.error();
+  DecodedWindowSegment decoded;
+  decoded.window = parsed->window;
+  decoded.first_rule = parsed->first_rule;
+  decoded.entries = *std::move(entries);
   return decoded;
 }
 
 Expected<TaraEngine, LoadError> RecoverKnowledgeBase(
     const std::string& kb_dir, const std::string& wal_dir,
     obs::MetricsRegistry* metrics, WalReplayStats* stats) {
-  std::optional<TaraEngine> engine;
-  if (KnowledgeBaseDirExists(kb_dir)) {
-    auto loaded = LoadKnowledgeBaseDir(kb_dir, metrics);
-    if (!loaded.has_value()) return loaded.error();
-    engine.emplace(std::move(loaded.value()));
-  } else {
-    // No checkpoint yet: the crash happened before the first save. The
-    // WAL header carries the construction options, so the whole engine
-    // rebuilds from the log alone.
-    auto contents = ReadWal(wal_dir);
-    if (!contents.has_value()) return contents.error();
-    KbOptions options = contents->options;
-    options.metrics = metrics;
-    engine.emplace(options);
-  }
-  auto replayed = engine->AttachWal(wal_dir);
-  if (!replayed.has_value()) return replayed.error();
-  if (stats != nullptr) *stats = replayed.value();
-  return std::move(*engine);
+  static bool warned = false;
+  internal::WarnDeprecatedOnce(&warned, "RecoverKnowledgeBase",
+                               "OpenKnowledgeBase(OpenOptions) with wal_dir "
+                               "set (core/kb_open.h)");
+  OpenOptions options;
+  options.kb_dir = kb_dir;
+  options.wal_dir = wal_dir;
+  options.metrics = metrics;
+  options.replay_stats = stats;
+  return OpenKnowledgeBase(options);
 }
 
 Expected<TaraEngine, LoadError> LoadKnowledgeBaseDir(
     const std::string& dir, obs::MetricsRegistry* metrics) {
-  const std::filesystem::path root(dir);
-  std::vector<uint8_t> manifest_bytes;
-  if (auto error = ReadFileBytes(root / kManifestFile, &manifest_bytes)) {
-    return *std::move(error);
-  }
-  ByteReader reader(manifest_bytes.data(), manifest_bytes.size());
-  Manifest manifest;
-  if (auto error = DecodeManifest(&reader, &manifest)) return *std::move(error);
-  if (reader.remaining() != 0) {
-    return Err(LoadError::Code::kTrailingBytes,
-               "trailing bytes after the manifest in " +
-                   (root / kManifestFile).string());
-  }
-
-  TaraEngine engine = EngineFor(manifest, metrics);
-  std::vector<Rule> rules;
-  for (size_t w = 0; w < manifest.rows.size(); ++w) {
-    const ManifestRow& row = manifest.rows[w];
-    const std::filesystem::path path =
-        root / SegmentFileName(static_cast<WindowId>(w));
-    std::vector<uint8_t> segment;
-    if (auto error = ReadFileBytes(path, &segment)) return *std::move(error);
-    if (segment.size() != row.segment_bytes) {
-      std::ostringstream message;
-      message << path.string() << " is " << segment.size()
-              << " bytes but the manifest promises " << row.segment_bytes;
-      return Err(LoadError::Code::kCorruptSegment, message.str());
-    }
-    if (auto error =
-            DecodeSegmentInto(segment.data(), segment.size(), row,
-                              static_cast<WindowId>(w), &rules, &engine)) {
-      return *std::move(error);
-    }
-  }
-  return engine;
+  static bool warned = false;
+  internal::WarnDeprecatedOnce(&warned, "LoadKnowledgeBaseDir",
+                               "OpenKnowledgeBase(OpenOptions) "
+                               "(core/kb_open.h)");
+  OpenOptions options;
+  options.kb_dir = dir;
+  options.metrics = metrics;
+  return OpenKnowledgeBase(options);
 }
 
 }  // namespace tara

@@ -2,6 +2,7 @@
 #define TARA_CORE_KB_STORAGE_H_
 
 #include <cstdint>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -32,6 +33,8 @@ namespace tara {
 /// directory writes ONE new segment file plus the manifest — O(new
 /// window), not O(knowledge base). The single-stream format
 /// (serialization.h) is the same manifest and segments concatenated.
+/// The block-partitioned TARAKB3 form (kb_blocks.h) stores the same
+/// segment blobs packed into balanced, memory-mappable block files.
 ///
 /// Integers are LEB128 varints, doubles and checksums are 8-byte
 /// little-endian; itemsets are delta-encoded. Loaders treat all input as
@@ -73,17 +76,54 @@ std::optional<LoadError> SaveKnowledgeBaseDir(
 std::optional<LoadError> AppendKnowledgeBaseDir(
     const KnowledgeBaseSnapshot& snapshot, const std::string& dir);
 
+/// DEPRECATED: use OpenKnowledgeBase(OpenOptions) in core/kb_open.h,
+/// which subsumes this and the TARAKB3 block form behind one entrypoint.
+/// Kept for one release as a thin shim (emits a one-time stderr note).
+///
 /// Loads a knowledge base saved by Save/AppendKnowledgeBaseDir,
 /// verifying every segment's size and checksum against the manifest.
 Expected<TaraEngine, LoadError> LoadKnowledgeBaseDir(
     const std::string& dir, obs::MetricsRegistry* metrics = nullptr);
 
-/// True if `dir` holds a knowledge-base manifest.
+/// True if `dir` holds a TARAKB2 knowledge-base manifest.
 bool KnowledgeBaseDirExists(const std::string& dir);
+
+/// The TARAKB2 file names, exposed for the db tooling suite
+/// ("manifest.tarakb" and "window-NNNNNN.seg").
+std::string KnowledgeBaseManifestFileName();
+std::string KnowledgeBaseSegmentFileName(WindowId window);
+
+/// --- Manifest introspection ----------------------------------------------
+
+/// One manifest row describing a window and its segment blob.
+struct KbManifestRow {
+  uint64_t total_transactions = 0;
+  uint64_t rule_watermark = 0;
+  uint64_t entry_count = 0;
+  uint64_t segment_bytes = 0;
+  uint64_t segment_hash = 0;
+};
+
+/// The decoded TARAKB2 manifest: the serialized construction options plus
+/// one row per window.
+struct KbManifest {
+  double min_support_floor = 0;
+  double min_confidence_floor = 0;
+  uint64_t max_itemset_size = 0;
+  bool build_content_index = false;
+  std::vector<KbManifestRow> rows;
+};
+
+/// Reads and validates `<dir>/manifest.tarakb` without touching any
+/// segment file — the metadata backbone of `db stats` and of the KB2 →
+/// KB3 byte-level repartition in kb_blocks.h.
+Expected<KbManifest, LoadError> ReadKnowledgeBaseDirManifest(
+    const std::string& dir);
 
 /// --- Window-segment codec -------------------------------------------------
 /// The per-window TARAKB2 blob, exposed so the write-ahead log (wal.h)
-/// carries exactly the bytes a `window-NNNNNN.seg` file would hold.
+/// carries exactly the bytes a `window-NNNNNN.seg` file would hold, and so
+/// TARAKB3 block files (kb_blocks.h) can pack the identical blobs.
 
 /// Encodes window `window` of `snapshot` as its segment blob.
 std::vector<uint8_t> EncodeWindowSegment(const KnowledgeBaseSnapshot& snapshot,
@@ -106,6 +146,36 @@ struct DecodedWindowSegment {
 Expected<DecodedWindowSegment, LoadError> DecodeWindowSegment(
     const uint8_t* data, size_t size, const RuleCatalog& catalog);
 
+/// A segment blob parsed WITHOUT a catalog: entries keep their raw rule
+/// ids and count deltas. This is stage 1 of the two-phase decode that
+/// lets block-parallel loaders parse many segments concurrently — only
+/// the catalog-dependent resolution (stage 2, ResolveParsedSegment) must
+/// run in window order.
+struct ParsedWindowSegment {
+  WindowId window = 0;
+  RuleId first_rule = 0;
+  /// Contents of the rules this window interned first
+  /// (ids [first_rule, first_rule + new_rules.size())).
+  std::vector<Rule> new_rules;
+  struct RawEntry {
+    uint64_t rule = 0;
+    uint64_t rule_count = 0;
+    uint64_t antecedent_delta = 0;
+  };
+  std::vector<RawEntry> entries;
+};
+
+/// Stage 1: catalog-free structural parse of a segment blob. Safe to run
+/// on many segments concurrently.
+Expected<ParsedWindowSegment, LoadError> ParseWindowSegment(
+    const uint8_t* data, size_t size);
+
+/// Stage 2: resolves a parsed segment's entries against `catalog`, which
+/// must hold exactly the rules of all prior windows (i.e. at least
+/// `parsed.first_rule` of them). Must be called in window order.
+Expected<std::vector<PrecomputedRule>, LoadError> ResolveParsedSegment(
+    const ParsedWindowSegment& parsed, const RuleCatalog& catalog);
+
 /// Reads just the window id from a segment blob's header, so WAL replay
 /// can order records before committing to a full (catalog-dependent)
 /// decode.
@@ -114,16 +184,66 @@ Expected<WindowId, LoadError> PeekWindowSegmentWindow(const uint8_t* data,
 
 /// --- Crash recovery -------------------------------------------------------
 
+/// DEPRECATED: use OpenKnowledgeBase(OpenOptions) in core/kb_open.h with
+/// OpenOptions::wal_dir set — recover-on-open is part of the unified
+/// entrypoint. Kept for one release as a thin shim (emits a one-time
+/// stderr note).
+///
 /// Rebuilds the engine state as of the last durable instant: loads the
 /// knowledge base in `kb_dir` (if its manifest exists — otherwise the
 /// engine is constructed from the WAL header's options), replays the
 /// write-ahead log tail in `wal_dir` on top, and leaves the log attached
 /// so ingestion can continue. `stats`, when non-null, receives the
 /// replay outcome. Checkpoint the recovered engine with
-/// AppendKnowledgeBaseDir + TaraEngine::TruncateWal to retire the log.
+/// CheckpointKnowledgeBaseDir (kb_blocks.h) + TaraEngine::TruncateWal to
+/// retire the log.
 Expected<TaraEngine, LoadError> RecoverKnowledgeBase(
     const std::string& kb_dir, const std::string& wal_dir,
     obs::MetricsRegistry* metrics = nullptr, WalReplayStats* stats = nullptr);
+
+/// --- Implementation plumbing (internal) -----------------------------------
+/// Shared by kb_open.cc / kb_blocks.cc. Not part of the public API
+/// surface; subject to change without a deprecation cycle.
+namespace internal {
+
+/// The eager TARAKB2 directory loader behind the LoadKnowledgeBaseDir
+/// shim and OpenKnowledgeBase's KB2 path (no deprecation note).
+/// `parallelism` becomes the loaded engine's Options::parallelism.
+Expected<TaraEngine, LoadError> LoadKnowledgeBaseDirImpl(
+    const std::string& dir, obs::MetricsRegistry* metrics,
+    uint32_t parallelism);
+
+/// The TARAKB2 checkpoint+replay recovery behind the RecoverKnowledgeBase
+/// shim and OpenKnowledgeBase's wal_dir path (no deprecation note).
+Expected<TaraEngine, LoadError> RecoverKnowledgeBaseImpl(
+    const std::string& kb_dir, const std::string& wal_dir,
+    obs::MetricsRegistry* metrics, WalReplayStats* stats,
+    uint32_t parallelism);
+
+/// Crash-safe file replacement: bytes land in `<path>.tmp`, are fsync'd,
+/// renamed over `path`, then the parent directory entry is fsync'd. A
+/// crash at any step leaves either the old file intact or the new one
+/// fully in place. CrashPoint crossings ("storage.tmp_written",
+/// "storage.tmp_synced", "storage.renamed", "storage.dir_synced")
+/// separate the durability steps for the crash-matrix tests.
+std::optional<LoadError> AtomicWriteFileBytes(
+    const std::filesystem::path& path, const std::vector<uint8_t>& bytes);
+
+/// Slurps a file, typed kIoError on failure.
+std::optional<LoadError> ReadFileBytes(const std::filesystem::path& path,
+                                       std::vector<uint8_t>* out);
+
+/// Crash-safely replaces `<dir>/manifest.tarakb` with the encoding of
+/// `manifest`. Used by the trim tooling; segment files must already
+/// match what the rows claim.
+std::optional<LoadError> WriteKnowledgeBaseDirManifest(
+    const std::string& dir, const KbManifest& manifest);
+
+/// One-time (per call site, per process) deprecation note on stderr.
+void WarnDeprecatedOnce(bool* warned, const char* legacy,
+                        const char* replacement);
+
+}  // namespace internal
 
 }  // namespace tara
 

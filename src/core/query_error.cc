@@ -18,6 +18,8 @@ std::string_view QueryErrorCodeName(QueryError::Code code) {
       return "unknown_rule";
     case QueryError::Code::kNoContentIndex:
       return "no_content_index";
+    case QueryError::Code::kCorruptStorage:
+      return "corrupt_storage";
   }
   return "unknown";
 }
@@ -38,6 +40,8 @@ std::optional<QueryError::Code> QueryErrorFromWireCode(uint32_t code) {
       return QueryError::Code::kUnknownRule;
     case 7:
       return QueryError::Code::kNoContentIndex;
+    case 8:
+      return QueryError::Code::kCorruptStorage;
     default:
       return std::nullopt;
   }

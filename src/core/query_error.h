@@ -37,6 +37,12 @@ struct QueryError {
     /// Q5 content query on an engine built without
     /// Options::build_content_index.
     kNoContentIndex = 7,
+    /// A memory-mapped knowledge base failed to decode a window the
+    /// query needed (lazy materialization hit corrupt storage). The
+    /// engine stays up; this query — and any other needing the damaged
+    /// window — is rejected. Opening with OpenVerify::kHashes detects
+    /// the damage at open time instead.
+    kCorruptStorage = 8,
   };
 
   Code code = Code::kSupportBelowFloor;

@@ -29,6 +29,8 @@
 
 namespace tara {
 
+class MappedKb;
+
 /// The TARA framework: offline knowledge-base construction (Association
 /// Generator + Knowledge Base Constructor of Figure 2) plus the online
 /// explorer operations (Q1-Q5, roll-up/drill-down).
@@ -110,6 +112,9 @@ class TaraEngine {
   using RolledUpRules = tara::RolledUpRules;
 
   explicit TaraEngine(const Options& options);
+  ~TaraEngine();
+  TaraEngine(TaraEngine&&) noexcept;
+  TaraEngine& operator=(TaraEngine&&) noexcept;
 
   /// Mines and indexes transactions [begin, end) of `db` as the next
   /// window and publishes the new generation. Returns the new window id.
@@ -140,10 +145,11 @@ class TaraEngine {
 
   /// Attaches (creating if absent) the write-ahead log in `dir`,
   /// replaying any records it holds into this engine first. Call once,
-  /// before ingestion starts; NOT safe concurrently with writers.
-  Expected<WalReplayStats, LoadError> AttachWal(const std::string& dir) {
-    return builder_->AttachWal(dir);
-  }
+  /// before ingestion starts; NOT safe concurrently with writers. On a
+  /// mapped engine this first materializes every remaining window
+  /// (replay needs the full catalog); decode failures come back as the
+  /// LoadError instead of replaying.
+  Expected<WalReplayStats, LoadError> AttachWal(const std::string& dir);
 
   /// Resets the attached log to its header (no-op without one). Call
   /// only right after the logged windows became durable via
@@ -156,16 +162,46 @@ class TaraEngine {
   /// Pins and returns the current knowledge-base generation: an immutable
   /// view offering the same query API (minus metric spans). Use this to
   /// answer several queries from one consistent state while ingestion
-  /// continues, or to hold a generation alive across an append.
-  std::shared_ptr<const KnowledgeBaseSnapshot> Snapshot() const {
-    return builder_->snapshot();
-  }
+  /// continues, or to hold a generation alive across an append. On a
+  /// mapped engine this materializes every remaining window first (the
+  /// caller asked for the whole knowledge base) — aborting on corrupt
+  /// storage, like any other load the engine cannot serve around.
+  std::shared_ptr<const KnowledgeBaseSnapshot> Snapshot() const;
 
   /// The published generation number (0 = empty engine; each publication
-  /// increments it).
+  /// increments it). On a mapped engine the generation grows as windows
+  /// materialize, exactly as it would during the eager load.
   uint64_t generation() const { return builder_->generation(); }
 
-  uint32_t window_count() const { return Snapshot()->window_count(); }
+  /// Total windows of the knowledge base — on a mapped engine this is
+  /// the manifest's count and does NOT materialize anything.
+  uint32_t window_count() const;
+
+  /// --- Zero-copy (mapped) knowledge bases ----------------------------------
+  /// OpenKnowledgeBase(OpenMode::kMapped) plumbing — see kb_open.h for
+  /// the user-facing story and kb_blocks.h for the storage format.
+
+  /// Attaches a mapped TARAKB3 knowledge base to a freshly constructed,
+  /// empty engine (aborts otherwise; call before any query or append).
+  /// With `eager` every window is materialized now and a decode failure
+  /// comes back as a typed error; without it, queries materialize the
+  /// window prefix they need on demand and the first query to hit
+  /// corrupt storage is rejected with QueryError::Code::kCorruptStorage
+  /// (sticky: the unmaterialized tail stays unavailable, already-decoded
+  /// windows keep serving).
+  std::optional<LoadError> AttachMappedKb(std::shared_ptr<const MappedKb> kb,
+                                          bool eager);
+
+  /// True once no lazy materialization remains (trivially true for
+  /// engines without a mapped knowledge base).
+  bool fully_materialized() const;
+
+  /// Windows decoded into the builder so far. On a lazily mapped engine
+  /// this lags window_count() until queries (or Snapshot()) pull the
+  /// rest in — the observable proof that mapped opens are lazy.
+  uint32_t materialized_window_count() const {
+    return builder_->snapshot()->window_count();
+  }
 
   /// --- WindowSet construction --------------------------------------------
 
@@ -279,15 +315,25 @@ class TaraEngine {
 
   /// --- Quiescent accessors ------------------------------------------------
   /// Views of the builder's working state. NOT synchronized with a
-  /// concurrent writer; under live ingestion use Snapshot() instead.
+  /// concurrent writer; under live ingestion use Snapshot() instead. On
+  /// a mapped engine these materialize every remaining window first
+  /// (they expose the full working state).
 
-  const RuleCatalog& catalog() const { return builder_->catalog(); }
-  const TarArchive& archive() const { return builder_->archive(); }
+  const RuleCatalog& catalog() const {
+    EnsureAllOrDie();
+    return builder_->catalog();
+  }
+  const TarArchive& archive() const {
+    EnsureAllOrDie();
+    return builder_->archive();
+  }
   const WindowIndex& window_index(WindowId w) const {
+    EnsureAllOrDie();
     return builder_->segment(w).index;
   }
   /// The build inputs of a window (used by roll-up and serialization).
   const std::vector<WindowIndex::Entry>& window_entries(WindowId w) const {
+    EnsureAllOrDie();
     return builder_->segment(w).entries;
   }
   const std::vector<WindowBuildStats>& build_stats() const {
@@ -296,7 +342,10 @@ class TaraEngine {
   const Options& options() const { return builder_->options(); }
 
   /// Approximate bytes of all EPS window indexes (Figure 12 bookkeeping).
-  size_t IndexBytes() const { return builder_->IndexBytes(); }
+  size_t IndexBytes() const {
+    EnsureAllOrDie();
+    return builder_->IndexBytes();
+  }
 
  private:
   /// Query-side instrument pointers, all null when Options::metrics is
@@ -327,8 +376,37 @@ class TaraEngine {
     return obs::QuerySpan(metrics_.latency[static_cast<int>(kind)]);
   }
 
+  /// Books a lazy-materialization failure as a rejected query.
+  template <typename T>
+  Expected<T, QueryError> Gated(obs::QuerySpan* span, QueryError error) const {
+    return Finish(span, Expected<T, QueryError>(std::move(error)));
+  }
+
   /// Registers query instruments in options.metrics (no-op when null).
   void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// --- Lazy materialization (mapped knowledge bases) -----------------------
+  /// All gates are no-ops (one relaxed load) once materialization is
+  /// complete or when no mapped knowledge base is attached. Lock order:
+  /// the lazy mutex is taken strictly before the builder's commit mutex
+  /// (materialization appends windows); pool workers never touch the
+  /// lazy mutex.
+
+  /// Materializes windows so the snapshot holds at least
+  /// min(required, total) of them. Sticky-fails with kCorruptStorage.
+  std::optional<QueryError> EnsureWindows(uint64_t required) const;
+  /// Materializes through the window that interned `rule` (everything,
+  /// when the manifest never heard of it, so the rejection matches an
+  /// eager engine's byte for byte).
+  std::optional<QueryError> EnsureRule(RuleId rule) const;
+  /// The kind-aware gate Execute/ExecuteBatch use.
+  std::optional<QueryError> EnsureForRequest(const QueryRequest& request) const;
+  /// Full materialization for callers with no error channel (Snapshot,
+  /// appends, quiescent accessors); aborts on corrupt storage.
+  void EnsureAllOrDie() const;
+  /// The mutex-held worker: two-phase decode (parallel structural parse,
+  /// window-ordered resolve + append) of windows [materialized, need).
+  std::optional<LoadError> MaterializeLocked(uint32_t need) const;
 
   /// unique_ptr so the engine stays movable (the builder holds mutexes
   /// and the atomic publication slot).
@@ -341,6 +419,12 @@ class TaraEngine {
   /// parallelism is > 1. Separate from the builder's pool so batch reads
   /// never queue behind mining tasks during live ingestion.
   std::unique_ptr<ThreadPool> query_pool_;
+  /// Lazy-materialization state for a mapped knowledge base; null for
+  /// eager engines (and reset once an eager attach finishes). mutable:
+  /// const queries materialize windows on demand — logically the engine
+  /// is unchanged (the same knowledge base, loaded further).
+  struct LazyState;
+  mutable std::unique_ptr<LazyState> lazy_;
 };
 
 }  // namespace tara

@@ -8,6 +8,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "core/kb_blocks.h"
+#include "core/kb_open.h"
 #include "core/kb_storage.h"
 #include "datagen/quest_generator.h"
 #include "obs/metrics.h"
@@ -19,27 +21,29 @@ namespace tara::server {
 Expected<TaraEngine, std::string> BootstrapEngine(
     const EngineBootstrap& bootstrap) {
   if (!bootstrap.loaddir.empty()) {
+    OpenOptions open;
+    open.kb_dir = bootstrap.loaddir;
+    open.mode = bootstrap.mmap ? OpenMode::kMapped : OpenMode::kEager;
+    open.verify = bootstrap.verify_hashes ? OpenVerify::kHashes
+                                          : OpenVerify::kNone;
     // With a WAL configured, recovery subsumes loading: the checkpoint
     // directory (if any) plus the replayed log tail, log left attached.
-    const bool recover =
-        !bootstrap.wal_dir.empty() &&
+    if (!bootstrap.wal_dir.empty() &&
         (WalExists(bootstrap.wal_dir) ||
-         KnowledgeBaseDirExists(bootstrap.loaddir));
-    Expected<TaraEngine, LoadError> loaded =
-        recover ? RecoverKnowledgeBase(bootstrap.loaddir, bootstrap.wal_dir,
-                                       bootstrap.metrics)
-                : LoadKnowledgeBaseDir(bootstrap.loaddir, bootstrap.metrics);
+         KnowledgeBaseDirExists(bootstrap.loaddir) ||
+         KnowledgeBaseBlocksDirExists(bootstrap.loaddir))) {
+      open.wal_dir = bootstrap.wal_dir;
+    }
+    open.metrics = bootstrap.metrics;
+    open.query_cache_bytes = bootstrap.cache_bytes;
+    Expected<TaraEngine, LoadError> loaded = OpenKnowledgeBase(open);
     if (!loaded.has_value()) {
       std::ostringstream message;
       message << "cannot load " << bootstrap.loaddir << ": "
               << loaded.error();
       return message.str();
     }
-    TaraEngine engine = std::move(loaded).value();
-    if (bootstrap.cache_bytes > 0) {
-      engine.SetQueryCacheBytes(bootstrap.cache_bytes);
-    }
-    return engine;
+    return std::move(loaded).value();
   }
   if (bootstrap.windows == 0) {
     return std::string("need at least one window (--windows)");
@@ -97,8 +101,8 @@ void HandleServeSignal(int) { g_serve_stop.store(true); }
 int RunServeMain(int argc, char** argv, const char* usage_prefix) {
   const auto usage = [usage_prefix]() -> int {
     std::fprintf(stderr,
-                 "usage: %s HOST:PORT [--loaddir DIR] [--wal DIR] "
-                 "[--quest N ITEMS] "
+                 "usage: %s HOST:PORT [--loaddir DIR] [--wal DIR] [--mmap] "
+                 "[--verify] [--quest N ITEMS] "
                  "[--windows K] [--floor S C] [--cache BYTES] [--workers N] "
                  "[--queue N] [--port-file FILE]\n",
                  usage_prefix);
@@ -130,6 +134,10 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
       bootstrap.loaddir = next("DIR");
     } else if (arg == "--wal") {
       bootstrap.wal_dir = next("DIR");
+    } else if (arg == "--mmap") {
+      bootstrap.mmap = true;
+    } else if (arg == "--verify") {
+      bootstrap.verify_hashes = true;
     } else if (arg == "--quest") {
       bootstrap.quest_transactions =
           static_cast<uint32_t>(std::strtoul(next("N"), nullptr, 10));
@@ -166,10 +174,19 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
     std::fprintf(stderr, "%s: %s\n", usage_prefix, engine.error().c_str());
     return 1;
   }
-  std::fprintf(stderr, "%s: knowledge base ready (%u windows, %zu rules%s)\n",
-               usage_prefix, engine->window_count(),
-               engine->Snapshot()->catalog().size(),
-               engine->wal_attached() ? ", WAL attached" : "");
+  if (engine->fully_materialized()) {
+    std::fprintf(stderr,
+                 "%s: knowledge base ready (%u windows, %zu rules%s)\n",
+                 usage_prefix, engine->window_count(),
+                 engine->Snapshot()->catalog().size(),
+                 engine->wal_attached() ? ", WAL attached" : "");
+  } else {
+    // Mapped open: don't force materialization just for a log line.
+    std::fprintf(stderr,
+                 "%s: knowledge base mapped (%u windows, decoded on "
+                 "demand)\n",
+                 usage_prefix, engine->window_count());
+  }
 
   TaraServer server(&engine.value(), server_options);
   if (const auto problem = server.Start()) {

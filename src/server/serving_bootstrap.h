@@ -23,6 +23,12 @@ struct EngineBootstrap {
   /// checkpoint when both are given, on top of the deterministically
   /// rebuilt Quest base otherwise).
   std::string wal_dir;
+  /// Open `loaddir` in mapped mode (TARAKB3 zero-copy, windows
+  /// materialize on demand). Ignored when the directory is TARAKB2 or a
+  /// WAL is configured — both force an eager open.
+  bool mmap = false;
+  /// Verify checkpoint content hashes before serving from it.
+  bool verify_hashes = false;
   uint32_t quest_transactions = 4000;
   uint32_t quest_items = 120;
   uint32_t windows = 4;

@@ -16,6 +16,7 @@
 
 #include "common/crash_point.h"
 #include "common/rng.h"
+#include "core/kb_open.h"
 #include "core/kb_storage.h"
 #include "core/serialization.h"
 #include "core/tara_engine.h"
@@ -46,6 +47,14 @@ TaraEngine BuildEngine(const EvolvingDatabase& data) {
   TaraEngine engine(options);
   engine.BuildAll(data);
   return engine;
+}
+
+/// Eager open through the unified entry point (the legacy
+/// LoadKnowledgeBaseDir shim keeps its own smoke test below).
+Expected<TaraEngine, LoadError> Load(const std::string& dir) {
+  OpenOptions options;
+  options.kb_dir = dir;
+  return OpenKnowledgeBase(options);
 }
 
 std::string ReadFile(const fs::path& path) {
@@ -91,7 +100,7 @@ TEST_F(KbStorageTest, DirectoryRoundTripPreservesQueryAnswers) {
     EXPECT_TRUE(fs::exists(dir_ / name)) << name;
   }
 
-  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  const auto loaded = Load(dir_.string());
   ASSERT_TRUE(loaded.has_value()) << loaded.error();
   const TaraEngine& engine = *loaded;
   EXPECT_EQ(engine.window_count(), original.window_count());
@@ -140,7 +149,7 @@ TEST_F(KbStorageTest, AppendRewritesOnlyNewSegmentsAndManifest) {
 
   // And the appended directory loads to the same knowledge base as a
   // from-scratch build over all four windows.
-  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  const auto loaded = Load(dir_.string());
   ASSERT_TRUE(loaded.has_value()) << loaded.error();
   EXPECT_EQ(KnowledgeBaseToString(*loaded),
             KnowledgeBaseToString(BuildEngine(data)));
@@ -151,7 +160,7 @@ TEST_F(KbStorageTest, AppendIntoEmptyDirectoryDoesAFullSave) {
   const TaraEngine engine = BuildEngine(data);
   ASSERT_FALSE(
       AppendKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
-  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  const auto loaded = Load(dir_.string());
   ASSERT_TRUE(loaded.has_value()) << loaded.error();
   EXPECT_EQ(loaded->window_count(), 2u);
 }
@@ -182,7 +191,7 @@ TEST_F(KbStorageTest, RejectsCorruptedSegment) {
   bytes[bytes.size() / 2] ^= 0x5a;  // flip bits mid-segment
   WriteFile(victim, bytes);
 
-  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  const auto loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kCorruptSegment);
   EXPECT_NE(loaded.error().message.find("window 1"), std::string::npos)
@@ -196,7 +205,7 @@ TEST_F(KbStorageTest, RejectsTruncatedSegmentFile) {
   const fs::path victim = dir_ / "window-000000.seg";
   const std::string bytes = ReadFile(victim);
   WriteFile(victim, bytes.substr(0, bytes.size() / 2));
-  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  const auto loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kCorruptSegment);
 }
@@ -209,17 +218,17 @@ TEST_F(KbStorageTest, RejectsTruncatedOrGarbageManifest) {
   const std::string bytes = ReadFile(manifest);
 
   WriteFile(manifest, bytes.substr(0, bytes.size() - 5));
-  auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  auto loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kTruncated);
 
   WriteFile(manifest, "definitely not a manifest");
-  loaded = LoadKnowledgeBaseDir(dir_.string());
+  loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kBadMagic);
 
   WriteFile(manifest, bytes + "tail");
-  loaded = LoadKnowledgeBaseDir(dir_.string());
+  loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kTrailingBytes);
 }
@@ -286,13 +295,13 @@ TEST_F(KbStorageTest, ManifestByteFlipsNeverCrashTheDirectoryLoader) {
     const size_t pos = rng.NextBounded(mutated.size());
     mutated[pos] ^= static_cast<char>(1 + rng.NextBounded(255));
     WriteFile(manifest, mutated);
-    if (!LoadKnowledgeBaseDir(dir_.string()).has_value()) ++rejected;
+    if (!Load(dir_.string()).has_value()) ++rejected;
   }
   EXPECT_GT(rejected, kFlips / 2);
 
   // Restored manifest loads again: the fuzz loop left no side effects.
   WriteFile(manifest, valid);
-  EXPECT_TRUE(LoadKnowledgeBaseDir(dir_.string()).has_value());
+  EXPECT_TRUE(Load(dir_.string()).has_value());
 }
 
 TEST_F(KbStorageTest, ZeroLengthManifestIsATypedTornWriteError) {
@@ -304,7 +313,7 @@ TEST_F(KbStorageTest, ZeroLengthManifestIsATypedTornWriteError) {
   ASSERT_FALSE(
       SaveKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
   WriteFile(dir_ / "manifest.tarakb", "");
-  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  const auto loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kTruncated);
   EXPECT_NE(loaded.error().message.find("zero-length"), std::string::npos)
@@ -380,7 +389,7 @@ TEST_F(KbStorageTest, AppendSurvivesACrashAtEveryDurabilityStep) {
     }
     // Killed or not, the directory must load — to the old prefix or the
     // fully-appended KB, never anything else and never an error.
-    const auto loaded = LoadKnowledgeBaseDir(trial.string());
+    const auto loaded = Load(trial.string());
     ASSERT_TRUE(loaded.has_value())
         << "crash point " << crash_at << ": " << loaded.error();
     const std::string recovered = KnowledgeBaseToString(*loaded);
@@ -399,7 +408,7 @@ TEST_F(KbStorageTest, AppendSurvivesACrashAtEveryDurabilityStep) {
 
 TEST_F(KbStorageTest, RejectsMissingPieces) {
   // No directory / no manifest at all.
-  auto loaded = LoadKnowledgeBaseDir((dir_ / "nowhere").string());
+  auto loaded = Load((dir_ / "nowhere").string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kIoError);
 
@@ -407,9 +416,32 @@ TEST_F(KbStorageTest, RejectsMissingPieces) {
   ASSERT_FALSE(
       SaveKnowledgeBaseDir(*engine.Snapshot(), dir_.string()).has_value());
   fs::remove(dir_ / "window-000001.seg");
-  loaded = LoadKnowledgeBaseDir(dir_.string());
+  loaded = Load(dir_.string());
   ASSERT_FALSE(loaded.has_value());
   EXPECT_EQ(loaded.error().code, LoadError::Code::kIoError);
+}
+
+// The deprecated entry points must keep compiling and working — they
+// route through OpenKnowledgeBase (so TARAKB3 directories work through
+// them too) after a one-time stderr deprecation note.
+TEST_F(KbStorageTest, LegacyLoaderShimsStillWork) {
+  const EvolvingDatabase data = MakeData(2);
+  const TaraEngine original = BuildEngine(data);
+  ASSERT_FALSE(
+      SaveKnowledgeBaseDir(*original.Snapshot(), dir_.string()).has_value());
+
+  const auto loaded = LoadKnowledgeBaseDir(dir_.string());
+  ASSERT_TRUE(loaded.has_value()) << loaded.error();
+  EXPECT_EQ(loaded->window_count(), original.window_count());
+  EXPECT_EQ(KnowledgeBaseToString(*loaded), KnowledgeBaseToString(original));
+
+  // RecoverKnowledgeBase without an existing WAL creates one over the
+  // checkpoint, exactly as before the redesign.
+  const std::string wal_dir = (dir_ / "wal").string();
+  const auto recovered = RecoverKnowledgeBase(dir_.string(), wal_dir);
+  ASSERT_TRUE(recovered.has_value()) << recovered.error();
+  EXPECT_EQ(recovered->window_count(), original.window_count());
+  EXPECT_TRUE(recovered->wal_attached());
 }
 
 }  // namespace

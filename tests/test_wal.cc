@@ -20,6 +20,7 @@
 #include <gtest/gtest.h>
 
 #include "common/crash_point.h"
+#include "core/kb_open.h"
 #include "core/kb_storage.h"
 #include "core/tara_engine.h"
 #include "datagen/quest_generator.h"
@@ -54,6 +55,19 @@ TaraEngine::Options EngineOptions() {
 
 std::string Encode(const TaraEngine& engine) {
   return EncodeKnowledgeBase(*engine.Snapshot());
+}
+
+/// Checkpoint + WAL recovery through the unified open entry point.
+Expected<TaraEngine, LoadError> Recover(const std::string& kb_dir,
+                                        const std::string& wal_dir,
+                                        obs::MetricsRegistry* metrics = nullptr,
+                                        WalReplayStats* stats = nullptr) {
+  OpenOptions options;
+  options.kb_dir = kb_dir;
+  options.wal_dir = wal_dir;
+  options.metrics = metrics;
+  options.replay_stats = stats;
+  return OpenKnowledgeBase(options);
 }
 
 class WalTest : public ::testing::Test {
@@ -140,7 +154,7 @@ TEST_F(WalTest, CheckpointTruncatesAndTailReplaysOnTop) {
   }
 
   WalReplayStats stats;
-  auto recovered = RecoverKnowledgeBase(kb_dir_, wal_dir_, nullptr, &stats);
+  auto recovered = Recover(kb_dir_, wal_dir_, nullptr, &stats);
   ASSERT_TRUE(recovered.has_value()) << recovered.error();
   EXPECT_EQ(stats.records_replayed, kWindows - 2);
   EXPECT_EQ(recovered->window_count(), kWindows);
@@ -161,7 +175,7 @@ TEST_F(WalTest, RecoversFromTheLogAloneBeforeAnyCheckpoint) {
   // kb_dir_ was never written: the engine options come from the WAL
   // header, the windows from its records.
   WalReplayStats stats;
-  auto recovered = RecoverKnowledgeBase(kb_dir_, wal_dir_, nullptr, &stats);
+  auto recovered = Recover(kb_dir_, wal_dir_, nullptr, &stats);
   ASSERT_TRUE(recovered.has_value()) << recovered.error();
   EXPECT_EQ(stats.records_replayed, kWindows);
   EXPECT_EQ(Encode(*recovered), refs_[kWindows]);
@@ -193,7 +207,7 @@ TEST_F(WalTest, TornTailIsTruncatedAndEarlierRecordsSurvive) {
   EXPECT_GT(contents->truncated_bytes, 0u);
 
   WalReplayStats stats;
-  auto result = RecoverKnowledgeBase(kb_dir_, wal_dir_, nullptr, &stats);
+  auto result = Recover(kb_dir_, wal_dir_, nullptr, &stats);
   ASSERT_TRUE(result.has_value()) << result.error();
   TaraEngine recovered = std::move(result).value();
   EXPECT_EQ(stats.records_replayed, kWindows - 1);
@@ -227,7 +241,7 @@ TEST_F(WalTest, MismatchedOptionsAndGapsAreTypedErrors) {
   // checkpoint, truncate, append one more — then recover WITHOUT the
   // checkpoint directory.
   {
-    auto result = RecoverKnowledgeBase(kb_dir_, wal_dir_);
+    auto result = Recover(kb_dir_, wal_dir_);
     ASSERT_TRUE(result.has_value()) << result.error();
     TaraEngine engine = std::move(result).value();
     ASSERT_FALSE(AppendKnowledgeBaseDir(*engine.Snapshot(), kb_dir_));
@@ -236,7 +250,7 @@ TEST_F(WalTest, MismatchedOptionsAndGapsAreTypedErrors) {
     engine.AppendWindow(data.database(), info.begin, info.end);
   }
   const auto gap =
-      RecoverKnowledgeBase((dir_ / "no_kb").string(), wal_dir_);
+      Recover((dir_ / "no_kb").string(), wal_dir_);
   ASSERT_FALSE(gap.has_value());
   EXPECT_EQ(gap.error().code, LoadError::Code::kBadManifest);
   EXPECT_NE(gap.error().message.find("jumps"), std::string::npos)
@@ -269,7 +283,7 @@ TEST_F(WalTest, InstrumentsCountRecordsAndReplays) {
   obs::MetricsRegistry recovery_metrics;
   WalReplayStats stats;
   auto recovered =
-      RecoverKnowledgeBase(kb_dir_, wal_dir_, &recovery_metrics, &stats);
+      Recover(kb_dir_, wal_dir_, &recovery_metrics, &stats);
   ASSERT_TRUE(recovered.has_value()) << recovered.error();
   EXPECT_EQ(stats.records_replayed, 2u);
   EXPECT_NE(recovery_metrics.SnapshotText().find("tara.wal.replays = 2"),
@@ -317,7 +331,7 @@ class WalCrashTest : public WalTest {
   /// Recovers after the child stopped and checks the acceptance bar.
   void CheckRecovery(uint64_t acked, const std::string& label) {
     WalReplayStats stats;
-    auto recovered = RecoverKnowledgeBase(kb_dir_, wal_dir_, nullptr, &stats);
+    auto recovered = Recover(kb_dir_, wal_dir_, nullptr, &stats);
     if (!recovered.has_value()) {
       // A kill that lands before the child even attaches the log (seen
       // under sanitizers, where startup is slow) leaves no WAL file and
@@ -369,7 +383,7 @@ TEST_F(WalCrashTest, KillNineAtEveryDurabilityStepNeverLosesAnAckedWindow) {
     CheckRecovery(AckCount(ack_path), label);
     if (completed_cleanly) {
       // The clean pass must have every window, not just the acked floor.
-      auto recovered = RecoverKnowledgeBase(kb_dir_, wal_dir_);
+      auto recovered = Recover(kb_dir_, wal_dir_);
       ASSERT_TRUE(recovered.has_value());
       EXPECT_EQ(recovered->window_count(), data.window_count());
     }

@@ -224,7 +224,11 @@ TEST(WireFormat, NumericCodesArePinned) {
 
 TEST(WireFormat, UnknownWireCodeMapsToNothing) {
   EXPECT_FALSE(QueryErrorFromWireCode(0).has_value());
-  EXPECT_FALSE(QueryErrorFromWireCode(8).has_value());
+  EXPECT_FALSE(QueryErrorFromWireCode(99).has_value());
+  // Code 8 became kCorruptStorage and must stay assigned.
+  ASSERT_TRUE(QueryErrorFromWireCode(8).has_value());
+  EXPECT_EQ(*QueryErrorFromWireCode(8), QueryError::Code::kCorruptStorage);
+  EXPECT_EQ(WireErrorCodeName(8), "corrupt_storage");
   EXPECT_FALSE(QueryErrorFromWireCode(100).has_value());
 }
 

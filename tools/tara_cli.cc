@@ -33,9 +33,13 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/exploration.h"
+#include "core/kb_blocks.h"
+#include "core/kb_open.h"
 #include "core/kb_storage.h"
 #include "core/serialization.h"
 #include "core/tara_engine.h"
@@ -662,8 +666,11 @@ class Session {
   void SaveDir(std::istringstream& in) {
     std::string dir;
     if (!(in >> dir) || !Ready()) return;
-    // Incremental by design: an already-saved prefix is left untouched.
-    if (!StoreOk(AppendKnowledgeBaseDir(*engine_->Snapshot(), dir))) return;
+    // Incremental by design: an already-saved prefix is left untouched,
+    // in whichever format the directory already holds.
+    if (!StoreOk(CheckpointKnowledgeBaseDir(*engine_->Snapshot(), dir))) {
+      return;
+    }
     attached_dir_ = dir;
     std::printf("saved knowledge base into %s (%u windows, attached)\n",
                 dir.c_str(), engine_->window_count());
@@ -671,13 +678,18 @@ class Session {
   }
 
   void LoadDir(std::istringstream& in) {
-    std::string dir;
+    std::string dir, mode;
     if (!(in >> dir)) {
-      std::printf("usage: loaddir DIR\n");
+      std::printf("usage: loaddir DIR [mmap]\n");
       return;
     }
-    Expected<TaraEngine, LoadError> loaded =
-        LoadKnowledgeBaseDir(dir, &Registry());
+    in >> mode;
+    OpenOptions options;
+    options.kb_dir = dir;
+    options.mode = mode == "mmap" ? OpenMode::kMapped : OpenMode::kEager;
+    options.metrics = &Registry();
+    options.query_cache_bytes = cache_bytes_;
+    Expected<TaraEngine, LoadError> loaded = OpenKnowledgeBase(options);
     if (!loaded.has_value()) {
       std::ostringstream out;
       out << loaded.error();
@@ -686,15 +698,20 @@ class Session {
     }
     ResetEngine();
     engine_ = std::make_unique<TaraEngine>(std::move(loaded).value());
-    if (cache_bytes_ > 0) engine_->SetQueryCacheBytes(cache_bytes_);
     // Attaching after the load replays exactly the windows the last
     // checkpoint missed — the CLI-session form of crash recovery.
     if (!wal_dir_.empty()) AttachWalToEngine();
     attached_dir_ = dir;
-    std::printf("loaded knowledge base from %s: %u windows, %zu rules "
-                "(attached)\n",
-                dir.c_str(), engine_->window_count(),
-                engine_->catalog().size());
+    if (engine_->fully_materialized()) {
+      std::printf("loaded knowledge base from %s: %u windows, %zu rules "
+                  "(attached)\n",
+                  dir.c_str(), engine_->window_count(),
+                  engine_->catalog().size());
+    } else {
+      std::printf("mapped knowledge base from %s: %u windows, decoded on "
+                  "demand (attached)\n",
+                  dir.c_str(), engine_->window_count());
+    }
   }
 
   void Ingest(std::istringstream& in) {
@@ -716,8 +733,8 @@ class Session {
                 static_cast<unsigned long long>(engine_->generation()));
     if (attached_dir_.empty()) return;
     // Persists only the new window's segment plus the manifest.
-    if (StoreOk(AppendKnowledgeBaseDir(*engine_->Snapshot(),
-                                       attached_dir_))) {
+    if (StoreOk(CheckpointKnowledgeBaseDir(*engine_->Snapshot(),
+                                           attached_dir_))) {
       std::printf("persisted new segment into %s\n", attached_dir_.c_str());
       TruncateWalAfterCheckpoint();
     }
@@ -869,16 +886,19 @@ class RemoteShell {
   uint32_t window_count_ = 0;
 };
 
-/// `tara_cli recover KBDIR --wal WALDIR`: load the checkpoint (if one
+/// `tara_cli wal recover --kb DIR --wal DIR` (legacy alias:
+/// `tara_cli recover KBDIR --wal WALDIR`): load the checkpoint (if one
 /// exists), replay the log tail, checkpoint the recovered state back
-/// into KBDIR, and retire the log. Exit 0 means KBDIR now holds every
-/// acked window and the log is empty.
+/// into the directory, and retire the log. Exit 0 means the directory
+/// now holds every acked window and the log is empty.
 int RunRecover(int argc, char** argv) {
   std::string kb_dir, wal_dir;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--wal" && i + 1 < argc) {
       wal_dir = argv[++i];
+    } else if (arg == "--kb" && i + 1 < argc) {
+      kb_dir = argv[++i];
     } else if (kb_dir.empty() && arg[0] != '-') {
       kb_dir = arg;
     } else {
@@ -887,11 +907,16 @@ int RunRecover(int argc, char** argv) {
     }
   }
   if (kb_dir.empty() || wal_dir.empty()) {
-    std::fprintf(stderr, "usage: tara_cli recover KBDIR --wal WALDIR\n");
+    std::fprintf(stderr, "usage: tara_cli wal recover --kb DIR --wal DIR\n");
     return 2;
   }
+  OpenOptions options;
+  options.kb_dir = kb_dir;
+  options.wal_dir = wal_dir;
+  options.metrics = &Registry();
   WalReplayStats stats;
-  auto recovered = RecoverKnowledgeBase(kb_dir, wal_dir, &Registry(), &stats);
+  options.replay_stats = &stats;
+  auto recovered = OpenKnowledgeBase(options);
   if (!recovered.has_value()) {
     std::ostringstream out;
     out << recovered.error();
@@ -906,7 +931,8 @@ int RunRecover(int argc, char** argv) {
                static_cast<unsigned long long>(stats.records_replayed),
                static_cast<unsigned long long>(stats.records_skipped),
                static_cast<unsigned long long>(stats.truncated_bytes));
-  if (const auto error = AppendKnowledgeBaseDir(*engine.Snapshot(), kb_dir)) {
+  if (const auto error =
+          CheckpointKnowledgeBaseDir(*engine.Snapshot(), kb_dir)) {
     std::ostringstream out;
     out << *error;
     std::fprintf(stderr, "tara_cli recover: cannot checkpoint into %s: %s\n",
@@ -923,6 +949,289 @@ int RunRecover(int argc, char** argv) {
   std::fprintf(stderr, "checkpointed into %s and truncated the log\n",
                kb_dir.c_str());
   return 0;
+}
+
+/// `tara_cli wal CMD ...`: the write-ahead-log noun. `recover` is its
+/// only verb today.
+int RunWal(int argc, char** argv) {
+  if (argc >= 1 && std::strcmp(argv[0], "recover") == 0) {
+    return RunRecover(argc - 1, argv + 1);
+  }
+  std::fprintf(stderr, "usage: tara_cli wal recover --kb DIR --wal DIR\n");
+  return 2;
+}
+
+/// Prints a LoadError prefixed with the db verb that hit it; returns 1
+/// (the db suite's failure exit code).
+int DbFail(const char* verb, const LoadError& error) {
+  std::ostringstream out;
+  out << error;
+  std::fprintf(stderr, "tara_cli db %s: %s\n", verb, out.str().c_str());
+  return 1;
+}
+
+/// Parses the shared `--kb DIR` grammar of every db verb plus the
+/// verb-specific flags handed in as `extra` (flag name -> value slot).
+/// Returns false (after printing usage) on a malformed command line.
+bool ParseDbArgs(int argc, char** argv, const char* verb,
+                 const char* extra_usage, std::string* kb_dir,
+                 const std::vector<std::pair<std::string, uint64_t*>>& extra) {
+  bool ok = true;
+  for (int i = 0; i < argc && ok; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--kb" && i + 1 < argc) {
+      *kb_dir = argv[++i];
+      continue;
+    }
+    ok = false;
+    for (const auto& [flag, slot] : extra) {
+      if (arg == flag && i + 1 < argc) {
+        *slot = std::strtoull(argv[++i], nullptr, 10);
+        ok = true;
+        break;
+      }
+    }
+  }
+  if (!ok || kb_dir->empty()) {
+    std::fprintf(stderr, "usage: tara_cli db %s --kb DIR%s\n", verb,
+                 extra_usage);
+    return false;
+  }
+  return true;
+}
+
+/// `db stats --kb DIR`: format, options, windows, rules, blocks, bytes —
+/// all from the manifest(s), no segment payload read.
+int RunDbStats(const std::string& kb_dir) {
+  if (KnowledgeBaseBlocksDirExists(kb_dir)) {
+    auto manifest = ReadKnowledgeBaseBlocksManifest(kb_dir);
+    if (!manifest.has_value()) return DbFail("stats", manifest.error());
+    uint64_t payload = 0, file_bytes = 0, entries = 0;
+    for (const KbBlockInfo& block : manifest->blocks) {
+      file_bytes += block.file_bytes;
+      for (const KbBlockRow& row : block.rows) {
+        payload += row.segment_bytes;
+        entries += row.entry_count;
+      }
+    }
+    std::printf("format:   TARAKB3 (block-partitioned)\n");
+    std::printf("windows:  %u in %zu blocks\n", manifest->window_count(),
+                manifest->blocks.size());
+    std::printf("rules:    %llu\n", static_cast<unsigned long long>(
+                                        manifest->rule_watermark()));
+    std::printf("entries:  %llu\n", static_cast<unsigned long long>(entries));
+    std::printf("bytes:    %llu on disk, %llu segment payload\n",
+                static_cast<unsigned long long>(file_bytes),
+                static_cast<unsigned long long>(payload));
+    std::printf("floors:   supp %g conf %g, max itemset %llu, content "
+                "index %s\n",
+                manifest->min_support_floor, manifest->min_confidence_floor,
+                static_cast<unsigned long long>(manifest->max_itemset_size),
+                manifest->build_content_index ? "yes" : "no");
+    for (size_t b = 0; b < manifest->blocks.size(); ++b) {
+      const KbBlockInfo& block = manifest->blocks[b];
+      std::printf("  block-%06llu.blk  windows %u..%u  %llu bytes\n",
+                  static_cast<unsigned long long>(block.file_index),
+                  block.first_window,
+                  block.first_window +
+                      static_cast<uint32_t>(block.rows.size()) - 1,
+                  static_cast<unsigned long long>(block.file_bytes));
+    }
+    return 0;
+  }
+  auto manifest = ReadKnowledgeBaseDirManifest(kb_dir);
+  if (!manifest.has_value()) return DbFail("stats", manifest.error());
+  uint64_t payload = 0, entries = 0, rules = 0;
+  for (const KbManifestRow& row : manifest->rows) {
+    payload += row.segment_bytes;
+    entries += row.entry_count;
+    rules = row.rule_watermark;
+  }
+  std::printf("format:   TARAKB2 (one segment file per window)\n");
+  std::printf("windows:  %zu\n", manifest->rows.size());
+  std::printf("rules:    %llu\n", static_cast<unsigned long long>(rules));
+  std::printf("entries:  %llu\n", static_cast<unsigned long long>(entries));
+  std::printf("bytes:    %llu segment payload\n",
+              static_cast<unsigned long long>(payload));
+  std::printf("floors:   supp %g conf %g, max itemset %llu, content "
+              "index %s\n",
+              manifest->min_support_floor, manifest->min_confidence_floor,
+              static_cast<unsigned long long>(manifest->max_itemset_size),
+              manifest->build_content_index ? "yes" : "no");
+  return 0;
+}
+
+/// `db show --kb DIR`: the per-window table (either format).
+int RunDbShow(const std::string& kb_dir) {
+  std::printf("window  transactions      rules    entries      bytes\n");
+  const auto print_row = [](WindowId w, uint64_t transactions, uint64_t rules,
+                            uint64_t entry_count, uint64_t bytes) {
+    std::printf("%6u  %12llu %10llu %10llu %10llu\n", w,
+                static_cast<unsigned long long>(transactions),
+                static_cast<unsigned long long>(rules),
+                static_cast<unsigned long long>(entry_count),
+                static_cast<unsigned long long>(bytes));
+  };
+  if (KnowledgeBaseBlocksDirExists(kb_dir)) {
+    auto manifest = ReadKnowledgeBaseBlocksManifest(kb_dir);
+    if (!manifest.has_value()) return DbFail("show", manifest.error());
+    for (const KbBlockInfo& block : manifest->blocks) {
+      WindowId w = block.first_window;
+      for (const KbBlockRow& row : block.rows) {
+        print_row(w++, row.total_transactions, row.rule_watermark,
+                  row.entry_count, row.segment_bytes);
+      }
+    }
+    return 0;
+  }
+  auto manifest = ReadKnowledgeBaseDirManifest(kb_dir);
+  if (!manifest.has_value()) return DbFail("show", manifest.error());
+  WindowId w = 0;
+  for (const KbManifestRow& row : manifest->rows) {
+    print_row(w++, row.total_transactions, row.rule_watermark,
+              row.entry_count, row.segment_bytes);
+  }
+  return 0;
+}
+
+/// `db verify --kb DIR`: every content hash checked (block-parallel for
+/// TARAKB3); a TARAKB2 directory is verified by a full eager open, which
+/// checks the same per-segment hashes. Exit 0 only when everything
+/// matches.
+int RunDbVerify(const std::string& kb_dir) {
+  if (KnowledgeBaseBlocksDirExists(kb_dir)) {
+    auto mapped = MappedKb::Open(kb_dir);
+    if (!mapped.has_value()) return DbFail("verify", mapped.error());
+    std::unique_ptr<ThreadPool> pool;
+    if (mapped->manifest().blocks.size() > 1) {
+      pool = std::make_unique<ThreadPool>(std::thread::hardware_concurrency());
+    }
+    if (const auto error = mapped->VerifyHashes(pool.get())) {
+      return DbFail("verify", *error);
+    }
+    std::printf("verified %u windows in %zu blocks: all hashes match\n",
+                mapped->window_count(), mapped->manifest().blocks.size());
+    return 0;
+  }
+  OpenOptions options;
+  options.kb_dir = kb_dir;
+  options.parallelism = 0;
+  auto opened = OpenKnowledgeBase(options);
+  if (!opened.has_value()) return DbFail("verify", opened.error());
+  std::printf("verified %u windows: all hashes match\n",
+              opened->window_count());
+  return 0;
+}
+
+/// `tara_cli db CMD --kb DIR ...`: the DAZZ_DB-style directory suite.
+int RunDb(int argc, char** argv) {
+  const auto usage = []() -> int {
+    std::fprintf(
+        stderr,
+        "usage: tara_cli db CMD --kb DIR\n"
+        "  db stats --kb DIR                  manifest-level summary\n"
+        "  db show --kb DIR                   per-window table\n"
+        "  db verify --kb DIR                 check every content hash\n"
+        "  db split --kb DIR [--block-bytes N]  repartition into blocks\n"
+        "  db trim --kb DIR --windows N       keep the first N windows\n"
+        "  db rm --kb DIR                     delete the knowledge base\n");
+    return 2;
+  };
+  if (argc < 1) return usage();
+  const std::string verb = argv[0];
+  --argc;
+  ++argv;
+  std::string kb_dir;
+  if (verb == "stats") {
+    if (!ParseDbArgs(argc, argv, "stats", "", &kb_dir, {})) return 2;
+    return RunDbStats(kb_dir);
+  }
+  if (verb == "show") {
+    if (!ParseDbArgs(argc, argv, "show", "", &kb_dir, {})) return 2;
+    return RunDbShow(kb_dir);
+  }
+  if (verb == "verify") {
+    if (!ParseDbArgs(argc, argv, "verify", "", &kb_dir, {})) return 2;
+    return RunDbVerify(kb_dir);
+  }
+  if (verb == "split") {
+    uint64_t block_bytes = kDefaultBlockBytes;
+    if (!ParseDbArgs(argc, argv, "split", " [--block-bytes N]", &kb_dir,
+                     {{"--block-bytes", &block_bytes}})) {
+      return 2;
+    }
+    if (block_bytes == 0) block_bytes = kDefaultBlockBytes;
+    if (const auto error = RepartitionKnowledgeBase(kb_dir, block_bytes)) {
+      return DbFail("split", *error);
+    }
+    auto manifest = ReadKnowledgeBaseBlocksManifest(kb_dir);
+    if (!manifest.has_value()) return DbFail("split", manifest.error());
+    std::printf("repartitioned %s: %u windows in %zu blocks of ~%llu "
+                "bytes\n",
+                kb_dir.c_str(), manifest->window_count(),
+                manifest->blocks.size(),
+                static_cast<unsigned long long>(block_bytes));
+    return 0;
+  }
+  if (verb == "trim") {
+    uint64_t windows = UINT64_MAX;
+    if (!ParseDbArgs(argc, argv, "trim", " --windows N", &kb_dir,
+                     {{"--windows", &windows}}) ||
+        windows == UINT64_MAX) {
+      if (windows == UINT64_MAX && !kb_dir.empty()) {
+        std::fprintf(stderr, "usage: tara_cli db trim --kb DIR --windows N\n");
+      }
+      return 2;
+    }
+    if (const auto error =
+            TrimKnowledgeBase(kb_dir, static_cast<uint32_t>(windows))) {
+      return DbFail("trim", *error);
+    }
+    std::printf("trimmed %s to %llu windows\n", kb_dir.c_str(),
+                static_cast<unsigned long long>(windows));
+    return 0;
+  }
+  if (verb == "rm") {
+    if (!ParseDbArgs(argc, argv, "rm", "", &kb_dir, {})) return 2;
+    if (const auto error = RemoveKnowledgeBase(kb_dir)) {
+      return DbFail("rm", *error);
+    }
+    std::printf("removed the knowledge base in %s\n", kb_dir.c_str());
+    return 0;
+  }
+  return usage();
+}
+
+/// The top-level command surface, printed by `tara_cli help` (stdout —
+/// pinned by the help-text golden test) and on a bad command line
+/// (stderr).
+void PrintUsage(std::FILE* out) {
+  std::fputs(
+      "tara_cli — interactive temporal association analytics\n"
+      "\n"
+      "usage:\n"
+      "  tara_cli [--metrics]            interactive session (commands on\n"
+      "                                  stdin; type 'help' inside)\n"
+      "  tara_cli db CMD --kb DIR        knowledge-base directory tooling\n"
+      "  tara_cli query [--remote HOST:PORT [--deadline MS]]\n"
+      "  tara_cli serve HOST:PORT [flags]\n"
+      "  tara_cli wal recover --kb DIR --wal DIR\n"
+      "  tara_cli help\n"
+      "\n"
+      "db commands (all under --kb DIR):\n"
+      "  db stats                        format, windows, rules, blocks\n"
+      "  db show                         per-window table\n"
+      "  db verify                       check every content hash\n"
+      "  db split [--block-bytes N]      repartition into balanced blocks\n"
+      "                                  (converts TARAKB2 to TARAKB3)\n"
+      "  db trim --windows N             keep only the first N windows\n"
+      "  db rm                           delete every manifest-named file\n"
+      "\n"
+      "serve flags:\n"
+      "  [--loaddir DIR] [--wal DIR] [--mmap] [--verify]\n"
+      "  [--quest N ITEMS] [--windows K] [--floor S C] [--cache BYTES]\n"
+      "  [--workers N] [--queue N] [--port-file FILE]\n",
+      out);
 }
 
 int RunRemoteQuery(int argc, char** argv) {
@@ -967,26 +1276,34 @@ int RunRemoteQuery(int argc, char** argv) {
 }  // namespace tara::cli
 
 int main(int argc, char** argv) {
+  // Noun-verb surface: db / query / serve / wal (+ help). The pre-8
+  // verb `recover` stays as a hidden alias of `wal recover`.
   if (argc > 1 && std::strcmp(argv[1], "serve") == 0) {
     return tara::server::RunServeMain(argc - 2, argv + 2, "tara_cli serve");
   }
   if (argc > 1 && std::strcmp(argv[1], "query") == 0) {
     return tara::cli::RunRemoteQuery(argc - 2, argv + 2);
   }
+  if (argc > 1 && std::strcmp(argv[1], "db") == 0) {
+    return tara::cli::RunDb(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "wal") == 0) {
+    return tara::cli::RunWal(argc - 2, argv + 2);
+  }
   if (argc > 1 && std::strcmp(argv[1], "recover") == 0) {
     return tara::cli::RunRecover(argc - 2, argv + 2);
+  }
+  if (argc > 1 && (std::strcmp(argv[1], "help") == 0 ||
+                   std::strcmp(argv[1], "--help") == 0)) {
+    tara::cli::PrintUsage(stdout);
+    return 0;
   }
   bool dump_metrics = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: tara_cli [--metrics] < commands\n"
-                   "       tara_cli serve HOST:PORT [flags]\n"
-                   "       tara_cli query --remote HOST:PORT [--deadline MS]"
-                   " < queries\n"
-                   "       tara_cli recover KBDIR --wal WALDIR\n");
+      tara::cli::PrintUsage(stderr);
       return 2;
     }
   }
