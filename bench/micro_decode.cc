@@ -1,0 +1,211 @@
+// Decode-kernel and roll-up-index microbench: prices the two layers the
+// kernelized decode refactor added to the query stack.
+//
+// Part 1 (kernel rows): raw decode throughput (MB/s over payload bytes)
+// of every kernel the host supports over stable-rule streams — gap 1 and
+// small count wobble, so almost every varint is one byte: the shape the
+// SIMD fast path targets. CI asserts the dispatched kernel is never
+// slower than the scalar reference (modulo noise when dispatch IS
+// scalar).
+//
+// Part 2 (rollup rows): RollUp p50 latency, linear archive scan vs the
+// hierarchical roll-up tree, over the all-windows set and a sparse
+// jittered set, with a built-in divergence check (the two paths must
+// produce bit-identical bounds). CI asserts the tree beats the linear
+// scan on the all-windows set.
+//
+// Writes BENCH_decode.json (schema of bench_report.h).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "common/arena.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+#include "common/varint.h"
+#include "core/decode_kernels.h"
+#include "core/rollup_tree.h"
+#include "core/tar_archive.h"
+
+namespace tara {
+namespace {
+
+constexpr uint32_t kWindows = 4096;
+constexpr uint32_t kRules = 64;
+constexpr uint64_t kWindowSize = 100000;
+constexpr int kDecodeReps = 100;
+constexpr int kRollUpReps = 400;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double PercentileUs(std::vector<uint64_t>* ns, double p) {
+  if (ns->empty()) return 0;
+  std::sort(ns->begin(), ns->end());
+  const size_t index =
+      std::min(ns->size() - 1,
+               static_cast<size_t>(p * static_cast<double>(ns->size())));
+  return static_cast<double>((*ns)[index]) / 1000.0;
+}
+
+/// The archive, the mirrored roll-up tree, and the raw per-rule byte
+/// streams (re-encoded exactly as TarArchive::Add lays them out, so the
+/// kernel loop can decode them without going through dispatch).
+struct Workload {
+  TarArchive archive;
+  RollUpTreeBuilder tree_builder;
+  std::vector<std::vector<uint8_t>> streams;
+  size_t payload_bytes = 0;
+
+  Workload() {
+    Rng rng(7);
+    std::vector<ArchiveEntry> last(kRules);
+    streams.resize(kRules);
+    for (WindowId w = 0; w < kWindows; ++w) {
+      archive.RegisterWindow(w, kWindowSize, 50, 0.1);
+      tree_builder.BeginWindow(
+          w, kWindowSize, UnarchivedCountSlack(50, 0.1, kWindowSize));
+      for (RuleId r = 0; r < kRules; ++r) {
+        const uint64_t rule_count = 500 + r + rng.NextBounded(16);
+        const uint64_t ant_count = rule_count + rng.NextBounded(16);
+        archive.Add(r, w, rule_count, ant_count);
+        tree_builder.AddEntry(r, rule_count, ant_count);
+        std::vector<uint8_t>* bytes = &streams[r];
+        if (w == 0) {
+          varint::EncodeU64(w, bytes);
+          varint::EncodeU64(rule_count, bytes);
+          varint::EncodeU64(ant_count, bytes);
+        } else {
+          varint::EncodeU64(w - last[r].window, bytes);
+          varint::EncodeS64(static_cast<int64_t>(rule_count) -
+                                static_cast<int64_t>(last[r].rule_count),
+                            bytes);
+          varint::EncodeS64(static_cast<int64_t>(ant_count) -
+                                static_cast<int64_t>(last[r].antecedent_count),
+                            bytes);
+        }
+        last[r] = ArchiveEntry{w, rule_count, ant_count};
+      }
+    }
+    for (const auto& s : streams) payload_bytes += s.size();
+    if (payload_bytes != archive.payload_bytes()) {
+      std::fprintf(stderr, "re-encoded streams diverge from the archive\n");
+      std::abort();
+    }
+  }
+};
+
+}  // namespace
+}  // namespace tara
+
+int main() {
+  using namespace tara;
+
+  Workload workload;
+  std::printf("archive: %u windows x %u rules, %zu payload bytes\n", kWindows,
+              kRules, workload.payload_bytes);
+
+  bench::BenchReport report("decode");
+  DecodeArena arena;
+
+  // --- Part 1: kernel decode throughput -----------------------------------
+  const decode::DecodeKernel& active = decode::ActiveDecodeKernel();
+  double scalar_mbps = 0;
+  double dispatched_mbps = 0;
+  for (const decode::DecodeKernel& kernel : decode::SupportedDecodeKernels()) {
+    uint64_t best_ns = UINT64_MAX;
+    size_t entries = 0;
+    for (int rep = 0; rep < kDecodeReps; ++rep) {
+      entries = 0;
+      const uint64_t start = NowNs();
+      for (const std::vector<uint8_t>& bytes : workload.streams) {
+        arena.Reset();
+        const decode::CheckedDecode result = decode::DecodeStreamCheckedWith(
+            kernel, std::span<const uint8_t>(bytes), arena);
+        if (result.status != decode::Status::kOk) {
+          std::fprintf(stderr, "kernel %s rejected a valid stream: %s\n",
+                       kernel.name, decode::StatusName(result.status));
+          return 1;
+        }
+        entries += result.entries.size();
+      }
+      best_ns = std::min(best_ns, NowNs() - start);
+    }
+    const double mbps = static_cast<double>(workload.payload_bytes) * 1000.0 /
+                        static_cast<double>(best_ns);
+    if (std::string(kernel.name) == "scalar") scalar_mbps = mbps;
+    if (std::string(kernel.name) == active.name) dispatched_mbps = mbps;
+    std::printf("kernel %-6s  %8.1f MB/s  (%zu entries/pass)\n", kernel.name,
+                mbps, entries);
+    report.AddRow()
+        .Set("row", "kernel")
+        .Set("kernel", kernel.name)
+        .Set("mb_per_s", mbps)
+        .Set("entries_per_pass", static_cast<uint64_t>(entries));
+  }
+
+  // --- Part 2: roll-up latency, linear vs tree ----------------------------
+  const auto tree = workload.tree_builder.Snapshot();
+  std::vector<WindowId> all_windows(kWindows);
+  for (WindowId w = 0; w < kWindows; ++w) all_windows[w] = w;
+  Rng rng(99);
+  std::vector<WindowId> sparse;
+  for (WindowId w = 0; w < kWindows; w += 1 + rng.NextBounded(15)) {
+    sparse.push_back(w);
+  }
+
+  struct SetCase {
+    const char* name;
+    const std::vector<WindowId>* windows;
+  };
+  const SetCase cases[] = {{"all_windows", &all_windows},
+                           {"sparse_jitter", &sparse}};
+  for (const SetCase& c : cases) {
+    std::vector<uint64_t> linear_ns, tree_ns;
+    double divergence = 0;
+    for (int rep = 0; rep < kRollUpReps; ++rep) {
+      const RuleId rule = static_cast<RuleId>(rep % kRules);
+      uint64_t start = NowNs();
+      const RollUpBound linear =
+          workload.archive.RollUp(rule, *c.windows, &arena);
+      linear_ns.push_back(NowNs() - start);
+      start = NowNs();
+      const RollUpBound hier = tree->RollUp(rule, *c.windows);
+      tree_ns.push_back(NowNs() - start);
+      divergence += (linear.support_lo - hier.support_lo) +
+                    (linear.confidence_hi - hier.confidence_hi);
+    }
+    if (divergence != 0) {
+      std::fprintf(stderr, "tree/linear divergence on %s\n", c.name);
+      return 1;
+    }
+    const double linear_p50 = PercentileUs(&linear_ns, 0.5);
+    const double tree_p50 = PercentileUs(&tree_ns, 0.5);
+    std::printf("rollup %-13s linear p50 %9.2f us | tree p50 %9.2f us\n",
+                c.name, linear_p50, tree_p50);
+    report.AddRow()
+        .Set("row", "rollup")
+        .Set("window_set", c.name)
+        .Set("set_size", static_cast<uint64_t>(c.windows->size()))
+        .Set("linear_p50_us", linear_p50)
+        .Set("tree_p50_us", tree_p50);
+  }
+
+  report.AddRow()
+      .Set("row", "dispatch")
+      .Set("active_kernel", active.name)
+      .Set("dispatch_is_scalar", std::string(active.name) == "scalar")
+      .Set("scalar_mb_per_s", scalar_mbps)
+      .Set("dispatched_mb_per_s", dispatched_mbps)
+      .Set("peak_rss_bytes", bench::PeakRssBytes());
+
+  return report.WriteFile() ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tara {
+namespace {
+
+constexpr size_t kFirstHeapBlockBytes = 8192;
+
+size_t AlignUp(size_t value, size_t alignment) {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+uint8_t* DecodeArena::Allocate(size_t bytes, size_t alignment) {
+  uint8_t* aligned = reinterpret_cast<uint8_t*>(
+      AlignUp(reinterpret_cast<uintptr_t>(cursor_), alignment));
+  if (aligned + bytes <= cursor_end_) {
+    used_bytes_ += bytes + static_cast<size_t>(aligned - cursor_);
+    cursor_ = aligned + bytes;
+    high_water_bytes_ = std::max(high_water_bytes_, used_bytes_);
+    return aligned;
+  }
+  return AllocateSlow(bytes, alignment);
+}
+
+uint8_t* DecodeArena::AllocateSlow(size_t bytes, size_t alignment) {
+  // Reset() retains blocks; step into them before growing, so a warm
+  // arena repeats its workload without touching the heap.
+  while (entered_blocks_ < blocks_.size()) {
+    const Block& next = blocks_[entered_blocks_++];
+    uint8_t* aligned = reinterpret_cast<uint8_t*>(
+        AlignUp(reinterpret_cast<uintptr_t>(next.bytes.get()), alignment));
+    if (aligned + bytes <= next.bytes.get() + next.capacity) {
+      cursor_ = aligned + bytes;
+      cursor_end_ = next.bytes.get() + next.capacity;
+      used_bytes_ += bytes;
+      high_water_bytes_ = std::max(high_water_bytes_, used_bytes_);
+      return aligned;
+    }
+  }
+
+  size_t wanted = std::max(bytes + alignment, kFirstHeapBlockBytes);
+  if (!blocks_.empty()) {
+    wanted = std::max(wanted, blocks_.back().capacity * 2);
+  }
+  Block block;
+  block.bytes = std::make_unique<uint8_t[]>(wanted);
+  block.capacity = wanted;
+  cursor_ = block.bytes.get();
+  cursor_end_ = cursor_ + wanted;
+  blocks_.push_back(std::move(block));
+  entered_blocks_ = blocks_.size();
+
+  uint8_t* aligned = reinterpret_cast<uint8_t*>(
+      AlignUp(reinterpret_cast<uintptr_t>(cursor_), alignment));
+  cursor_ = aligned + bytes;
+  used_bytes_ += bytes;
+  high_water_bytes_ = std::max(high_water_bytes_, used_bytes_);
+  return aligned;
+}
+
+void DecodeArena::Reset() {
+  if (blocks_.size() > 1 ||
+      (blocks_.size() == 1 &&
+       blocks_.front().capacity < high_water_bytes_)) {
+    // Coalesce: one block sized to the high-water mark, so the next pass
+    // of the same workload bumps through a single allocation-free run.
+    const size_t wanted =
+        std::max(AlignUp(high_water_bytes_, alignof(std::max_align_t)),
+                 kFirstHeapBlockBytes);
+    blocks_.clear();
+    Block block;
+    block.bytes = std::make_unique<uint8_t[]>(wanted);
+    block.capacity = wanted;
+    blocks_.push_back(std::move(block));
+  }
+  cursor_ = inline_buffer_;
+  cursor_end_ = inline_buffer_ + kInlineBytes;
+  entered_blocks_ = 0;
+  used_bytes_ = 0;
+}
+
+}  // namespace tara

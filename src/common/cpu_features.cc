@@ -1,0 +1,36 @@
+#include "common/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tara {
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  features.sse41 = __builtin_cpu_supports("sse4.1") != 0;
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+  return features;
+}
+
+bool ReadForceScalarEnv() {
+  const char* value = std::getenv("TARA_FORCE_SCALAR");
+  if (value == nullptr || value[0] == '\0') return false;
+  return std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+bool ScalarDecodeForced() {
+  static const bool forced = ReadForceScalarEnv();
+  return forced;
+}
+
+}  // namespace tara

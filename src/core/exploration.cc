@@ -5,7 +5,7 @@
 namespace tara {
 namespace {
 
-double Emergence(const Trajectory& trajectory) {
+double Emergence(std::span<const TrajectoryPoint> trajectory) {
   if (trajectory.size() < 2) return 0.0;
   const size_t half = trajectory.size() / 2;
   double early = 0, late = 0;
@@ -46,11 +46,15 @@ ExplorationService::ProfileRules(const WindowSet& horizon,
   insights.reserve(rules.size());
   const uint32_t max_period =
       std::max<uint32_t>(2, static_cast<uint32_t>(horizon.size() / 2));
+  // One arena for the whole profile: each rule's decode + trajectory is
+  // scratch that dies at the top of the next iteration.
+  DecodeArena arena;
   for (RuleId rule : rules) {
+    arena.Reset();
     RuleInsight insight;
     insight.rule = rule;
-    const Trajectory trajectory =
-        BuildTrajectory(snapshot->archive(), rule, horizon.ids());
+    const std::span<const TrajectoryPoint> trajectory =
+        BuildTrajectoryInto(snapshot->archive(), rule, horizon.ids(), arena);
     insight.measures = ComputeMeasures(trajectory);
     insight.periodicity = DetectPeriodicity(trajectory, max_period);
     insight.emergence = Emergence(trajectory);
@@ -124,9 +128,11 @@ ExplorationService::TopPeriodic(const WindowSet& horizon,
   std::vector<RuleInsight> insights = std::move(profiled).value();
   const std::shared_ptr<const KnowledgeBaseSnapshot> snapshot =
       engine_->Snapshot();
+  DecodeArena arena;
   for (RuleInsight& insight : insights) {
-    const Trajectory trajectory =
-        BuildTrajectory(snapshot->archive(), insight.rule, horizon.ids());
+    arena.Reset();
+    const std::span<const TrajectoryPoint> trajectory = BuildTrajectoryInto(
+        snapshot->archive(), insight.rule, horizon.ids(), arena);
     insight.periodicity = DetectPeriodicity(trajectory, max_period);
   }
   std::sort(insights.begin(), insights.end(),

@@ -233,6 +233,7 @@ std::vector<WindowIndex::Entry> KbBuilder::InternAndArchive(
   for (const MinedRule& r : rules) {
     const RuleId id = catalog_->Intern(Rule{r.antecedent, r.consequent});
     archive_.Add(id, window, r.rule_count, r.antecedent_count);
+    tree_builder_.AddEntry(id, r.rule_count, r.antecedent_count);
     entries.push_back(
         WindowIndex::Entry{id, r.rule_count, r.antecedent_count});
   }
@@ -256,6 +257,10 @@ WindowId KbBuilder::CommitAndPublish(MinedWindow mined) {
   Stopwatch timer;
   archive_.RegisterWindow(window, mined.total_transactions, mined.floor_count,
                           options_.min_confidence_floor);
+  tree_builder_.BeginWindow(
+      window, mined.total_transactions,
+      UnarchivedCountSlack(mined.floor_count, options_.min_confidence_floor,
+                           mined.total_transactions));
   segment->entries = InternAndArchive(window, mined.rules);
   segment->rule_watermark = static_cast<RuleId>(catalog_->size());
   stats.archive_seconds = timer.ElapsedSeconds();
@@ -288,6 +293,7 @@ void KbBuilder::PublishSnapshotLocked() {
   // each generation carries its own immutable copy of the (compressed)
   // delta streams.
   snapshot->archive_ = std::make_shared<const TarArchive>(archive_);
+  snapshot->rollup_tree_ = tree_builder_.Snapshot();
   snapshot->segments_ = segments_;
   snapshot->options_ = options_;
   const bool initial = current_.load(std::memory_order_relaxed) == nullptr;
@@ -389,6 +395,11 @@ void KbBuilder::BuildAll(const EvolvingDatabase& data) {
     archive_.RegisterWindow(window, mined.total_transactions,
                             mined.floor_count,
                             options_.min_confidence_floor);
+    tree_builder_.BeginWindow(
+        window, mined.total_transactions,
+        UnarchivedCountSlack(mined.floor_count,
+                             options_.min_confidence_floor,
+                             mined.total_transactions));
     segment->entries = InternAndArchive(window, mined.rules);
     segment->rule_watermark = static_cast<RuleId>(catalog_->size());
     stats.archive_seconds = timer.ElapsedSeconds();

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/kb_snapshot.h"
 #include "core/load_error.h"
+#include "core/rollup_tree.h"
 #include "core/wal.h"
 #include "mining/rule_generation.h"
 #include "obs/metrics.h"
@@ -196,6 +197,9 @@ class KbBuilder {
   std::shared_ptr<RuleCatalog> catalog_;
   /// Working archive; every published snapshot gets an immutable copy.
   TarArchive archive_;
+  /// Mirrors the archive as hierarchical partial sums; every published
+  /// snapshot gets an immutable tree (series shared copy-on-write).
+  RollUpTreeBuilder tree_builder_;
   /// All committed segments, oldest first (each immutable once pushed).
   std::vector<std::shared_ptr<const WindowSegment>> segments_;
   std::vector<WindowBuildStats> stats_;

@@ -159,9 +159,13 @@ KnowledgeBaseSnapshot::TrajectoryQuery(WindowId anchor,
   TrajectoryQueryResult result;
   result.rules = CollectWindow(anchor, setting);
   result.trajectories.reserve(result.rules.size());
+  // One arena across the per-rule decodes; each iteration's scratch dies
+  // at the Reset (the returned trajectories own their points).
+  DecodeArena arena;
   for (RuleId rule : result.rules) {
+    arena.Reset();
     result.trajectories.push_back(
-        BuildTrajectory(*archive_, rule, horizon.ids()));
+        BuildTrajectory(*archive_, rule, horizon.ids(), &arena));
   }
   return result;
 }
@@ -194,7 +198,9 @@ Expected<TrajectoryMeasures, QueryError> KnowledgeBaseSnapshot::RuleMeasures(
     RuleId rule, const WindowSet& windows) const {
   if (auto error = ValidateRule(rule)) return *std::move(error);
   if (auto error = ValidateWindows(windows)) return *std::move(error);
-  return ComputeMeasures(BuildTrajectory(*archive_, rule, windows.ids()));
+  DecodeArena arena;
+  return ComputeMeasures(
+      BuildTrajectoryInto(*archive_, rule, windows.ids(), arena));
 }
 
 Expected<std::vector<RuleId>, QueryError> KnowledgeBaseSnapshot::ContentQuery(
@@ -231,7 +237,9 @@ Expected<RollUpBound, QueryError> KnowledgeBaseSnapshot::RollUpRule(
     RuleId rule, const WindowSet& windows) const {
   if (auto error = ValidateRule(rule)) return *std::move(error);
   if (auto error = ValidateWindows(windows)) return *std::move(error);
-  return archive_->RollUp(rule, windows.ids());
+  // O(runs · log entries) against the hierarchical index; the linear
+  // archive scan stays available as the differential reference.
+  return rollup_tree_->RollUp(rule, windows.ids());
 }
 
 Expected<RolledUpRules, QueryError> KnowledgeBaseSnapshot::MineRolledUp(
@@ -251,7 +259,7 @@ Expected<RolledUpRules, QueryError> KnowledgeBaseSnapshot::MineRolledUp(
 
   RolledUpRules result;
   for (RuleId rule : candidates) {
-    const RollUpBound bound = archive_->RollUp(rule, windows.ids());
+    const RollUpBound bound = rollup_tree_->RollUp(rule, windows.ids());
     const bool certain = bound.support_lo + 1e-12 >= setting.min_support &&
                          bound.confidence_lo + 1e-12 >= setting.min_confidence;
     const bool possible = bound.support_hi + 1e-12 >= setting.min_support &&

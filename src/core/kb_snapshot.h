@@ -10,6 +10,7 @@
 
 #include "common/expected.h"
 #include "core/query_error.h"
+#include "core/rollup_tree.h"
 #include "core/rule_catalog.h"
 #include "core/stable_region_index.h"
 #include "core/tar_archive.h"
@@ -192,6 +193,17 @@ class KnowledgeBaseSnapshot {
   /// builder's working archive.
   const TarArchive& archive() const { return *archive_; }
 
+  /// This generation's hierarchical roll-up index (partial sums over the
+  /// archive). Immutable; answers RollUpRule/MineRolledUp/EntryFor in
+  /// O(log) instead of decoding streams.
+  const RollUpTree& rollup_tree() const { return *rollup_tree_; }
+
+  /// The archived entry of `rule` in `window`, if any — O(log entries)
+  /// via the roll-up tree's window offsets, no stream decode.
+  std::optional<ArchiveEntry> EntryFor(RuleId rule, WindowId window) const {
+    return rollup_tree_->EntryFor(rule, window);
+  }
+
   const WindowSegment& segment(WindowId w) const;
   const WindowIndex& window_index(WindowId w) const {
     return segment(w).index;
@@ -303,6 +315,9 @@ class KnowledgeBaseSnapshot {
   std::shared_ptr<const RuleCatalog> catalog_;
   size_t rule_count_ = 0;
   std::shared_ptr<const TarArchive> archive_;
+  /// Partial-sum mirror of archive_; rule series shared across
+  /// generations copy-on-write.
+  std::shared_ptr<const RollUpTree> rollup_tree_;
   /// Shared with every other generation that committed the same windows.
   std::vector<std::shared_ptr<const WindowSegment>> segments_;
   uint64_t generation_ = 0;

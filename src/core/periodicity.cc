@@ -4,7 +4,7 @@
 
 namespace tara {
 
-PeriodicityResult DetectPeriodicity(const Trajectory& trajectory,
+PeriodicityResult DetectPeriodicity(std::span<const TrajectoryPoint> trajectory,
                                     uint32_t max_period) {
   PeriodicityResult best;
   const size_t n = trajectory.size();

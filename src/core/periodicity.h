@@ -25,7 +25,7 @@ struct PeriodicityResult {
 /// and returns the strongest (period, phase). Patterns need at least two
 /// on-phase occurrences to count; a rule present in every window is not
 /// periodic (strength 0).
-PeriodicityResult DetectPeriodicity(const Trajectory& trajectory,
+PeriodicityResult DetectPeriodicity(std::span<const TrajectoryPoint> trajectory,
                                     uint32_t max_period);
 
 }  // namespace tara

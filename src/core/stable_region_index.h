@@ -2,6 +2,7 @@
 #define TARA_CORE_STABLE_REGION_INDEX_H_
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -63,6 +64,13 @@ class WindowIndex {
   /// Appends every rule valid under (min_support, min_confidence).
   void CollectRules(double min_support, double min_confidence,
                     std::vector<RuleId>* out) const;
+
+  /// Allocation-free variant: writes into `out` (size it with CountRules
+  /// or an arena span) and returns how many rules were written. Stops at
+  /// capacity, so a correctly sized span gets exactly the CollectRules
+  /// answer in the same order.
+  size_t CollectRulesInto(double min_support, double min_confidence,
+                          std::span<RuleId> out) const;
 
   /// Number of rules valid under the setting without materializing them.
   size_t CountRules(double min_support, double min_confidence) const;

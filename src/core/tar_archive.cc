@@ -3,9 +3,32 @@
 #include <algorithm>
 
 #include "common/logging.h"
-#include "common/varint.h"
+#include "core/decode_kernels.h"
 
 namespace tara {
+
+RollUpBound FinishRollUp(const RollUpAggregate& agg) {
+  RollUpBound bound;
+  bound.missing_windows = agg.missing_windows;
+  if (agg.total > 0) {
+    bound.support_lo = static_cast<double>(agg.known_rule) / agg.total;
+    bound.support_hi =
+        static_cast<double>(agg.known_rule + agg.missing_slack) / agg.total;
+  }
+  // Confidence lower bound: rule absent in missing windows while the
+  // antecedent could fill them entirely. Upper bound: rule count at the
+  // floor slack with antecedent no larger than that.
+  const uint64_t lo_den = agg.known_ant + agg.missing_size;
+  if (lo_den > 0) {
+    bound.confidence_lo = static_cast<double>(agg.known_rule) / lo_den;
+  }
+  const uint64_t hi_num = agg.known_rule + agg.missing_slack;
+  const uint64_t hi_den = agg.known_ant + agg.missing_slack;
+  if (hi_den > 0) {
+    bound.confidence_hi = static_cast<double>(hi_num) / hi_den;
+  }
+  return bound;
+}
 
 void TarArchive::RegisterWindow(WindowId window, uint64_t transaction_count,
                                 uint64_t floor_count,
@@ -43,98 +66,76 @@ void TarArchive::Add(RuleId rule, WindowId window, uint64_t rule_count,
   s.last_window = window;
   s.last_rule_count = rule_count;
   s.last_antecedent_count = antecedent_count;
+  ++s.entries;
   payload_bytes_ += s.bytes.size() - before;
   ++entry_count_;
 }
 
-std::vector<ArchiveEntry> TarArchive::Decode(RuleId rule) const {
-  std::vector<ArchiveEntry> out;
-  if (rule >= streams_.size() || streams_[rule].empty) return out;
+std::span<const ArchiveEntry> TarArchive::DecodeInto(
+    RuleId rule, DecodeArena& arena) const {
+  if (rule >= streams_.size() || streams_[rule].empty) return {};
   const RuleStream& s = streams_[rule];
-  const uint8_t* data = s.bytes.data();
-  const size_t size = s.bytes.size();
-  size_t pos = 0;
-  // First entry is absolute.
-  ArchiveEntry entry;
-  entry.window = static_cast<WindowId>(varint::DecodeU64(data, size, &pos));
-  entry.rule_count = varint::DecodeU64(data, size, &pos);
-  entry.antecedent_count = varint::DecodeU64(data, size, &pos);
-  out.push_back(entry);
-  while (pos < size) {
-    entry.window += static_cast<WindowId>(varint::DecodeU64(data, size, &pos));
-    entry.rule_count = static_cast<uint64_t>(
-        static_cast<int64_t>(entry.rule_count) +
-        varint::DecodeS64(data, size, &pos));
-    entry.antecedent_count = static_cast<uint64_t>(
-        static_cast<int64_t>(entry.antecedent_count) +
-        varint::DecodeS64(data, size, &pos));
-    out.push_back(entry);
+  const decode::DecodeKernel& kernel = decode::ActiveDecodeKernel();
+  std::span<ArchiveEntry> out = arena.AllocSpan<ArchiveEntry>(s.entries);
+  std::span<uint64_t> scratch;
+  if (kernel.needs_scratch) {
+    scratch = arena.AllocSpan<uint64_t>(
+        decode::MaxValuesForStream(s.bytes.size()));
   }
+  const decode::DecodeResult result =
+      kernel.decode(s.bytes.data(), s.bytes.size(), out.data(), out.size(),
+                    scratch.data(), scratch.size());
+  // Internal streams are valid by construction (Add is the only writer);
+  // anything else is memory corruption, not a recoverable input error.
+  TARA_CHECK(result.status == decode::Status::kOk &&
+             result.entries == s.entries)
+      << "corrupt rule stream: " << decode::StatusName(result.status);
   return out;
+}
+
+std::vector<ArchiveEntry> TarArchive::Decode(RuleId rule) const {
+  DecodeArena arena;
+  const std::span<const ArchiveEntry> entries = DecodeInto(rule, arena);
+  return std::vector<ArchiveEntry>(entries.begin(), entries.end());
 }
 
 std::optional<ArchiveEntry> TarArchive::EntryFor(RuleId rule,
                                                  WindowId window) const {
-  for (const ArchiveEntry& e : Decode(rule)) {
-    if (e.window == window) return e;
-    if (e.window > window) break;
-  }
-  return std::nullopt;
+  std::optional<ArchiveEntry> found;
+  VisitEntries(rule, [&](const ArchiveEntry& e) {
+    if (e.window == window) {
+      found = e;
+      return false;
+    }
+    return e.window < window;  // series is window-ordered: stop once past
+  });
+  return found;
 }
 
-RollUpBound TarArchive::RollUp(RuleId rule,
-                               const std::vector<WindowId>& windows) const {
-  RollUpBound bound;
-  const std::vector<ArchiveEntry> series = Decode(rule);
+RollUpBound TarArchive::RollUp(RuleId rule, std::span<const WindowId> windows,
+                               DecodeArena* scratch) const {
+  DecodeArena local;
+  DecodeArena& arena = scratch != nullptr ? *scratch : local;
+  const std::span<const ArchiveEntry> series = DecodeInto(rule, arena);
 
-  uint64_t known_rule = 0;
-  uint64_t known_ant = 0;
-  uint64_t missing_rule_slack = 0;  // max undetected count in missing windows
-  uint64_t missing_size = 0;        // transactions in missing windows
-  uint64_t total = 0;
-
+  RollUpAggregate agg;
   for (WindowId w : windows) {
     TARA_CHECK_LT(w, window_sizes_.size());
-    total += window_sizes_[w];
-    const auto it = std::find_if(
-        series.begin(), series.end(),
-        [w](const ArchiveEntry& e) { return e.window == w; });
-    if (it != series.end()) {
-      known_rule += it->rule_count;
-      known_ant += it->antecedent_count;
+    agg.total += window_sizes_[w];
+    const auto it = std::lower_bound(
+        series.begin(), series.end(), w,
+        [](const ArchiveEntry& e, WindowId target) { return e.window < target; });
+    if (it != series.end() && it->window == w) {
+      agg.known_rule += it->rule_count;
+      agg.known_ant += it->antecedent_count;
     } else {
-      ++bound.missing_windows;
-      // Absence means support below the count floor OR confidence below
-      // the confidence floor; the undetected count is bounded by the
-      // larger escape hatch (a confident-but-rare rule by floor_count - 1,
-      // a frequent-but-unconfident one by conf_floor * |D_w|).
-      const uint64_t floor = floor_counts_[w];
-      const uint64_t support_slack = floor > 0 ? floor - 1 : 0;
-      const uint64_t confidence_slack = static_cast<uint64_t>(
-          confidence_floors_[w] * static_cast<double>(window_sizes_[w]));
-      missing_rule_slack += std::max(support_slack, confidence_slack);
-      missing_size += window_sizes_[w];
+      ++agg.missing_windows;
+      agg.missing_slack += UnarchivedCountSlack(
+          floor_counts_[w], confidence_floors_[w], window_sizes_[w]);
+      agg.missing_size += window_sizes_[w];
     }
   }
-
-  if (total > 0) {
-    bound.support_lo = static_cast<double>(known_rule) / total;
-    bound.support_hi =
-        static_cast<double>(known_rule + missing_rule_slack) / total;
-  }
-  // Confidence lower bound: rule absent in missing windows while the
-  // antecedent could fill them entirely. Upper bound: rule count at the
-  // floor slack with antecedent no larger than that.
-  const uint64_t lo_den = known_ant + missing_size;
-  if (lo_den > 0) {
-    bound.confidence_lo = static_cast<double>(known_rule) / lo_den;
-  }
-  const uint64_t hi_num = known_rule + missing_rule_slack;
-  const uint64_t hi_den = known_ant + missing_rule_slack;
-  if (hi_den > 0) {
-    bound.confidence_hi = static_cast<double>(hi_num) / hi_den;
-  }
-  return bound;
+  return FinishRollUp(agg);
 }
 
 uint64_t TarArchive::window_size(WindowId w) const {
@@ -145,6 +146,11 @@ uint64_t TarArchive::window_size(WindowId w) const {
 uint64_t TarArchive::floor_count(WindowId w) const {
   TARA_CHECK_LT(w, floor_counts_.size());
   return floor_counts_[w];
+}
+
+double TarArchive::confidence_floor(WindowId w) const {
+  TARA_CHECK_LT(w, confidence_floors_.size());
+  return confidence_floors_[w];
 }
 
 size_t TarArchive::rule_count() const {

@@ -4,19 +4,23 @@
 #include <cmath>
 
 namespace tara {
+namespace {
 
-Trajectory BuildTrajectory(const TarArchive& archive, RuleId rule,
-                           const std::vector<WindowId>& windows) {
-  const std::vector<ArchiveEntry> series = archive.Decode(rule);
-  Trajectory trajectory;
-  trajectory.reserve(windows.size());
-  for (WindowId w : windows) {
+void FillPoints(const TarArchive& archive,
+                std::span<const ArchiveEntry> series,
+                std::span<const WindowId> windows, TrajectoryPoint* out) {
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const WindowId w = windows[i];
     TrajectoryPoint point;
     point.window = w;
-    const auto it =
-        std::find_if(series.begin(), series.end(),
-                     [w](const ArchiveEntry& e) { return e.window == w; });
-    if (it != series.end()) {
+    // The series is window-ordered by construction; the request order is
+    // arbitrary, so each lookup is an independent binary search.
+    const auto it = std::lower_bound(
+        series.begin(), series.end(), w,
+        [](const ArchiveEntry& e, WindowId target) {
+          return e.window < target;
+        });
+    if (it != series.end() && it->window == w) {
       point.present = true;
       const uint64_t total = archive.window_size(w);
       point.support = total == 0 ? 0.0
@@ -27,12 +31,35 @@ Trajectory BuildTrajectory(const TarArchive& archive, RuleId rule,
                              : static_cast<double>(it->rule_count) /
                                    static_cast<double>(it->antecedent_count);
     }
-    trajectory.push_back(point);
+    out[i] = point;
   }
+}
+
+}  // namespace
+
+std::span<const TrajectoryPoint> BuildTrajectoryInto(
+    const TarArchive& archive, RuleId rule, std::span<const WindowId> windows,
+    DecodeArena& arena) {
+  const std::span<const ArchiveEntry> series = archive.DecodeInto(rule, arena);
+  std::span<TrajectoryPoint> out =
+      arena.AllocSpan<TrajectoryPoint>(windows.size());
+  FillPoints(archive, series, windows, out.data());
+  return out;
+}
+
+Trajectory BuildTrajectory(const TarArchive& archive, RuleId rule,
+                           std::span<const WindowId> windows,
+                           DecodeArena* scratch) {
+  DecodeArena local;
+  DecodeArena& arena = scratch != nullptr ? *scratch : local;
+  const std::span<const ArchiveEntry> series = archive.DecodeInto(rule, arena);
+  Trajectory trajectory(windows.size());
+  FillPoints(archive, series, windows, trajectory.data());
   return trajectory;
 }
 
-TrajectoryMeasures ComputeMeasures(const Trajectory& trajectory) {
+TrajectoryMeasures ComputeMeasures(
+    std::span<const TrajectoryPoint> trajectory) {
   TrajectoryMeasures m;
   if (trajectory.empty()) return m;
 

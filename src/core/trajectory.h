@@ -1,8 +1,11 @@
 #ifndef TARA_CORE_TRAJECTORY_H_
 #define TARA_CORE_TRAJECTORY_H_
 
+#include <initializer_list>
+#include <span>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/tar_archive.h"
 #include "txdb/evolving_database.h"
 
@@ -37,13 +40,29 @@ struct TrajectoryMeasures {
   double mean_confidence = 0.0;
 };
 
-/// Assembles the trajectory of `rule` across `windows` from the archive.
+/// Assembles the trajectory of `rule` across `windows` (any order; points
+/// come back in request order) into `arena` — the zero-allocation hot-path
+/// shape. The span stays valid until the arena's next Reset(), which also
+/// reclaims the decode scratch.
+std::span<const TrajectoryPoint> BuildTrajectoryInto(
+    const TarArchive& archive, RuleId rule, std::span<const WindowId> windows,
+    DecodeArena& arena);
+
+/// Allocating convenience shape; `scratch` reuses a caller arena for the
+/// decode instead of a per-call one.
 Trajectory BuildTrajectory(const TarArchive& archive, RuleId rule,
-                           const std::vector<WindowId>& windows);
+                           std::span<const WindowId> windows,
+                           DecodeArena* scratch = nullptr);
+inline Trajectory BuildTrajectory(const TarArchive& archive, RuleId rule,
+                                  std::initializer_list<WindowId> windows) {
+  return BuildTrajectory(
+      archive, rule, std::span<const WindowId>(windows.begin(),
+                                               windows.size()));
+}
 
 /// Computes summary measures. An empty or all-absent trajectory yields
 /// zeros.
-TrajectoryMeasures ComputeMeasures(const Trajectory& trajectory);
+TrajectoryMeasures ComputeMeasures(std::span<const TrajectoryPoint> trajectory);
 
 }  // namespace tara
 

@@ -1,0 +1,294 @@
+// Tree-vs-linear equivalence for the hierarchical roll-up index: both
+// paths aggregate into RollUpAggregate and finish through FinishRollUp,
+// so the property tests here demand EXACT double equality, not
+// tolerances — any drift means the partial sums diverged.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rollup_tree.h"
+#include "core/tar_archive.h"
+#include "core/tara_engine.h"
+#include "core/window_set.h"
+#include "gtest/gtest.h"
+
+namespace tara {
+namespace {
+
+void ExpectSameBound(const RollUpBound& tree, const RollUpBound& linear) {
+  EXPECT_EQ(tree.support_lo, linear.support_lo);
+  EXPECT_EQ(tree.support_hi, linear.support_hi);
+  EXPECT_EQ(tree.confidence_lo, linear.confidence_lo);
+  EXPECT_EQ(tree.confidence_hi, linear.confidence_hi);
+  EXPECT_EQ(tree.missing_windows, linear.missing_windows);
+}
+
+/// Archive and tree builder fed byte-identically, the way KbBuilder
+/// drives them at commit time.
+struct MirroredIndex {
+  TarArchive archive;
+  RollUpTreeBuilder builder;
+  uint32_t window_count = 0;
+  uint32_t rule_count = 0;
+
+  void AddWindow(uint64_t size, uint64_t floor_count,
+                 double confidence_floor) {
+    const WindowId w = window_count++;
+    archive.RegisterWindow(w, size, floor_count, confidence_floor);
+    builder.BeginWindow(
+        w, size, UnarchivedCountSlack(floor_count, confidence_floor, size));
+  }
+
+  void AddEntry(RuleId rule, uint64_t rule_cnt, uint64_t ant_cnt) {
+    const WindowId w = window_count - 1;
+    archive.Add(rule, w, rule_cnt, ant_cnt);
+    builder.AddEntry(rule, rule_cnt, ant_cnt);
+    if (rule >= rule_count) rule_count = rule + 1;
+  }
+};
+
+/// A seeded random index: per-window sizes/floors vary, rules are present
+/// in ~60% of windows with counts spanning several varint widths.
+MirroredIndex RandomIndex(uint64_t seed, uint32_t windows, uint32_t rules) {
+  MirroredIndex m;
+  Rng rng(seed);
+  for (uint32_t w = 0; w < windows; ++w) {
+    const uint64_t size = 500 + rng.NextBounded(1000);
+    const uint64_t floor_count = rng.NextBounded(12);  // 0 = no count floor
+    const double confidence_floor = rng.NextDouble() * 0.3;
+    m.AddWindow(size, floor_count, confidence_floor);
+    for (RuleId r = 0; r < rules; ++r) {
+      if (rng.NextBounded(10) >= 6) continue;  // absent ~40% of windows
+      const uint64_t rule_cnt = 1 + rng.NextBounded(size / 2);
+      const uint64_t ant_cnt = rule_cnt + rng.NextBounded(size / 2);
+      m.AddEntry(r, rule_cnt, ant_cnt);
+    }
+  }
+  m.rule_count = rules;
+  return m;
+}
+
+/// Random sorted-unique window sets of every interesting shape: singles,
+/// dense ranges, sparse subsets, and the full set.
+WindowSet RandomWindowSet(Rng& rng, uint32_t window_count) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return WindowSet::Single(
+          static_cast<WindowId>(rng.NextBounded(window_count)), window_count);
+    case 1: {
+      const WindowId begin =
+          static_cast<WindowId>(rng.NextBounded(window_count));
+      const WindowId end =
+          begin + 1 +
+          static_cast<WindowId>(rng.NextBounded(window_count - begin));
+      return WindowSet::Range(begin, end, window_count);
+    }
+    case 2: {
+      std::vector<WindowId> ids;
+      for (WindowId w = 0; w < window_count; ++w) {
+        if (rng.NextBounded(3) == 0) ids.push_back(w);
+      }
+      if (ids.empty()) ids.push_back(0);
+      return WindowSet(std::move(ids), window_count);
+    }
+    default:
+      return WindowSet::All(window_count);
+  }
+}
+
+TEST(RollUpTree, MatchesLinearScanOnRandomizedIndexes) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const MirroredIndex m = RandomIndex(seed, 48, 12);
+    const std::shared_ptr<const RollUpTree> tree = m.builder.Snapshot();
+    Rng rng(seed * 1000 + 7);
+    for (int round = 0; round < 100; ++round) {
+      const WindowSet windows = RandomWindowSet(rng, m.window_count);
+      // Include a rule id past everything archived (decodes to empty).
+      for (RuleId rule = 0; rule <= m.rule_count; ++rule) {
+        ExpectSameBound(tree->RollUp(rule, windows.ids()),
+                        m.archive.RollUp(rule, windows.ids()));
+      }
+    }
+  }
+}
+
+TEST(RollUpTree, EntryForMatchesArchive) {
+  const MirroredIndex m = RandomIndex(99, 32, 8);
+  const std::shared_ptr<const RollUpTree> tree = m.builder.Snapshot();
+  for (RuleId rule = 0; rule <= m.rule_count; ++rule) {
+    EXPECT_EQ(tree->entry_count(rule), m.archive.entry_count(rule));
+    for (WindowId w = 0; w < m.window_count; ++w) {
+      const auto from_tree = tree->EntryFor(rule, w);
+      const auto from_archive = m.archive.EntryFor(rule, w);
+      ASSERT_EQ(from_tree.has_value(), from_archive.has_value())
+          << "rule " << rule << " window " << w;
+      if (from_tree) {
+        EXPECT_EQ(from_tree->window, from_archive->window);
+        EXPECT_EQ(from_tree->rule_count, from_archive->rule_count);
+        EXPECT_EQ(from_tree->antecedent_count,
+                  from_archive->antecedent_count);
+      }
+    }
+    EXPECT_FALSE(tree->EntryFor(rule, m.window_count + 5).has_value());
+  }
+}
+
+TEST(RollUpTree, HandlesEmptyAndSparseSeries) {
+  MirroredIndex m;
+  m.AddWindow(100, 3, 0.1);
+  m.AddWindow(200, 3, 0.1);
+  m.AddWindow(300, 3, 0.1);
+  // Rule 0: only the last window. Rules 1 and 7: never archived.
+  m.AddEntry(0, 12, 24);
+  const std::shared_ptr<const RollUpTree> tree = m.builder.Snapshot();
+  for (RuleId rule : {0u, 1u, 7u}) {
+    ExpectSameBound(tree->RollUp(rule, WindowSet::All(3).ids()),
+                    m.archive.RollUp(rule, WindowSet::All(3).ids()));
+  }
+  EXPECT_EQ(tree->window_count(), 3u);
+}
+
+/// Live appends through the engine: after every published window the
+/// snapshot's tree must agree with a linear scan of that snapshot's own
+/// archive, and snapshots pinned earlier must keep answering from their
+/// generation (immutability under the builder's copy-on-write appends).
+TEST(RollUpTree, LiveAppendsKeepTreeAndPinnedSnapshotsConsistent) {
+  TaraEngine::Options options;
+  options.min_support_floor = 0.01;
+  options.min_confidence_floor = 0.2;
+  TaraEngine engine(options);
+
+  Rng rng(2024);
+  std::vector<std::shared_ptr<const KnowledgeBaseSnapshot>> pinned;
+  constexpr uint64_t kWindowSize = 1000;
+  constexpr int kRules = 6;
+
+  for (int w = 0; w < 10; ++w) {
+    std::vector<TaraEngine::PrecomputedRule> rules;
+    for (int r = 0; r < kRules; ++r) {
+      if (rng.NextBounded(10) >= 7) continue;  // rule absent this window
+      TaraEngine::PrecomputedRule p;
+      p.rule = Rule{{static_cast<ItemId>(r)},
+                    {static_cast<ItemId>(1000 + r)}};
+      p.rule_count = 20 + rng.NextBounded(200);
+      p.antecedent_count = p.rule_count + rng.NextBounded(300);
+      rules.push_back(p);
+    }
+    engine.AppendPrecomputedWindow(kWindowSize, rules);
+    pinned.push_back(engine.Snapshot());
+  }
+
+  for (size_t g = 0; g < pinned.size(); ++g) {
+    const auto& snapshot = pinned[g];
+    ASSERT_EQ(snapshot->window_count(), g + 1);
+    const WindowSet all = snapshot->AllWindows();
+    const uint32_t known_rules =
+        static_cast<uint32_t>(snapshot->archive().rule_count());
+    for (RuleId rule = 0; rule < known_rules; ++rule) {
+      // The pinned snapshot's archive IS that generation — tree answers
+      // must match it, not the engine's latest state.
+      ExpectSameBound(snapshot->rollup_tree().RollUp(rule, all.ids()),
+                      snapshot->archive().RollUp(rule, all.ids()));
+      const auto bound = snapshot->RollUpRule(rule, all);
+      ASSERT_TRUE(bound.has_value());
+      ExpectSameBound(*bound, snapshot->archive().RollUp(rule, all.ids()));
+      for (WindowId win = 0; win < snapshot->window_count(); ++win) {
+        const auto from_tree = snapshot->EntryFor(rule, win);
+        const auto from_archive = snapshot->archive().EntryFor(rule, win);
+        ASSERT_EQ(from_tree.has_value(), from_archive.has_value());
+        if (from_tree) {
+          EXPECT_EQ(from_tree->rule_count, from_archive->rule_count);
+          EXPECT_EQ(from_tree->antecedent_count,
+                    from_archive->antecedent_count);
+        }
+      }
+      // Windows published after this snapshot do not exist in its tree.
+      EXPECT_FALSE(
+          snapshot->EntryFor(rule, snapshot->window_count()).has_value());
+    }
+  }
+}
+
+TEST(RollUpTree, MineRolledUpAgreesWithPerRuleBounds) {
+  TaraEngine::Options options;
+  options.min_support_floor = 0.01;
+  options.min_confidence_floor = 0.1;
+  TaraEngine engine(options);
+
+  Rng rng(777);
+  for (int w = 0; w < 6; ++w) {
+    std::vector<TaraEngine::PrecomputedRule> rules;
+    for (int r = 0; r < 8; ++r) {
+      if (rng.NextBounded(4) == 0) continue;
+      TaraEngine::PrecomputedRule p;
+      p.rule = Rule{{static_cast<ItemId>(r)},
+                    {static_cast<ItemId>(1000 + r)}};
+      p.rule_count = 15 + rng.NextBounded(100);
+      p.antecedent_count = p.rule_count + rng.NextBounded(150);
+      rules.push_back(p);
+    }
+    engine.AppendPrecomputedWindow(1000, rules);
+  }
+
+  const auto snapshot = engine.Snapshot();
+  const WindowSet windows = WindowSet::Range(1, 5, snapshot->window_count());
+  const ParameterSetting setting{0.05, 0.3};
+  const auto rolled = snapshot->MineRolledUp(windows, setting);
+  ASSERT_TRUE(rolled.has_value());
+
+  const uint32_t known_rules =
+      static_cast<uint32_t>(snapshot->archive().rule_count());
+  for (RuleId rule = 0; rule < known_rules; ++rule) {
+    const RollUpBound bound =
+        snapshot->archive().RollUp(rule, windows.ids());
+    const bool certain = bound.support_lo + 1e-12 >= setting.min_support &&
+                         bound.confidence_lo + 1e-12 >= setting.min_confidence;
+    const bool possible = bound.support_hi + 1e-12 >= setting.min_support &&
+                          bound.confidence_hi + 1e-12 >= setting.min_confidence;
+    const bool in_certain =
+        std::find(rolled->certain.begin(), rolled->certain.end(), rule) !=
+        rolled->certain.end();
+    const bool in_possible =
+        std::find(rolled->possible.begin(), rolled->possible.end(), rule) !=
+        rolled->possible.end();
+    // A rule present in any requested window is a candidate; classify it
+    // exactly as the linear bounds do.
+    bool present = false;
+    for (WindowId win : windows) {
+      present = present || snapshot->archive().EntryFor(rule, win).has_value();
+    }
+    if (present) {
+      EXPECT_EQ(in_certain, certain) << "rule " << rule;
+      EXPECT_EQ(in_possible, certain ? false : possible) << "rule " << rule;
+    } else {
+      EXPECT_FALSE(in_certain) << "rule " << rule;
+      EXPECT_FALSE(in_possible) << "rule " << rule;
+    }
+  }
+}
+
+TEST(RollUpTreeBuilder, SnapshotsShareSeriesCopyOnWrite) {
+  MirroredIndex m;
+  m.AddWindow(100, 2, 0.0);
+  m.AddEntry(0, 10, 20);
+  const std::shared_ptr<const RollUpTree> first = m.builder.Snapshot();
+
+  // Appending after a snapshot must not mutate what it published.
+  m.AddWindow(100, 2, 0.0);
+  m.AddEntry(0, 30, 40);
+  const std::shared_ptr<const RollUpTree> second = m.builder.Snapshot();
+
+  EXPECT_EQ(first->window_count(), 1u);
+  EXPECT_EQ(second->window_count(), 2u);
+  EXPECT_EQ(first->entry_count(0), 1u);
+  EXPECT_EQ(second->entry_count(0), 2u);
+  EXPECT_FALSE(first->EntryFor(0, 1).has_value());
+  const auto updated = second->EntryFor(0, 1);
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_EQ(updated->rule_count, 30u);
+}
+
+}  // namespace
+}  // namespace tara
