@@ -15,6 +15,13 @@
 // approach 1), and cache_live_append (cache on under a live appender:
 // every publication bumps the generation, so each new generation re-misses
 // the set once and then hits again).
+// Phase 6 (wal_append): live_append on a twin engine with the
+// write-ahead log attached — the durability tax.
+// Phase 7 (replication): a WAL-backed primary behind a real TaraServer
+// streams durably-acked windows to an in-process ReplicaEngine while
+// readers hammer the replica; the interesting columns are replica lag
+// (append-ack on the primary -> window applied on the replica) and the
+// diverged flag (byte-compare at equal window counts; CI asserts 0).
 //
 // Writes BENCH_mixed_workload.json (schema of bench_report.h) with a full
 // metrics-registry snapshot attached, including the snapshot instruments
@@ -32,9 +39,12 @@
 #include "bench/bench_report.h"
 #include "core/kb_blocks.h"
 #include "core/kb_open.h"
+#include "core/kb_storage.h"
 #include "core/tara_engine.h"
 #include "datagen/basket_generators.h"
 #include "obs/metrics.h"
+#include "server/replica.h"
+#include "server/tara_server.h"
 #include "txdb/evolving_database.h"
 
 namespace tara {
@@ -459,6 +469,108 @@ int Run() {
                 std::move(wal_append_ns));
   }
   std::filesystem::remove_all(wal_dir);
+
+  // Phase 7: hot-standby replication. A WAL-backed twin primary behind
+  // a real TaraServer, an in-process ReplicaEngine subscribed to it;
+  // readers query the replica while the primary appends live windows.
+  // Per-window lag is append-return (the durable ack) to the replica
+  // holding the window.
+  const std::filesystem::path repl_wal =
+      std::filesystem::temp_directory_path() / "mixed_workload_repl_wal";
+  std::filesystem::remove_all(repl_wal);
+  {
+    TaraEngine::Options primary_options = options;
+    primary_options.wal_dir = repl_wal.string();
+    TaraEngine primary(primary_options);
+    for (uint32_t w = 0; w < kBaseWindows; ++w) {
+      const WindowInfo& info = data.window(w);
+      primary.AppendWindow(data.database(), info.begin, info.end);
+    }
+    server::ServerOptions server_options;
+    server_options.metrics = &registry;
+    server::TaraServer primary_server(&primary, server_options);
+    if (primary_server.Start().has_value()) {
+      std::fprintf(stderr, "replication phase: primary server failed\n");
+      return 1;
+    }
+    server::ReplicaOptions replica_options;
+    replica_options.primary_port = primary_server.port();
+    replica_options.metrics = &registry;
+    server::ReplicaEngine replica(replica_options);
+    if (replica.Start().has_value()) {
+      std::fprintf(stderr, "replication phase: replica failed to start\n");
+      return 1;
+    }
+    const auto sync_wait = std::chrono::milliseconds(60000);
+    if (replica.WaitForWindows(kBaseWindows, sync_wait) != kBaseWindows) {
+      std::fprintf(stderr, "replication phase: replica never synced\n");
+      return 1;
+    }
+    const TaraEngine& replica_engine = *replica.engine();
+    const auto replica_reader = [&](int, const std::atomic<bool>& stop,
+                                    std::vector<uint64_t>* latencies) {
+      ReaderLoop(replica_engine, setting, probe, probe_items, stop, latencies);
+    };
+    std::vector<uint64_t> repl_append_ns;
+    std::vector<uint64_t> lag_ns;
+    bool lag_timed_out = false;
+    PhaseResult repl = RunPhase(replica_reader, [&] {
+      for (uint32_t w = kBaseWindows; w < kBaseWindows + kLiveWindows; ++w) {
+        const WindowInfo& info = data.window(w);
+        const uint64_t start = NowNs();
+        primary.AppendWindow(data.database(), info.begin, info.end);
+        const uint64_t acked = NowNs();
+        repl_append_ns.push_back(acked - start);
+        if (replica.WaitForWindows(w + 1, sync_wait) != w + 1) {
+          lag_timed_out = true;
+          return;
+        }
+        lag_ns.push_back(NowNs() - acked);
+      }
+    });
+    if (lag_timed_out) {
+      std::fprintf(stderr, "replication phase: lag wait timed out\n");
+      return 1;
+    }
+    // Divergence oracle at equal window counts: the replica's knowledge
+    // base must be byte-identical to the primary's.
+    const bool diverged =
+        EncodeKnowledgeBase(*replica_engine.Snapshot()) !=
+        EncodeKnowledgeBase(*primary.Snapshot());
+    const server::ReplicaEngine::Status status = replica.GetStatus();
+    const size_t repl_queries = repl.latencies_ns.size();
+    const double repl_qps =
+        repl.seconds > 0 ? static_cast<double>(repl_queries) / repl.seconds
+                         : 0;
+    const double repl_p50 = PercentileUs(&repl.latencies_ns, 0.50);
+    const double repl_p99 = PercentileUs(&repl.latencies_ns, 0.99);
+    const double lag_p50 = PercentileUs(&lag_ns, 0.50);
+    const double lag_p99 = PercentileUs(&lag_ns, 0.99);
+    std::printf("%-16s %10zu queries %10.0f q/s  p50 %8.1fus  p99 %8.1fus"
+                "  (lag p50 %.0fus, p99 %.0fus, diverged %d)\n",
+                "replication", repl_queries, repl_qps, repl_p50, repl_p99,
+                lag_p50, lag_p99, diverged ? 1 : 0);
+    report.AddRow()
+        .Set("phase", "replication")
+        .Set("readers", static_cast<uint64_t>(kReaders))
+        .Set("queries", static_cast<uint64_t>(repl_queries))
+        .Set("qps", repl_qps)
+        .Set("read_p50_us", repl_p50)
+        .Set("read_p99_us", repl_p99)
+        .Set("appends", static_cast<uint64_t>(repl_append_ns.size()))
+        .Set("lag_p50_us", lag_p50)
+        .Set("lag_p99_us", lag_p99)
+        .Set("replica_windows",
+             static_cast<uint64_t>(replica_engine.window_count()))
+        .Set("primary_windows", static_cast<uint64_t>(primary.window_count()))
+        .Set("records_applied", status.records_applied)
+        .Set("reconnects", status.reconnects)
+        .Set("diverged", static_cast<uint64_t>(diverged ? 1 : 0))
+        .Set("peak_rss_bytes", bench::PeakRssBytes());
+    replica.Stop();
+    primary_server.Stop();
+  }
+  std::filesystem::remove_all(repl_wal);
 
   constexpr uint32_t kAllWindows =
       kBaseWindows + kLiveWindows + kCacheLiveWindows;

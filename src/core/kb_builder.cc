@@ -141,6 +141,24 @@ void KbBuilder::LogWindowsLocked(WindowId first) {
   }
 }
 
+void KbBuilder::MarkDurableLocked() {
+  {
+    std::lock_guard<std::mutex> lock(durable_mutex_);
+    durable_windows_.store(static_cast<uint32_t>(segments_.size()),
+                           std::memory_order_release);
+  }
+  durable_cv_.notify_all();
+}
+
+uint32_t KbBuilder::WaitDurableWindowsAbove(
+    uint32_t floor, std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(durable_mutex_);
+  durable_cv_.wait_for(lock, timeout, [&] {
+    return durable_windows_.load(std::memory_order_acquire) > floor;
+  });
+  return durable_windows_.load(std::memory_order_acquire);
+}
+
 void KbBuilder::RegisterMetrics() {
   obs::MetricsRegistry* registry = options_.metrics;
   if (registry == nullptr) return;
@@ -275,6 +293,7 @@ WindowId KbBuilder::CommitAndPublish(MinedWindow mined) {
 
   PublishLocked(std::move(segment));
   LogWindowsLocked(window);
+  MarkDurableLocked();
   return window;
 }
 
@@ -425,6 +444,7 @@ void KbBuilder::BuildAll(const EvolvingDatabase& data) {
   }
   PublishSnapshotLocked();
   LogWindowsLocked(base);
+  MarkDurableLocked();
 }
 
 }  // namespace tara

@@ -2,6 +2,8 @@
 #define TARA_CORE_KB_BUILDER_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -105,6 +107,27 @@ class KbBuilder {
   /// The published generation number (0 = empty initial snapshot).
   uint64_t generation() const { return snapshot()->generation(); }
 
+  /// --- Durable watermark ------------------------------------------------
+  /// Publication makes a window visible BEFORE its WAL record is
+  /// fdatasync'd (both under the commit mutex), so a plain snapshot()
+  /// can briefly expose a window a crash could still lose. Replication
+  /// must not: a follower that replayed such a window would diverge from
+  /// the recovered primary. The durable watermark trails publication by
+  /// exactly that fsync: windows below it are safe to stream. Without a
+  /// WAL every published window counts (there is no stronger durability
+  /// to wait for).
+
+  /// Windows durably acked so far. Lock-free; safe from any thread.
+  uint32_t durable_window_count() const {
+    return durable_windows_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until durable_window_count() > floor or `timeout` elapses;
+  /// returns the current count either way. This is how a replication
+  /// stream tails new windows without polling.
+  uint32_t WaitDurableWindowsAbove(uint32_t floor,
+                                   std::chrono::milliseconds timeout) const;
+
   /// --- Quiescent accessors ----------------------------------------------
   /// Direct views of the builder's working state, for offline tooling
   /// (benches, build-stats reports). Unlike snapshot(), these are NOT
@@ -155,6 +178,11 @@ class KbBuilder {
   /// without durability would break the ack contract. Commit mutex must
   /// be held.
   void LogWindowsLocked(WindowId first);
+
+  /// Advances the durable watermark to every committed window and wakes
+  /// waiting replication streams. Call after LogWindowsLocked (commit
+  /// mutex must be held).
+  void MarkDurableLocked();
 
   /// Appends `segment` to the working state and publishes a new
   /// generation (commit mutex must be held).
@@ -209,6 +237,11 @@ class KbBuilder {
   /// Write-ahead log; null until AttachWal succeeds. Written only under
   /// the commit mutex, after each publication.
   std::unique_ptr<WalWriter> wal_;
+  /// Windows whose WAL records are fdatasync'd (== window count when no
+  /// WAL is attached). Readers poll the atomic; waiters park on the cv.
+  std::atomic<uint32_t> durable_windows_{0};
+  mutable std::mutex durable_mutex_;
+  mutable std::condition_variable durable_cv_;
   BuilderMetrics metrics_;
 };
 

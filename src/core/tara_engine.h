@@ -159,6 +159,24 @@ class TaraEngine {
   /// True once a WAL is attached (Options::wal_dir or AttachWal).
   bool wal_attached() const { return builder_->wal_attached(); }
 
+  /// Windows durably acked (WAL record fdatasync'd; every published
+  /// window when no WAL is attached). Publication runs ahead of the
+  /// fsync, so this can briefly trail window_count() — replication
+  /// streams only below this watermark, because a window above it could
+  /// still be lost to a crash and a follower that replayed it would
+  /// diverge from the recovered primary.
+  uint32_t durable_window_count() const {
+    return builder_->durable_window_count();
+  }
+
+  /// Blocks until durable_window_count() > floor or `timeout` elapses;
+  /// returns the current count either way (how replication streams tail
+  /// new windows without polling).
+  uint32_t WaitDurableWindowsAbove(uint32_t floor,
+                                   std::chrono::milliseconds timeout) const {
+    return builder_->WaitDurableWindowsAbove(floor, timeout);
+  }
+
   /// Pins and returns the current knowledge-base generation: an immutable
   /// view offering the same query API (minus metric spans). Use this to
   /// answer several queries from one consistent state while ingestion

@@ -14,6 +14,14 @@ void AppendVarint(uint64_t value, std::string* out) {
   out->append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
 }
 
+/// Little-endian IEEE-754 bits, the inverse of Reader::ReadDouble.
+void AppendDouble(double value, std::string* out) {
+  const uint64_t bits = std::bit_cast<uint64_t>(value);
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
 /// Cursor over untrusted payload bytes; every Read* returns false on
 /// truncation or malformed varints (mirrors the Reader of
 /// query_request.cc, which is private to that translation unit).
@@ -149,6 +157,8 @@ std::string_view WireErrorCodeName(uint32_t code) {
       return "bad_request";
     case ServerWireError::kInternal:
       return "internal";
+    case ServerWireError::kReadOnlyReplica:
+      return "read_only_replica";
     default:
       break;
   }
@@ -205,7 +215,7 @@ Expected<FrameHeader, ParseError> DecodeFrameHeader(std::string_view bytes,
   }
   const uint8_t type = data[3];
   if (type < static_cast<uint8_t>(FrameType::kExecute) ||
-      type > static_cast<uint8_t>(FrameType::kInfoResponse)) {
+      type > static_cast<uint8_t>(FrameType::kReplicaHeartbeat)) {
     std::ostringstream message;
     message << "unknown frame type " << static_cast<unsigned>(type);
     return ParseError{ParseError::Code::kUnknownFrameType, message.str()};
@@ -595,6 +605,120 @@ Expected<ServerInfo, ParseError> DecodeInfoResponsePayload(
   info.generation = generation;
   info.rule_count = rules;
   return info;
+}
+
+std::string EncodeReplicaSubscribeFrame(uint32_t from_window) {
+  std::string payload;
+  AppendVarint(from_window, &payload);
+  return EncodeFrame(FrameType::kReplicaSubscribe, payload);
+}
+
+Expected<ReplicaSubscribe, ParseError> DecodeReplicaSubscribePayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t from = 0;
+  if (!in.ReadVarint(&from) || from > UINT32_MAX) {
+    return Truncated("the subscription start window");
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  ReplicaSubscribe subscribe;
+  subscribe.from_window = static_cast<uint32_t>(from);
+  return subscribe;
+}
+
+std::string EncodeReplicaCheckpointFrame(const ReplicaCheckpoint& checkpoint) {
+  std::string payload;
+  AppendDouble(checkpoint.min_support_floor, &payload);
+  AppendDouble(checkpoint.min_confidence_floor, &payload);
+  AppendVarint(checkpoint.max_itemset_size, &payload);
+  payload.push_back(checkpoint.build_content_index ? 1 : 0);
+  AppendVarint(checkpoint.window_count, &payload);
+  AppendVarint(checkpoint.generation, &payload);
+  return EncodeFrame(FrameType::kReplicaCheckpoint, payload);
+}
+
+Expected<ReplicaCheckpoint, ParseError> DecodeReplicaCheckpointPayload(
+    std::string_view payload) {
+  Reader in(payload);
+  ReplicaCheckpoint checkpoint;
+  if (!in.ReadDouble(&checkpoint.min_support_floor) ||
+      !in.ReadDouble(&checkpoint.min_confidence_floor)) {
+    return Truncated("the option floors");
+  }
+  uint64_t itemset_cap = 0;
+  uint8_t content = 0;
+  if (!in.ReadVarint(&itemset_cap) || itemset_cap > UINT32_MAX) {
+    return Truncated("the itemset cap");
+  }
+  if (!in.ReadByte(&content) || content > 1) {
+    return BadBody("missing or out-of-range content-index byte");
+  }
+  uint64_t windows = 0;
+  if (!in.ReadVarint(&windows) || windows > UINT32_MAX) {
+    return Truncated("the durable window count");
+  }
+  if (!in.ReadVarint(&checkpoint.generation)) {
+    return Truncated("the generation");
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  checkpoint.max_itemset_size = static_cast<uint32_t>(itemset_cap);
+  checkpoint.build_content_index = content == 1;
+  checkpoint.window_count = static_cast<uint32_t>(windows);
+  return checkpoint;
+}
+
+std::string EncodeReplicaRecordFrame(WindowId window,
+                                     uint64_t total_transactions,
+                                     uint64_t generation,
+                                     std::string_view segment) {
+  std::string payload;
+  AppendVarint(window, &payload);
+  AppendVarint(total_transactions, &payload);
+  AppendVarint(generation, &payload);
+  payload.append(segment);
+  return EncodeFrame(FrameType::kReplicaRecord, payload);
+}
+
+Expected<ReplicaRecord, ParseError> DecodeReplicaRecordPayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t window = 0;
+  ReplicaRecord record;
+  if (!in.ReadVarint(&window) || window > UINT32_MAX) {
+    return Truncated("the record window id");
+  }
+  if (!in.ReadVarint(&record.total_transactions)) {
+    return Truncated("the transaction total");
+  }
+  if (!in.ReadVarint(&record.generation)) {
+    return Truncated("the generation");
+  }
+  if (in.AtEnd()) return Truncated("the segment blob");
+  record.window = static_cast<WindowId>(window);
+  record.segment = std::string(in.Rest());
+  return record;
+}
+
+std::string EncodeReplicaHeartbeatFrame(uint32_t window_count,
+                                        uint64_t generation) {
+  std::string payload;
+  AppendVarint(window_count, &payload);
+  AppendVarint(generation, &payload);
+  return EncodeFrame(FrameType::kReplicaHeartbeat, payload);
+}
+
+Expected<ReplicaHeartbeat, ParseError> DecodeReplicaHeartbeatPayload(
+    std::string_view payload) {
+  Reader in(payload);
+  uint64_t windows = 0;
+  ReplicaHeartbeat heartbeat;
+  if (!in.ReadVarint(&windows) || windows > UINT32_MAX ||
+      !in.ReadVarint(&heartbeat.generation)) {
+    return Truncated("the heartbeat");
+  }
+  if (!in.AtEnd()) return Trailing(in.size - in.pos);
+  heartbeat.window_count = static_cast<uint32_t>(windows);
+  return heartbeat;
 }
 
 }  // namespace tara

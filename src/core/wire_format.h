@@ -101,6 +101,27 @@ enum class FrameType : uint8_t {
   /// Server -> client: varint window count + varint generation +
   /// varint interned rule count.
   kInfoResponse = 13,
+  /// Replica -> primary: subscribe to the durably-acked window stream.
+  /// Payload: varint first window wanted (the replica's window count).
+  /// The connection then leaves request-response lockstep: the primary
+  /// answers with one kReplicaCheckpoint and pushes kReplicaRecord /
+  /// kReplicaHeartbeat frames until either side closes.
+  kReplicaSubscribe = 14,
+  /// Primary -> replica: the stream handshake. Payload: the primary's
+  /// construction-option fingerprint (f64 support floor + f64 confidence
+  /// floor + varint itemset cap + content-index byte — the same fields
+  /// the TARAWAL1 header freezes) + varint durable window count + varint
+  /// generation. A replica must refuse to replay a stream mined at other
+  /// floors, exactly as AttachWal refuses a foreign log.
+  kReplicaCheckpoint = 15,
+  /// Primary -> replica: one durably-acked window. Payload: varint
+  /// window id + varint total transactions + varint primary generation +
+  /// the window's TARAKB2 segment blob (rest of payload) — byte-for-byte
+  /// what the write-ahead log record for that window carries.
+  kReplicaRecord = 16,
+  /// Primary -> replica: liveness + lag probe sent when the stream is
+  /// caught up. Payload: varint durable window count + varint generation.
+  kReplicaHeartbeat = 17,
 };
 
 /// Serving-layer wire error codes (range 100-199). Append-only.
@@ -117,6 +138,9 @@ enum class ServerWireError : uint32_t {
   kBadRequest = 103,
   /// The server failed internally; the connection stays usable.
   kInternal = 104,
+  /// This server is a hot-standby replica: it serves queries only.
+  /// Appends must go to the primary it replicates from.
+  kReadOnlyReplica = 105,
 };
 
 /// Why untrusted wire bytes could not be parsed. The enum values ARE the
@@ -300,6 +324,68 @@ struct ServerInfo {
 
 std::string EncodeInfoResponseFrame(const ServerInfo& info);
 Expected<ServerInfo, ParseError> DecodeInfoResponsePayload(
+    std::string_view payload);
+
+/// --- Replication framing ---------------------------------------------
+
+struct ReplicaSubscribe {
+  /// First window the replica wants (== its current window count).
+  uint32_t from_window = 0;
+};
+
+std::string EncodeReplicaSubscribeFrame(uint32_t from_window);
+Expected<ReplicaSubscribe, ParseError> DecodeReplicaSubscribePayload(
+    std::string_view payload);
+
+/// The stream handshake: the primary's construction-option fingerprint
+/// plus its durable position. The option fields mirror what the
+/// TARAWAL1 header freezes — a stream, like a log, must only be replayed
+/// into an engine built with the same floors.
+struct ReplicaCheckpoint {
+  double min_support_floor = 0;
+  double min_confidence_floor = 0;
+  uint32_t max_itemset_size = 0;
+  bool build_content_index = false;
+  /// Windows whose WAL records the primary has fdatasync'd — the stream
+  /// never runs past this watermark.
+  uint32_t window_count = 0;
+  uint64_t generation = 0;
+};
+
+std::string EncodeReplicaCheckpointFrame(const ReplicaCheckpoint& checkpoint);
+Expected<ReplicaCheckpoint, ParseError> DecodeReplicaCheckpointPayload(
+    std::string_view payload);
+
+/// One streamed window: the same TARAKB2 segment blob the primary's
+/// write-ahead log record carries, ready for the replica's replay path.
+struct ReplicaRecord {
+  WindowId window = 0;
+  uint64_t total_transactions = 0;
+  /// The primary's generation when the record was encoded (monotone, so
+  /// the replica can expose primary-side progress without a probe).
+  uint64_t generation = 0;
+  /// Owned copy of the segment blob (the payload view does not outlive
+  /// the frame buffer).
+  std::string segment;
+};
+
+std::string EncodeReplicaRecordFrame(WindowId window,
+                                     uint64_t total_transactions,
+                                     uint64_t generation,
+                                     std::string_view segment);
+Expected<ReplicaRecord, ParseError> DecodeReplicaRecordPayload(
+    std::string_view payload);
+
+/// The caught-up probe: how far the primary's durable watermark has
+/// advanced. lag = heartbeat.window_count - replica's window count.
+struct ReplicaHeartbeat {
+  uint32_t window_count = 0;
+  uint64_t generation = 0;
+};
+
+std::string EncodeReplicaHeartbeatFrame(uint32_t window_count,
+                                        uint64_t generation);
+Expected<ReplicaHeartbeat, ParseError> DecodeReplicaHeartbeatPayload(
     std::string_view payload);
 
 }  // namespace tara

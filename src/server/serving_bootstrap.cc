@@ -6,6 +6,8 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "core/kb_blocks.h"
@@ -13,6 +15,7 @@
 #include "core/kb_storage.h"
 #include "datagen/quest_generator.h"
 #include "obs/metrics.h"
+#include "server/replica.h"
 #include "server/tara_server.h"
 #include "txdb/evolving_database.h"
 
@@ -104,7 +107,8 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
                  "usage: %s HOST:PORT [--loaddir DIR] [--wal DIR] [--mmap] "
                  "[--verify] [--quest N ITEMS] "
                  "[--windows K] [--floor S C] [--cache BYTES] [--workers N] "
-                 "[--queue N] [--port-file FILE]\n",
+                 "[--queue N] [--port-file FILE] "
+                 "[--replicate-from HOST:PORT]\n",
                  usage_prefix);
     return 2;
   };
@@ -118,6 +122,7 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
 
   EngineBootstrap bootstrap;
   std::string port_file;
+  std::string replicate_from;
   bool bad_flag = false;
   for (int i = 1; i < argc && !bad_flag; ++i) {
     const std::string arg = argv[i];
@@ -159,6 +164,8 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
           static_cast<uint32_t>(std::strtoul(next("N"), nullptr, 10));
     } else if (arg == "--port-file") {
       port_file = next("FILE");
+    } else if (arg == "--replicate-from") {
+      replicate_from = next("HOST:PORT");
     } else {
       return usage();
     }
@@ -169,26 +176,58 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
   bootstrap.metrics = &metrics;
   server_options.metrics = &metrics;
 
-  auto engine = BootstrapEngine(bootstrap);
-  if (!engine.has_value()) {
-    std::fprintf(stderr, "%s: %s\n", usage_prefix, engine.error().c_str());
-    return 1;
-  }
-  if (engine->fully_materialized()) {
+  // The serving engine: either this process's own (built or loaded), or
+  // a hot-standby follower of another primary (--replicate-from), served
+  // read-only while its tail thread replays the primary's stream.
+  std::optional<Expected<TaraEngine, std::string>> owned;
+  std::unique_ptr<ReplicaEngine> replica;
+  TaraEngine* serving_engine = nullptr;
+  if (!replicate_from.empty()) {
+    ReplicaOptions replica_options;
+    if (!SplitHostPort(replicate_from, &replica_options.primary_host,
+                       &replica_options.primary_port)) {
+      std::fprintf(stderr, "%s: bad --replicate-from HOST:PORT: %s\n",
+                   usage_prefix, replicate_from.c_str());
+      return 2;
+    }
+    replica_options.kb_dir = bootstrap.loaddir;
+    replica_options.metrics = &metrics;
+    replica_options.query_cache_bytes = bootstrap.cache_bytes;
+    replica = std::make_unique<ReplicaEngine>(replica_options);
+    if (const auto problem = replica->Start()) {
+      std::fprintf(stderr, "%s: %s\n", usage_prefix, problem->c_str());
+      return 1;
+    }
+    serving_engine = replica->engine();
+    server_options.read_only = true;
     std::fprintf(stderr,
-                 "%s: knowledge base ready (%u windows, %zu rules%s)\n",
-                 usage_prefix, engine->window_count(),
-                 engine->Snapshot()->catalog().size(),
-                 engine->wal_attached() ? ", WAL attached" : "");
+                 "%s: replicating from %s (%u windows at subscribe)\n",
+                 usage_prefix, replicate_from.c_str(),
+                 serving_engine->window_count());
   } else {
-    // Mapped open: don't force materialization just for a log line.
-    std::fprintf(stderr,
-                 "%s: knowledge base mapped (%u windows, decoded on "
-                 "demand)\n",
-                 usage_prefix, engine->window_count());
+    owned.emplace(BootstrapEngine(bootstrap));
+    Expected<TaraEngine, std::string>& engine = *owned;
+    if (!engine.has_value()) {
+      std::fprintf(stderr, "%s: %s\n", usage_prefix, engine.error().c_str());
+      return 1;
+    }
+    if (engine->fully_materialized()) {
+      std::fprintf(stderr,
+                   "%s: knowledge base ready (%u windows, %zu rules%s)\n",
+                   usage_prefix, engine->window_count(),
+                   engine->Snapshot()->catalog().size(),
+                   engine->wal_attached() ? ", WAL attached" : "");
+    } else {
+      // Mapped open: don't force materialization just for a log line.
+      std::fprintf(stderr,
+                   "%s: knowledge base mapped (%u windows, decoded on "
+                   "demand)\n",
+                   usage_prefix, engine->window_count());
+    }
+    serving_engine = &engine.value();
   }
 
-  TaraServer server(&engine.value(), server_options);
+  TaraServer server(serving_engine, server_options);
   if (const auto problem = server.Start()) {
     std::fprintf(stderr, "%s: %s\n", usage_prefix, problem->c_str());
     return 1;
@@ -209,6 +248,7 @@ int RunServeMain(int argc, char** argv, const char* usage_prefix) {
 
   std::fprintf(stderr, "%s: shutting down\n", usage_prefix);
   server.Stop();
+  if (replica != nullptr) replica->Stop();
   return 0;
 }
 

@@ -1,9 +1,15 @@
 #include "server/tara_server.h"
 
 #include <poll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "core/kb_storage.h"
 
 namespace tara::server {
 
@@ -71,6 +77,10 @@ TaraServer::TaraServer(TaraEngine* engine, ServerOptions options)
     metrics_.parse_errors = registry->GetCounter("tara.server.parse_errors");
     metrics_.request_latency =
         registry->GetHistogram("tara.server.request_latency_ns");
+    metrics_.replica_streams =
+        registry->GetCounter("tara.server.replica_streams");
+    metrics_.replica_records =
+        registry->GetCounter("tara.server.replica_records");
   }
 }
 
@@ -81,6 +91,10 @@ std::optional<std::string> TaraServer::Start() {
   auto listener = ListenTcp(options_.host, options_.port,
                             options_.listen_backlog, &bound_port_);
   if (!listener.has_value()) return listener.error();
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return std::string("eventfd: ") + std::strerror(errno);
+  }
   listener_ = std::move(listener.value());
   started_ = true;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -94,13 +108,20 @@ void TaraServer::Stop() {
     return;
   }
   gate_.Shutdown();
-  // Shutdown (a read of fd_) may race-freely overlap the accept loop's
-  // own fd() reads; Close() writes fd_ = -1, so it must wait until the
-  // accept thread — which rechecks stopping_ at least every poll
-  // interval — has been joined.
+  // Knock on the accept loop's eventfd: poll wakes immediately, the loop
+  // sees stopping_ and exits — no polling interval, no reliance on
+  // shutdown() waking a blocked accept on a *listening* socket (which
+  // POSIX does not promise). Shutdown (a read of fd_) may race-freely
+  // overlap the accept loop's own fd() reads; Close() writes fd_ = -1,
+  // so it must wait until the accept thread has been joined.
   listener_.ShutdownBoth();
+  const uint64_t knock = 1;
+  [[maybe_unused]] const ssize_t wrote =
+      ::write(wake_fd_, &knock, sizeof(knock));
   if (accept_thread_.joinable()) accept_thread_.join();
   listener_.Close();
+  ::close(wake_fd_);
+  wake_fd_ = -1;
   std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
@@ -127,15 +148,19 @@ void TaraServer::ReapFinishedConnections() {
 }
 
 void TaraServer::AcceptLoop() {
-  // Poll with a timeout instead of blocking in accept(): shutdown() on a
-  // *listening* socket does not reliably wake a blocked accept() (unlike
-  // on connected sockets), so Stop() could otherwise hang in join. The
-  // timeout bounds shutdown latency to one poll interval.
+  // Poll the listener alongside the Stop() eventfd with no timeout: the
+  // loop sleeps until a connection arrives or Stop() knocks, so shutdown
+  // is immediate and idle servers burn no wakeups. (The previous 100 ms
+  // timed poll made every Stop() — and therefore every server test — up
+  // to one interval slower, a fixed-sleep flake in disguise.)
   while (!stopping_.load(std::memory_order_relaxed)) {
-    struct pollfd pfd = {listener_.fd(), POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    struct pollfd pfds[2] = {{listener_.fd(), POLLIN, 0},
+                             {wake_fd_, POLLIN, 0}};
+    const int ready = ::poll(pfds, 2, /*timeout_ms=*/-1);
     if (stopping_.load(std::memory_order_relaxed)) break;
-    if (ready <= 0) continue;  // timeout or EINTR
+    if (ready <= 0) continue;  // EINTR
+    if (pfds[1].revents != 0) break;  // Stop() knocked
+    if ((pfds[0].revents & POLLIN) == 0) continue;
     const int fd = ::accept(listener_.fd(), nullptr, nullptr);
     if (fd < 0) {
       continue;  // aborted handshake between poll and accept
@@ -191,6 +216,8 @@ bool TaraServer::HandleFrame(Connection* connection,
       return HandleBatchExecute(connection, payload);
     case FrameType::kAppendWindow:
       return HandleAppendWindow(connection, payload);
+    case FrameType::kReplicaSubscribe:
+      return HandleReplicaSubscribe(connection, payload);
     case FrameType::kMetricsRequest: {
       const bool json = !payload.empty() && payload[0] == 1;
       const std::string snapshot =
@@ -324,6 +351,12 @@ bool TaraServer::HandleAppendWindow(Connection* connection,
     if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
     return Reply(connection, EncodeErrorFrame(db.error()));
   }
+  if (options_.read_only) {
+    return Reply(connection,
+                 EncodeErrorFrame(ServerWireError::kReadOnlyReplica,
+                                  "this server is a read-only replica; "
+                                  "send appends to the primary"));
+  }
   if (db->empty()) {
     return Reply(connection,
                  EncodeErrorFrame(ServerWireError::kBadRequest,
@@ -333,6 +366,84 @@ bool TaraServer::HandleAppendWindow(Connection* connection,
   if (metrics_.appends != nullptr) metrics_.appends->Increment();
   return Reply(connection,
                EncodeAppendAckFrame(window, engine_->generation()));
+}
+
+bool TaraServer::HandleReplicaSubscribe(Connection* connection,
+                                        const std::string& payload) {
+  auto subscribe = DecodeReplicaSubscribePayload(payload);
+  if (!subscribe.has_value()) {
+    if (metrics_.parse_errors != nullptr) metrics_.parse_errors->Increment();
+    Reply(connection, EncodeErrorFrame(subscribe.error()));
+    return true;  // lockstep framing is intact; the connection survives
+  }
+  uint32_t next = subscribe->from_window;
+  if (next > engine_->durable_window_count()) {
+    // A follower ahead of this primary holds windows we never durably
+    // acked — it is replicating the wrong knowledge base (or the wrong
+    // incarnation of it). Refuse rather than stream a diverging tail.
+    std::string message = "subscription starts at window ";
+    message += std::to_string(next);
+    message += " but the primary has ";
+    message += std::to_string(engine_->durable_window_count());
+    message += " durable windows";
+    return Reply(connection, EncodeErrorFrame(ServerWireError::kBadRequest,
+                                              std::move(message)));
+  }
+  if (metrics_.replica_streams != nullptr) {
+    metrics_.replica_streams->Increment();
+  }
+  {
+    // Handshake: announce this engine's option fingerprint and durable
+    // position so the follower can refuse a stream mined at other floors
+    // (the same compatibility gate AttachWal applies to a foreign log).
+    const auto snapshot = engine_->Snapshot();
+    const KbOptions& engine_options = snapshot->options();
+    ReplicaCheckpoint checkpoint;
+    checkpoint.min_support_floor = engine_options.min_support_floor;
+    checkpoint.min_confidence_floor = engine_options.min_confidence_floor;
+    checkpoint.max_itemset_size = engine_options.max_itemset_size;
+    checkpoint.build_content_index = engine_options.build_content_index;
+    checkpoint.window_count = engine_->durable_window_count();
+    checkpoint.generation = snapshot->generation();
+    if (!Reply(connection, EncodeReplicaCheckpointFrame(checkpoint))) {
+      return false;
+    }
+  }
+  const auto heartbeat_wait =
+      std::chrono::milliseconds(options_.replication_heartbeat_ms);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    uint32_t durable = engine_->durable_window_count();
+    if (durable <= next) {
+      durable = engine_->WaitDurableWindowsAbove(next, heartbeat_wait);
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      if (durable <= next) {
+        // Still caught up: heartbeat, which doubles as peer-liveness
+        // detection (a vanished follower fails the write).
+        if (!Reply(connection, EncodeReplicaHeartbeatFrame(
+                                   durable, engine_->generation()))) {
+          return false;
+        }
+        continue;
+      }
+    }
+    // The snapshot is published before the WAL fsync advances the
+    // watermark, so any snapshot taken now holds every durable window.
+    const auto snapshot = engine_->Snapshot();
+    const uint32_t limit = std::min(durable, snapshot->window_count());
+    for (; next < limit; ++next) {
+      const std::vector<uint8_t> segment = EncodeWindowSegment(*snapshot, next);
+      const std::string frame = EncodeReplicaRecordFrame(
+          next, snapshot->segment(next).total_transactions,
+          snapshot->generation(),
+          std::string_view(reinterpret_cast<const char*>(segment.data()),
+                           segment.size()));
+      if (!Reply(connection, frame)) return false;
+      if (metrics_.replica_records != nullptr) {
+        metrics_.replica_records->Increment();
+      }
+    }
+  }
+  return false;  // server draining: close the stream
 }
 
 bool TaraServer::Reply(Connection* connection, const std::string& frame) {

@@ -41,6 +41,14 @@ struct ServerOptions {
   /// Instrument destination for the tara.server.* series and the
   /// kMetricsRequest endpoint; nullptr = no metrics, empty endpoint.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Hot-standby role: reject kAppendWindow with kReadOnlyReplica
+  /// instead of mutating the engine. Queries, info, metrics, and
+  /// (chained) replication subscriptions all keep working.
+  bool read_only = false;
+  /// Cadence of kReplicaHeartbeat frames on a caught-up replication
+  /// stream. Also bounds how long a stream thread can sit in the
+  /// durable-watermark wait before noticing Stop().
+  uint32_t replication_heartbeat_ms = 250;
   /// Test seam: runs on the worker after admission, immediately before
   /// engine execution. Lets tests hold the pool occupied deterministically
   /// to drive the shed and deadline paths. Never set in production.
@@ -158,6 +166,8 @@ class TaraServer {
     obs::Counter* appends = nullptr;
     obs::Counter* parse_errors = nullptr;
     obs::Histogram* request_latency = nullptr;
+    obs::Counter* replica_streams = nullptr;
+    obs::Counter* replica_records = nullptr;
   };
 
   void AcceptLoop();
@@ -174,6 +184,13 @@ class TaraServer {
   bool HandleExecute(Connection* connection, const std::string& payload);
   bool HandleBatchExecute(Connection* connection, const std::string& payload);
   bool HandleAppendWindow(Connection* connection, const std::string& payload);
+  /// Switches the connection from lockstep to server-push streaming:
+  /// checkpoint handshake, then durably-acked records as they land, with
+  /// heartbeats while caught up. Returns only when the peer goes away or
+  /// the server stops — always false (the connection closes with the
+  /// stream).
+  bool HandleReplicaSubscribe(Connection* connection,
+                              const std::string& payload);
   bool Reply(Connection* connection, const std::string& frame);
   /// Joins and discards connections whose handler has finished.
   void ReapFinishedConnections();
@@ -183,6 +200,10 @@ class TaraServer {
   ServerMetrics metrics_;
   AdmissionGate gate_;
   Socket listener_;
+  /// eventfd the accept loop polls alongside the listener; Stop() writes
+  /// it to wake the loop deterministically (shutdown() on a *listening*
+  /// socket does not reliably wake poll/accept on all kernels).
+  int wake_fd_ = -1;
   uint16_t bound_port_ = 0;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};

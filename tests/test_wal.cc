@@ -333,12 +333,12 @@ class WalCrashTest : public WalTest {
     WalReplayStats stats;
     auto recovered = Recover(kb_dir_, wal_dir_, nullptr, &stats);
     if (!recovered.has_value()) {
-      // A kill that lands before the child even attaches the log (seen
-      // under sanitizers, where startup is slow) leaves no WAL file and
-      // no checkpoint; nothing was acked, so there is nothing to
-      // recover and the typed error is the correct answer.
+      // A kill that lands before the first append (seen under sanitizers
+      // and on loaded machines, where startup is slow) leaves either no
+      // WAL file at all or a freshly-attached header-only log, and no
+      // checkpoint; nothing was acked, so there is nothing to recover
+      // and the typed error is the correct answer.
       ASSERT_EQ(acked, 0u) << label << ": " << recovered.error();
-      ASSERT_FALSE(fs::exists(fs::path(wal_dir_) / "wal.tarawal")) << label;
       return;
     }
     const uint32_t count = recovered->window_count();

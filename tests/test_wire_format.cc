@@ -312,7 +312,10 @@ TEST(WireFormat, AppendWindowRejectsDecreasingTimestamps) {
 }
 
 TEST(WireFormat, AppendAckAndInfoRoundTrip) {
-  const auto ack_frame = DecodeFrame(EncodeAppendAckFrame(7, 123));
+  // The decoded payload is a view into the frame bytes, so the encoded
+  // string must outlive it.
+  const std::string ack_bytes = EncodeAppendAckFrame(7, 123);
+  const auto ack_frame = DecodeFrame(ack_bytes);
   ASSERT_TRUE(ack_frame.has_value());
   const auto ack = DecodeAppendAckPayload(ack_frame->payload);
   ASSERT_TRUE(ack.has_value()) << ack.error();
@@ -323,13 +326,106 @@ TEST(WireFormat, AppendAckAndInfoRoundTrip) {
   info.window_count = 12;
   info.generation = 99;
   info.rule_count = 1u << 20;
-  const auto info_frame = DecodeFrame(EncodeInfoResponseFrame(info));
+  const std::string info_bytes = EncodeInfoResponseFrame(info);
+  const auto info_frame = DecodeFrame(info_bytes);
   ASSERT_TRUE(info_frame.has_value());
   const auto round = DecodeInfoResponsePayload(info_frame->payload);
   ASSERT_TRUE(round.has_value()) << round.error();
   EXPECT_EQ(round->window_count, 12u);
   EXPECT_EQ(round->generation, 99u);
   EXPECT_EQ(round->rule_count, 1u << 20);
+}
+
+TEST(WireFormat, ReplicaSubscribeRoundTrip) {
+  const std::string frame = EncodeReplicaSubscribeFrame(7);
+  const auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->header.type, FrameType::kReplicaSubscribe);
+  const auto subscribe = DecodeReplicaSubscribePayload(decoded->payload);
+  ASSERT_TRUE(subscribe.has_value()) << subscribe.error();
+  EXPECT_EQ(subscribe->from_window, 7u);
+}
+
+TEST(WireFormat, ReplicaCheckpointRoundTrip) {
+  ReplicaCheckpoint checkpoint;
+  checkpoint.min_support_floor = 0.015;
+  checkpoint.min_confidence_floor = 0.25;
+  checkpoint.max_itemset_size = 5;
+  checkpoint.build_content_index = true;
+  checkpoint.window_count = 12;
+  checkpoint.generation = 37;
+  const std::string frame = EncodeReplicaCheckpointFrame(checkpoint);
+  const auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->header.type, FrameType::kReplicaCheckpoint);
+  const auto round = DecodeReplicaCheckpointPayload(decoded->payload);
+  ASSERT_TRUE(round.has_value()) << round.error();
+  // Floors travel as raw f64 bits, so equality is exact.
+  EXPECT_EQ(round->min_support_floor, checkpoint.min_support_floor);
+  EXPECT_EQ(round->min_confidence_floor, checkpoint.min_confidence_floor);
+  EXPECT_EQ(round->max_itemset_size, 5u);
+  EXPECT_TRUE(round->build_content_index);
+  EXPECT_EQ(round->window_count, 12u);
+  EXPECT_EQ(round->generation, 37u);
+}
+
+TEST(WireFormat, ReplicaRecordRoundTrip) {
+  const std::string segment = "\x01\x02segment-bytes\xff";
+  const std::string frame =
+      EncodeReplicaRecordFrame(4, 2000, 9, segment);
+  const auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->header.type, FrameType::kReplicaRecord);
+  const auto record = DecodeReplicaRecordPayload(decoded->payload);
+  ASSERT_TRUE(record.has_value()) << record.error();
+  EXPECT_EQ(record->window, 4u);
+  EXPECT_EQ(record->total_transactions, 2000u);
+  EXPECT_EQ(record->generation, 9u);
+  EXPECT_EQ(record->segment, segment);
+}
+
+TEST(WireFormat, ReplicaRecordRejectsEmptySegment) {
+  const std::string frame = EncodeReplicaRecordFrame(4, 2000, 9, "");
+  const auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  const auto record = DecodeReplicaRecordPayload(decoded->payload);
+  ASSERT_FALSE(record.has_value());
+  EXPECT_EQ(record.error().code, ParseError::Code::kTruncatedPayload);
+}
+
+TEST(WireFormat, ReplicaHeartbeatRoundTrip) {
+  const std::string frame = EncodeReplicaHeartbeatFrame(19, 23);
+  const auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->header.type, FrameType::kReplicaHeartbeat);
+  const auto heartbeat = DecodeReplicaHeartbeatPayload(decoded->payload);
+  ASSERT_TRUE(heartbeat.has_value()) << heartbeat.error();
+  EXPECT_EQ(heartbeat->window_count, 19u);
+  EXPECT_EQ(heartbeat->generation, 23u);
+}
+
+TEST(WireFormat, ReplicaHeartbeatRejectsTrailingBytes) {
+  std::string frame = EncodeReplicaHeartbeatFrame(19, 23);
+  frame.push_back('\x00');
+  // Patch the header's length to cover the extra byte so the payload
+  // decoder (not the framing layer) sees it.
+  frame[4] = static_cast<char>(frame.size() - kWireHeaderBytes);
+  const auto decoded = DecodeFrame(frame);
+  ASSERT_TRUE(decoded.has_value());
+  const auto heartbeat = DecodeReplicaHeartbeatPayload(decoded->payload);
+  ASSERT_FALSE(heartbeat.has_value());
+  EXPECT_EQ(heartbeat.error().code, ParseError::Code::kTrailingBytes);
+}
+
+// Replication frame types and the read-only rejection code are wire
+// contracts like every other number here: frozen forever.
+TEST(WireFormat, ReplicationCodesArePinned) {
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kReplicaSubscribe), 14u);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kReplicaCheckpoint), 15u);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kReplicaRecord), 16u);
+  EXPECT_EQ(static_cast<uint8_t>(FrameType::kReplicaHeartbeat), 17u);
+  EXPECT_EQ(static_cast<uint32_t>(ServerWireError::kReadOnlyReplica), 105u);
+  EXPECT_EQ(WireErrorCodeName(105), "read_only_replica");
 }
 
 /// Decodes `bytes` through every payload decoder its header names. The
@@ -362,6 +458,18 @@ void DecodeEverything(const std::string& bytes) {
     case FrameType::kInfoResponse:
       (void)DecodeInfoResponsePayload(frame->payload);
       break;
+    case FrameType::kReplicaSubscribe:
+      (void)DecodeReplicaSubscribePayload(frame->payload);
+      break;
+    case FrameType::kReplicaCheckpoint:
+      (void)DecodeReplicaCheckpointPayload(frame->payload);
+      break;
+    case FrameType::kReplicaRecord:
+      (void)DecodeReplicaRecordPayload(frame->payload);
+      break;
+    case FrameType::kReplicaHeartbeat:
+      (void)DecodeReplicaHeartbeatPayload(frame->payload);
+      break;
     default:
       break;
   }
@@ -383,6 +491,17 @@ TEST(WireFormatFuzz, CorruptedFramesNeverCrash) {
   corpus.push_back(EncodeAppendWindowFrame(db, 0, db.size()));
   corpus.push_back(EncodeAppendAckFrame(1, 2));
   corpus.push_back(EncodeInfoResponseFrame(ServerInfo{3, 4, 5}));
+  corpus.push_back(EncodeReplicaSubscribeFrame(6));
+  ReplicaCheckpoint checkpoint;
+  checkpoint.min_support_floor = 0.01;
+  checkpoint.min_confidence_floor = 0.2;
+  checkpoint.max_itemset_size = 4;
+  checkpoint.build_content_index = true;
+  checkpoint.window_count = 8;
+  checkpoint.generation = 21;
+  corpus.push_back(EncodeReplicaCheckpointFrame(checkpoint));
+  corpus.push_back(EncodeReplicaRecordFrame(3, 1500, 7, "fuzzable segment"));
+  corpus.push_back(EncodeReplicaHeartbeatFrame(5, 9));
 
   Rng rng(20240807);
   for (const std::string& seed : corpus) {

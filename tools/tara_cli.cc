@@ -1202,6 +1202,64 @@ int RunDb(int argc, char** argv) {
   return usage();
 }
 
+/// `tara_cli replica status HOST:PORT` — the follower's health at a
+/// glance: knowledge-base shape from the info endpoint plus the
+/// tara.replica.* series filtered out of the metrics snapshot. Run it
+/// against a server started with `serve --replicate-from`.
+int RunReplica(int argc, char** argv) {
+  const auto usage = []() -> int {
+    std::fprintf(stderr, "usage: tara_cli replica status HOST:PORT\n");
+    return 2;
+  };
+  if (argc < 2 || std::string(argv[0]) != "status") return usage();
+  std::string host;
+  uint16_t port = 0;
+  if (!server::SplitHostPort(argv[1], &host, &port)) {
+    std::fprintf(stderr, "tara_cli replica: bad HOST:PORT: %s\n", argv[1]);
+    return 2;
+  }
+  auto client = server::TaraClient::Connect(host, port);
+  if (!client.has_value()) {
+    std::ostringstream out;
+    out << client.error();
+    std::fprintf(stderr, "tara_cli replica: %s\n", out.str().c_str());
+    return 1;
+  }
+  server::TaraClient remote = std::move(client.value());
+  const auto info = remote.Info();
+  if (!info.has_value()) {
+    std::ostringstream out;
+    out << info.error();
+    std::fprintf(stderr, "tara_cli replica: %s\n", out.str().c_str());
+    return 1;
+  }
+  std::printf("windows    %u\n", info->window_count);
+  std::printf("generation %llu\n",
+              static_cast<unsigned long long>(info->generation));
+  std::printf("rules      %llu\n",
+              static_cast<unsigned long long>(info->rule_count));
+  const auto metrics = remote.Metrics(/*json=*/false);
+  if (!metrics.has_value()) {
+    std::ostringstream out;
+    out << metrics.error();
+    std::fprintf(stderr, "tara_cli replica: %s\n", out.str().c_str());
+    return 1;
+  }
+  bool any_replica_series = false;
+  std::istringstream lines(metrics.value());
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("tara.replica.", 0) == 0) {
+      std::printf("%s\n", line.c_str());
+      any_replica_series = true;
+    }
+  }
+  if (!any_replica_series) {
+    std::printf("(no tara.replica.* series — not a replica?)\n");
+  }
+  return 0;
+}
+
 /// The top-level command surface, printed by `tara_cli help` (stdout —
 /// pinned by the help-text golden test) and on a bad command line
 /// (stderr).
@@ -1215,6 +1273,7 @@ void PrintUsage(std::FILE* out) {
       "  tara_cli db CMD --kb DIR        knowledge-base directory tooling\n"
       "  tara_cli query [--remote HOST:PORT [--deadline MS]]\n"
       "  tara_cli serve HOST:PORT [flags]\n"
+      "  tara_cli replica status HOST:PORT\n"
       "  tara_cli wal recover --kb DIR --wal DIR\n"
       "  tara_cli help\n"
       "\n"
@@ -1230,7 +1289,9 @@ void PrintUsage(std::FILE* out) {
       "serve flags:\n"
       "  [--loaddir DIR] [--wal DIR] [--mmap] [--verify]\n"
       "  [--quest N ITEMS] [--windows K] [--floor S C] [--cache BYTES]\n"
-      "  [--workers N] [--queue N] [--port-file FILE]\n",
+      "  [--workers N] [--queue N] [--port-file FILE]\n"
+      "  [--replicate-from HOST:PORT]   serve as a read-only hot standby\n"
+      "                                  of that primary\n",
       out);
 }
 
@@ -1286,6 +1347,9 @@ int main(int argc, char** argv) {
   }
   if (argc > 1 && std::strcmp(argv[1], "db") == 0) {
     return tara::cli::RunDb(argc - 2, argv + 2);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "replica") == 0) {
+    return tara::cli::RunReplica(argc - 2, argv + 2);
   }
   if (argc > 1 && std::strcmp(argv[1], "wal") == 0) {
     return tara::cli::RunWal(argc - 2, argv + 2);
